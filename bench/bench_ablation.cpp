@@ -1,0 +1,126 @@
+// Ext-C: ablations of the design choices DESIGN.md calls out.
+//
+//  1. Maintenance semantics: frontier reuse on/off, batch vs per-update —
+//     how each changes Table 2's totals and the heuristic's choice.
+//  2. Figure 9 options: branch pruning on/off (search work vs outcome),
+//     paper-literal vs reuse-aware Cs maintenance term.
+//  3. Recompute vs incremental (delta) maintenance across update
+//     fractions — the extension the paper leaves as future work.
+#include <iostream>
+
+#include "src/common/strings.hpp"
+#include "src/common/text_table.hpp"
+#include "src/common/units.hpp"
+#include "src/maintenance/incremental.hpp"
+#include "src/mvpp/selection.hpp"
+#include "src/workload/paper_example.hpp"
+
+using namespace mvd;
+
+int main() {
+  const Catalog catalog = make_paper_catalog();
+  const CostModel model(catalog, paper_cost_config());
+  const MvppGraph g = build_figure3_mvpp(model);
+
+  std::cout << "Ext-C ablations on the Figure 3 MVPP\n\n";
+
+  {
+    std::cout << "1. maintenance policy (evaluating M = {tmp2, tmp4} and "
+                 "the heuristic under each):\n";
+    TextTable t({"policy", "maint({tmp2,tmp4})", "heuristic set",
+                 "heuristic total"},
+                {Align::kLeft, Align::kRight, Align::kLeft, Align::kRight});
+    const MaterializedSet best{g.find_by_name("tmp2"), g.find_by_name("tmp4")};
+    struct Case {
+      const char* label;
+      MaintenancePolicy policy;
+    } cases[] = {
+        {"batch + reuse (default)",
+         {MaintenancePolicy::Mode::kBatchRecompute, true}},
+        {"batch, no reuse",
+         {MaintenancePolicy::Mode::kBatchRecompute, false}},
+        {"per-update + reuse", {MaintenancePolicy::Mode::kPerUpdate, true}},
+        {"per-update, no reuse (paper formula)",
+         {MaintenancePolicy::Mode::kPerUpdate, false}},
+    };
+    for (const Case& c : cases) {
+      const MvppEvaluator eval(g, c.policy);
+      const SelectionResult sel = yang_heuristic(eval);
+      t.add_row({c.label, format_blocks(eval.total_maintenance_cost(best)),
+                 to_string(g, sel.materialized),
+                 format_blocks(sel.costs.total())});
+    }
+    std::cout << t.render() << '\n';
+  }
+
+  {
+    std::cout << "2. Figure 9 options:\n";
+    TextTable t({"options", "selected", "total", "Cs evals"},
+                {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight});
+    const MvppEvaluator eval(g);
+    struct Case {
+      const char* label;
+      YangOptions options;
+    } cases[] = {
+        {"paper defaults", {}},
+        {"no branch pruning", {.branch_pruning = false}},
+        {"no parent-skip", {.skip_when_parents_materialized = false}},
+        {"no final cleanup", {.final_cleanup = false}},
+        {"reuse-aware Cs", {.reuse_aware_maintenance_gain = true}},
+    };
+    for (const Case& c : cases) {
+      const SelectionResult sel = yang_heuristic(eval, c.options);
+      std::size_t evals = 0;
+      for (const std::string& line : sel.trace) {
+        if (line.find(": Cs=") != std::string::npos) ++evals;
+      }
+      t.add_row({c.label, to_string(g, sel.materialized),
+                 format_blocks(sel.costs.total()), std::to_string(evals)});
+    }
+    std::cout << t.render() << '\n';
+  }
+
+  {
+    std::cout << "3. recompute vs incremental maintenance of the chosen "
+                 "views {tmp2, tmp4}:\n";
+    TextTable t({"update fraction", "recompute", "incremental", "ratio"},
+                {Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+    const MvppEvaluator eval(g);
+    const MaterializedSet best{g.find_by_name("tmp2"), g.find_by_name("tmp4")};
+    const double recompute = eval.total_maintenance_cost(best);
+    for (double fraction : {0.001, 0.01, 0.05, 0.2, 0.5, 1.0}) {
+      const double inc =
+          total_incremental_maintenance(g, best, {fraction});
+      t.add_row({format_fixed(fraction, 3), format_blocks(recompute),
+                 format_blocks(inc), format_fixed(inc / recompute, 3)});
+    }
+    std::cout << t.render() << '\n';
+    std::cout << "reading: below ~5% churn, delta maintenance beats the "
+                 "paper's recompute discipline by an order of magnitude; "
+                 "the advantage disappears as churn approaches 100%.\n\n";
+  }
+
+  {
+    std::cout << "4. index-aware access to stored views (the paper's §3.2 "
+                 "claim that materialized results can be indexed):\n";
+    TextTable t({"evaluation", "heuristic set", "query", "maintenance",
+                 "total"},
+                {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight,
+                 Align::kRight});
+    for (const bool indexed : {false, true}) {
+      const MvppEvaluator eval(g, {}, IndexPolicy{indexed, 1.2});
+      const SelectionResult sel = yang_heuristic(eval);
+      t.add_row({indexed ? "indexed stored views" : "plain scans",
+                 to_string(g, sel.materialized),
+                 format_blocks(sel.costs.query_processing),
+                 format_blocks(sel.costs.maintenance),
+                 format_blocks(sel.costs.total())});
+    }
+    std::cout << t.render() << '\n';
+    std::cout << "reading: indexes on stored views cut the costs of the "
+                 "operators reading them (selections fetch matching "
+                 "blocks; joins probe instead of scanning), reinforcing "
+                 "the gain from materialization.\n";
+  }
+  return 0;
+}

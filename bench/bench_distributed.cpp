@@ -1,0 +1,78 @@
+// Ext-F: distributed warehouse — communication-aware vs site-oblivious
+// view design (the paper's Section 4.1 note on incorporating transfer
+// costs).
+//
+// Topology: the member databases are split across two operational sites;
+// all warehouse queries are issued at a third analysis site. As the
+// per-block link cost grows, the communication-aware design diverges from
+// the oblivious one — it materializes (ships once per update, reads
+// locally) what the oblivious design would re-ship on every query.
+#include <iostream>
+
+#include "src/common/strings.hpp"
+#include "src/common/text_table.hpp"
+#include "src/common/units.hpp"
+#include "src/distributed/distributed_evaluator.hpp"
+#include "src/mvpp/selection.hpp"
+#include "src/workload/paper_example.hpp"
+
+using namespace mvd;
+
+namespace {
+
+SiteTopology make_topology(double link_cost) {
+  SiteTopology topo({"analysis", "sales", "manufacturing"}, link_cost);
+  topo.place_relation("Order", "sales");
+  topo.place_relation("Customer", "sales");
+  topo.place_relation("Product", "manufacturing");
+  topo.place_relation("Division", "manufacturing");
+  topo.place_relation("Part", "manufacturing");
+  for (const char* q : {"Q1", "Q2", "Q3", "Q4"}) {
+    topo.place_query(q, "analysis");
+  }
+  return topo;
+}
+
+}  // namespace
+
+int main() {
+  const Catalog catalog = make_paper_catalog();
+  const CostModel model(catalog, paper_cost_config());
+  const MvppGraph g = build_figure3_mvpp(model);
+
+  std::cout << "Ext-F — distributed design: base relations at two sites, "
+               "queries issued at a third\n\n";
+
+  TextTable table({"link cost/blk", "oblivious set", "oblivious dist. total",
+                   "aware set", "aware dist. total", "saving"},
+                  {Align::kRight, Align::kLeft, Align::kRight, Align::kLeft,
+                   Align::kRight, Align::kRight});
+
+  const MvppEvaluator oblivious_eval(g);
+  const MaterializedSet oblivious = exhaustive_optimal(oblivious_eval).materialized;
+
+  for (double link : {0.0, 1.0, 10.0, 100.0, 500.0, 2000.0}) {
+    const DistributedMvppEvaluator dist(g, make_topology(link));
+    const MaterializedSet aware = exhaustive_optimal(dist).materialized;
+    const double oblivious_cost = dist.total_cost(oblivious);
+    const double aware_cost = dist.total_cost(aware);
+    table.add_row({format_fixed(link, 1), to_string(g, oblivious),
+                   format_blocks(oblivious_cost), to_string(g, aware),
+                   format_blocks(aware_cost),
+                   format_fixed(100.0 * (1.0 - aware_cost /
+                                                  std::max(oblivious_cost, 1e-9)),
+                                1) + "%"});
+  }
+  std::cout << table.render() << '\n';
+
+  // Show where things run / live for one interesting link cost.
+  const DistributedMvppEvaluator dist(g, make_topology(2.0));
+  std::cout << "node placement at link cost 2.0:\n";
+  for (NodeId v : g.operation_ids()) {
+    std::cout << "  " << g.node(v).name << " @ " << dist.site_of(v) << '\n';
+  }
+  std::cout << "\nreading: with free links the designs agree; as shipping "
+               "gets expensive, the aware design stores results near "
+               "their consumers, cutting the distributed total.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Figure 3: the MVPP for the four example queries, with the
+// query frequencies on the roots and the accumulated block-access cost
+// Ca(v) labeled on every operation node.
+//
+// The paper labels (garbled in places and internally inconsistent — see
+// EXPERIMENTS.md): tmp1 = 0.25k, tmp2 = 35.25k, tmp3 = 50.06m,
+// tmp4 ≈ 12.03m, Q1 total = 35.37k, Q2 = 50.082m, Q3 = 12.595m,
+// Q4 = 12.044m. Our model re-derives every label under one consistent
+// accounting; tmp1/tmp2/tmp4 land on the paper's values, the nodes the
+// paper costed with unreduced inputs (tmp3, and Q3's chain) come out
+// smaller.
+#include <iostream>
+
+#include "src/common/strings.hpp"
+#include "src/common/text_table.hpp"
+#include "src/common/units.hpp"
+#include "src/mvpp/evaluation.hpp"
+#include "src/workload/paper_example.hpp"
+
+using namespace mvd;
+
+int main() {
+  const Catalog catalog = make_paper_catalog();
+  const CostModel cost_model(catalog, paper_cost_config());
+  const MvppGraph graph = build_figure3_mvpp(cost_model);
+
+  std::cout << "Figure 3 — MVPP for the example (fq on roots, Ca per node)\n\n"
+            << graph.to_text() << '\n';
+
+  TextTable table({"node", "operation", "rows", "blocks", "Ca (ours)",
+                   "Ca (paper)"},
+                  {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight});
+  const std::vector<std::pair<std::string, std::string>> paper = {
+      {"tmp1", "0.25k"},  {"tmp2", "35.25k"}, {"tmp3", "50.06m"},
+      {"tmp4", "12.03m"}, {"tmp5", "12.035m"}, {"tmp6", "~12.59m"},
+      {"tmp7", "12.582m"}, {"result1", "35.35k"}, {"result2", "50.08m"},
+      {"result3", "12.594m"}, {"result4", "12.043m"}};
+  for (const auto& [name, paper_value] : paper) {
+    const MvppNode& n = graph.node(graph.find_by_name(name));
+    table.add_row({name, n.label().substr(name.size() + 2),
+                   format_blocks(n.rows), format_blocks(n.blocks),
+                   format_blocks(n.full_cost), paper_value});
+  }
+  std::cout << table.render() << '\n';
+
+  const MvppEvaluator eval(graph);
+  std::cout << "per-query from-scratch costs fq x Ca (paper: 10x35.37k, "
+               "0.5x50.082m, 0.8x12.595m, 5x12.044m):\n";
+  for (NodeId q : graph.query_ids()) {
+    const MvppNode& n = graph.node(q);
+    std::cout << "  " << n.name << ": " << format_fixed(n.frequency, 1)
+              << " x " << format_blocks(eval.answer_cost(q, {})) << " = "
+              << format_blocks(n.frequency * eval.answer_cost(q, {})) << '\n';
+  }
+
+  std::cout << "\nGraphviz rendering (pipe to dot -Tsvg):\n"
+            << graph.to_dot();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Ext-E: google-benchmark microbenchmarks of the algorithmic components —
+// MVPP construction, cost evaluation, and the selection algorithms —
+// as workload size grows.
+#include <benchmark/benchmark.h>
+
+#include "src/mvpp/builder.hpp"
+#include "src/workload/generator.hpp"
+
+namespace mvd {
+namespace {
+
+struct Workload {
+  Catalog catalog{10.0};
+  std::vector<QuerySpec> queries;
+};
+
+Workload make_workload(std::size_t query_count) {
+  StarSchemaOptions schema;
+  schema.dimensions = 5;
+  Workload w;
+  w.catalog = make_star_catalog(schema);
+  StarQueryOptions qopts;
+  qopts.count = query_count;
+  qopts.max_dimensions = 4;
+  qopts.seed = 77;
+  w.queries = generate_star_queries(w.catalog, schema, qopts);
+  return w;
+}
+
+void BM_OptimizeSingleQuery(benchmark::State& state) {
+  const Workload w = make_workload(8);
+  const CostModel model(w.catalog, {});
+  const Optimizer optimizer(model);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(w.queries[i % w.queries.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_OptimizeSingleQuery);
+
+void BM_BuildSingleMvpp(benchmark::State& state) {
+  const Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
+  const CostModel model(w.catalog, {});
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+  const std::vector<std::size_t> order = builder.initial_order(w.queries);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(w.queries, order));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildSingleMvpp)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Complexity();
+
+void BM_BuildAllRotations(benchmark::State& state) {
+  const Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
+  const CostModel model(w.catalog, {});
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build_all_rotations(w.queries));
+  }
+}
+BENCHMARK(BM_BuildAllRotations)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_TotalCostEvaluation(benchmark::State& state) {
+  const Workload w = make_workload(8);
+  const CostModel model(w.catalog, {});
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+  const MvppBuildResult built =
+      builder.build(w.queries, builder.initial_order(w.queries));
+  const MvppEvaluator eval(built.graph);
+  // A mid-sized set.
+  MaterializedSet m;
+  const auto ops = built.graph.operation_ids();
+  for (std::size_t i = 0; i < ops.size(); i += 2) m.insert(ops[i]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.total_cost(m));
+  }
+}
+BENCHMARK(BM_TotalCostEvaluation);
+
+void BM_YangHeuristic(benchmark::State& state) {
+  const Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
+  const CostModel model(w.catalog, {});
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+  const MvppBuildResult built =
+      builder.build(w.queries, builder.initial_order(w.queries));
+  const MvppEvaluator eval(built.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(yang_heuristic(eval));
+  }
+}
+BENCHMARK(BM_YangHeuristic)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_GreedyIncremental(benchmark::State& state) {
+  const Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
+  const CostModel model(w.catalog, {});
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+  const MvppBuildResult built =
+      builder.build(w.queries, builder.initial_order(w.queries));
+  const MvppEvaluator eval(built.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_incremental(eval));
+  }
+}
+BENCHMARK(BM_GreedyIncremental)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ExhaustiveOptimal(benchmark::State& state) {
+  const Workload w = make_workload(static_cast<std::size_t>(state.range(0)));
+  const CostModel model(w.catalog, {});
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+  const MvppBuildResult built =
+      builder.build(w.queries, builder.initial_order(w.queries));
+  if (built.graph.operation_ids().size() > 20) {
+    state.SkipWithError("too many candidates for exhaustive search");
+    return;
+  }
+  const MvppEvaluator eval(built.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exhaustive_optimal(eval, 20));
+  }
+}
+BENCHMARK(BM_ExhaustiveOptimal)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace mvd
+
+BENCHMARK_MAIN();

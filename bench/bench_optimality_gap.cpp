@@ -1,0 +1,157 @@
+// Ext-B: heuristic quality vs the exhaustive optimum on random workloads.
+//
+// For star and chain workloads of growing size, runs the Figure 9
+// heuristic, the exact-gain greedy and simulated annealing against the
+// 2^n optimum (while n stays tractable) and reports the average/worst
+// cost ratio and wall times. The expected shape: all heuristics stay
+// within a few percent of optimal on these workloads while the exhaustive
+// search blows up exponentially.
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "src/common/assert.hpp"
+
+#include "src/common/strings.hpp"
+#include "src/common/text_table.hpp"
+#include "src/mvpp/builder.hpp"
+#include "src/workload/generator.hpp"
+
+using namespace mvd;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct GapRow {
+  std::size_t candidates = 0;
+  double yang_ratio = 1, yang_reuse_ratio = 1, greedy_ratio = 1, sa_ratio = 1;
+  double yang_ms = 0, greedy_ms = 0, sa_ms = 0, opt_ms = 0, bnb_ms = 0;
+};
+
+GapRow measure(const MvppGraph& graph) {
+  const MvppEvaluator eval(graph);
+  GapRow row;
+  row.candidates = graph.operation_ids().size();
+
+  auto timed = [&](auto&& fn, double& ms) {
+    const auto start = std::chrono::steady_clock::now();
+    SelectionResult r = fn();
+    ms = ms_since(start);
+    return r.costs.total();
+  };
+  const double yang =
+      timed([&] { return yang_heuristic(eval); }, row.yang_ms);
+  double unused_ms = 0;
+  const double yang_reuse = timed(
+      [&] {
+        return yang_heuristic(eval, {.reuse_aware_maintenance_gain = true});
+      },
+      unused_ms);
+  const double greedy =
+      timed([&] { return greedy_incremental(eval); }, row.greedy_ms);
+  const double sa = timed(
+      [&] {
+        AnnealingOptions o;
+        o.iterations = 4000;
+        return simulated_annealing(eval, o);
+      },
+      row.sa_ms);
+  const double optimal =
+      timed([&] { return exhaustive_optimal(eval, 22); }, row.opt_ms);
+  const double bnb =
+      timed([&] { return branch_and_bound_optimal(eval, 22); }, row.bnb_ms);
+  MVD_ASSERT_MSG(std::abs(bnb - optimal) < 1e-6,
+                 "branch and bound disagrees with brute force");
+  row.yang_ratio = yang / optimal;
+  row.yang_reuse_ratio = yang_reuse / optimal;
+  row.greedy_ratio = greedy / optimal;
+  row.sa_ratio = sa / optimal;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ext-B — selection quality vs the exhaustive optimum\n"
+            << "(cost ratio = algorithm / optimal; 1.000 is optimal)\n\n";
+
+  TextTable table({"workload", "cands", "yang", "yang*", "greedy", "anneal",
+                   "yang ms", "greedy ms", "anneal ms", "exhaustive ms",
+                   "b&b ms"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight, Align::kRight});
+
+  for (std::size_t queries : {3u, 4u, 5u, 6u}) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      StarSchemaOptions schema;
+      schema.dimensions = 4;
+      const Catalog catalog = make_star_catalog(schema);
+      StarQueryOptions qopts;
+      qopts.count = queries;
+      qopts.seed = seed;
+      const auto workload = generate_star_queries(catalog, schema, qopts);
+      const CostModel model(catalog, {});
+      const Optimizer optimizer(model);
+      const MvppBuilder builder(optimizer);
+      const MvppBuildResult built =
+          builder.build(workload, builder.initial_order(workload));
+      if (built.graph.operation_ids().size() > 20) continue;
+      const GapRow row = measure(built.graph);
+      table.add_row({str_cat("star q=", queries, " s=", seed),
+                     std::to_string(row.candidates),
+                     format_fixed(row.yang_ratio, 3),
+                     format_fixed(row.yang_reuse_ratio, 3),
+                     format_fixed(row.greedy_ratio, 3),
+                     format_fixed(row.sa_ratio, 3),
+                     format_fixed(row.yang_ms, 1),
+                     format_fixed(row.greedy_ms, 1),
+                     format_fixed(row.sa_ms, 1),
+                     format_fixed(row.opt_ms, 1),
+                     format_fixed(row.bnb_ms, 1)});
+    }
+  }
+
+  for (std::size_t queries : {4u, 6u}) {
+    for (std::uint64_t seed : {5u, 6u}) {
+      ChainSchemaOptions schema;
+      schema.length = 6;
+      const Catalog catalog = make_chain_catalog(schema);
+      ChainQueryOptions qopts;
+      qopts.count = queries;
+      qopts.seed = seed;
+      const auto workload = generate_chain_queries(catalog, schema, qopts);
+      const CostModel model(catalog, {});
+      const Optimizer optimizer(model);
+      const MvppBuilder builder(optimizer);
+      const MvppBuildResult built =
+          builder.build(workload, builder.initial_order(workload));
+      if (built.graph.operation_ids().size() > 20) continue;
+      const GapRow row = measure(built.graph);
+      table.add_row({str_cat("chain q=", queries, " s=", seed),
+                     std::to_string(row.candidates),
+                     format_fixed(row.yang_ratio, 3),
+                     format_fixed(row.yang_reuse_ratio, 3),
+                     format_fixed(row.greedy_ratio, 3),
+                     format_fixed(row.sa_ratio, 3),
+                     format_fixed(row.yang_ms, 1),
+                     format_fixed(row.greedy_ms, 1),
+                     format_fixed(row.sa_ms, 1),
+                     format_fixed(row.opt_ms, 1),
+                     format_fixed(row.bnb_ms, 1)});
+    }
+  }
+
+  std::cout << table.render() << '\n';
+  std::cout << "reading: ratios of 1.000 mean the heuristic hit the "
+               "optimum; yang* (reuse-aware Cs maintenance) closes most "
+               "of the paper heuristic's gap; the exhaustive column grows "
+               "exponentially with the candidate count while the "
+               "heuristics stay flat.\n";
+  return 0;
+}

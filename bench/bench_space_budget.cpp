@@ -1,0 +1,49 @@
+// Ext-H: view selection under a storage budget.
+//
+// Sweeps the space allowed for materialized views over the Figure 3 MVPP
+// and prints the best achievable total cost (budgeted-optimal) and the
+// density-greedy's tracking of it — the classic benefit-per-block curve:
+// steep gains from the first few blocks (tmp2 costs 100 blocks and
+// removes most of Q1/Q2's work), flattening once tmp4's 5k blocks fit.
+#include <iostream>
+
+#include "src/common/strings.hpp"
+#include "src/common/text_table.hpp"
+#include "src/common/units.hpp"
+#include "src/mvpp/selection.hpp"
+#include "src/workload/paper_example.hpp"
+
+using namespace mvd;
+
+int main() {
+  const Catalog catalog = make_paper_catalog();
+  const CostModel model(catalog, paper_cost_config());
+  const MvppGraph g = build_figure3_mvpp(model);
+  const MvppEvaluator eval(g);
+
+  const double none = eval.total_cost({});
+  std::cout << "Ext-H — total cost vs view-storage budget "
+               "(all-virtual baseline "
+            << format_blocks(none) << ")\n\n";
+
+  TextTable t({"budget (blocks)", "greedy set", "greedy total",
+               "optimal set", "optimal total", "% of baseline"},
+              {Align::kRight, Align::kLeft, Align::kRight, Align::kLeft,
+               Align::kRight, Align::kRight});
+  for (const double budget :
+       {0.0, 10.0, 120.0, 250.0, 2'000.0, 5'200.0, 8'000.0, 20'000.0}) {
+    const SelectionResult greedy = budgeted_greedy(eval, budget);
+    const SelectionResult optimal = budgeted_optimal(eval, budget);
+    t.add_row({format_blocks(budget), to_string(g, greedy.materialized),
+               format_blocks(greedy.costs.total()),
+               to_string(g, optimal.materialized),
+               format_blocks(optimal.costs.total()),
+               format_fixed(100.0 * optimal.costs.total() / none, 1) + "%"});
+  }
+  std::cout << t.render() << '\n';
+  std::cout << "reading: the first ~120 blocks (tmp2 and the small query "
+               "results) already cut the total well below baseline; the "
+               "curve flattens once tmp4's 5k blocks fit, after which more "
+               "space buys nothing.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Distributed warehouse example: member databases live at two operational
+// sites, analysts query from headquarters. Compares the site-oblivious
+// design with the communication-aware design as link costs grow, and
+// prints where each chosen view is computed and stored.
+#include <iostream>
+
+#include "src/common/strings.hpp"
+#include "src/common/units.hpp"
+#include "src/distributed/distributed_evaluator.hpp"
+#include "src/mvpp/builder.hpp"
+#include "src/workload/paper_example.hpp"
+
+int main() {
+  using namespace mvd;
+
+  const PaperExample example = make_paper_example();
+  const CostModel model(example.catalog, paper_cost_config());
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+
+  // Build the candidate MVPPs once; design against different topologies.
+  const std::vector<MvppBuildResult> candidates =
+      builder.build_all_rotations(example.queries);
+
+  SiteTopology topo({"hq", "sales", "manufacturing"},
+                    /*default_transfer=*/200.0);
+  topo.set_link_cost("sales", "manufacturing", 400.0);  // slow WAN hop
+  topo.place_relation("Order", "sales");
+  topo.place_relation("Customer", "sales");
+  topo.place_relation("Product", "manufacturing");
+  topo.place_relation("Division", "manufacturing");
+  topo.place_relation("Part", "manufacturing");
+  for (const QuerySpec& q : example.queries) topo.place_query(q.name(), "hq");
+
+  // Select views on every candidate MVPP under the distributed model.
+  std::size_t best_index = 0;
+  SelectionResult best;
+  double best_cost = -1;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const DistributedMvppEvaluator eval(candidates[i].graph, topo);
+    SelectionResult sel = greedy_incremental(eval);
+    if (best_cost < 0 || sel.costs.total() < best_cost) {
+      best_cost = sel.costs.total();
+      best_index = i;
+      best = std::move(sel);
+    }
+  }
+
+  const MvppGraph& g = candidates[best_index].graph;
+  const DistributedMvppEvaluator eval(g, topo);
+  std::cout << "chosen MVPP: rotation " << best_index << " (merge order "
+            << join(candidates[best_index].merge_order, " ") << ")\n";
+  std::cout << "materialize " << to_string(g, best.materialized) << '\n';
+  std::cout << "distributed total: " << format_blocks(best.costs.total())
+            << " (query " << format_blocks(best.costs.query_processing)
+            << " + maintenance " << format_blocks(best.costs.maintenance)
+            << ")\n\n";
+
+  std::cout << "view placement (computed at / stored at):\n";
+  for (NodeId v : best.materialized) {
+    std::cout << "  " << g.node(v).name << ": " << eval.site_of(v) << " / "
+              << eval.storage_site_of(v) << "  ("
+              << format_blocks(g.node(v).blocks) << " blocks)\n";
+  }
+
+  // Contrast with the site-oblivious design evaluated distributedly.
+  const MvppEvaluator oblivious(g);
+  const MaterializedSet oblivious_set = greedy_incremental(oblivious).materialized;
+  std::cout << "\nsite-oblivious choice " << to_string(g, oblivious_set)
+            << " would cost " << format_blocks(eval.total_cost(oblivious_set))
+            << " under the same topology ("
+            << format_fixed(
+                   100.0 * (eval.total_cost(oblivious_set) - best.costs.total()) /
+                       eval.total_cost(oblivious_set),
+                   1)
+            << "% worse than the aware design)\n";
+  return 0;
+}

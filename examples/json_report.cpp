@@ -1,0 +1,27 @@
+// Machine-readable output: run the design on the paper example and emit
+// the full JSON report (selection + per-query/per-view detail + graph) —
+// the artifact a dashboard or CI check would consume.
+#include <iostream>
+
+#include "src/mvpp/serialize.hpp"
+#include "src/warehouse/designer.hpp"
+#include "src/workload/paper_example.hpp"
+
+int main() {
+  using namespace mvd;
+
+  WarehouseDesigner designer(make_paper_catalog(), [] {
+    DesignerOptions o;
+    o.cost = paper_cost_config();
+    return o;
+  }());
+  for (const QuerySpec& q : make_paper_example().queries) {
+    designer.add_query(q);
+  }
+  const DesignResult design = designer.design();
+
+  const MvppEvaluator eval(design.graph());
+  const Json report = design_report_json(eval, design.selection);
+  std::cout << report.dump(2) << '\n';
+  return 0;
+}

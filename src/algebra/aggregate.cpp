@@ -1,0 +1,111 @@
+#include "src/algebra/aggregate.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace mvd {
+
+std::string to_string(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "count";
+    case AggFn::kSum: return "sum";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+    case AggFn::kAvg: return "avg";
+  }
+  MVD_ASSERT(false);
+  return {};
+}
+
+ValueType AggSpec::output_type(const Schema& input) const {
+  switch (fn) {
+    case AggFn::kCount:
+      return ValueType::kInt64;
+    case AggFn::kSum:
+    case AggFn::kAvg:
+      return ValueType::kDouble;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return input.at(input.index_of(column)).type;
+  }
+  MVD_ASSERT(false);
+  return ValueType::kInt64;
+}
+
+std::string AggSpec::to_string() const {
+  std::string out = mvd::to_string(fn) + "(" + (column.empty() ? "*" : column) +
+                    ")";
+  if (!alias.empty()) out += " AS " + alias;
+  return out;
+}
+
+std::string AggregateOp::label() const {
+  std::vector<std::string> parts;
+  for (const AggSpec& a : aggregates_) parts.push_back(a.to_string());
+  return "aggregate[" + join(group_by_, ", ") +
+         (group_by_.empty() ? "" : " | ") + join(parts, ", ") + "]";
+}
+
+PlanPtr make_aggregate(PlanPtr child, const std::vector<std::string>& group_by,
+                       std::vector<AggSpec> aggregates) {
+  MVD_ASSERT(child != nullptr);
+  if (aggregates.empty()) {
+    throw PlanError("aggregation needs at least one aggregate function");
+  }
+  const Schema& in = child->output_schema();
+
+  std::vector<Attribute> attrs;
+  std::vector<std::string> qualified_groups;
+  for (const std::string& g : group_by) {
+    const Attribute& a = in.at(in.index_of(g));
+    if (std::find(qualified_groups.begin(), qualified_groups.end(),
+                  a.qualified()) != qualified_groups.end()) {
+      throw PlanError("duplicate group-by column '" + a.qualified() + "'");
+    }
+    qualified_groups.push_back(a.qualified());
+    attrs.push_back(a);
+  }
+
+  for (AggSpec& agg : aggregates) {
+    if (agg.fn != AggFn::kCount || !agg.column.empty()) {
+      // Resolve and qualify the input column.
+      const Attribute& a = in.at(in.index_of(agg.column));
+      agg.column = a.qualified();
+      if (agg.fn != AggFn::kCount && !is_numeric(a.type) &&
+          (agg.fn == AggFn::kSum || agg.fn == AggFn::kAvg)) {
+        throw PlanError("cannot " + to_string(agg.fn) + " non-numeric column '" +
+                        a.qualified() + "'");
+      }
+    }
+    if (agg.alias.empty()) {
+      std::string base = agg.column.empty()
+                             ? "all"
+                             : agg.column.substr(agg.column.find('.') + 1);
+      agg.alias = to_string(agg.fn) + "_" + base;
+    }
+  }
+
+  for (const AggSpec& agg : aggregates) {
+    const bool dup_alias =
+        std::count_if(aggregates.begin(), aggregates.end(),
+                      [&](const AggSpec& other) {
+                        return other.alias == agg.alias;
+                      }) > 1 ||
+        std::any_of(attrs.begin(), attrs.end(), [&](const Attribute& a) {
+          return a.qualified() == agg.alias;
+        });
+    if (dup_alias) {
+      throw PlanError("duplicate aggregate output name '" + agg.alias + "'");
+    }
+    attrs.push_back(Attribute{agg.alias, agg.output_type(in), ""});
+  }
+
+  return std::make_shared<AggregateOp>(std::move(child), Schema(std::move(attrs)),
+                                       std::move(qualified_groups),
+                                       std::move(aggregates));
+}
+
+}  // namespace mvd

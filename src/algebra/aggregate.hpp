@@ -1,0 +1,68 @@
+// Grouped aggregation — the paper's first listed piece of future work
+// ("we are working on materialized view design for more complicated
+// queries such as query with aggregation functions").
+//
+// An AggregateOp groups its input on a set of columns and computes
+// COUNT / SUM / MIN / MAX / AVG aggregates. Aggregate views are first-class
+// MVPP nodes: they can be materialized, maintained and answered from like
+// any select/project/join node.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/algebra/logical_plan.hpp"
+
+namespace mvd {
+
+enum class AggFn { kCount, kSum, kMin, kMax, kAvg };
+
+std::string to_string(AggFn fn);
+
+/// One aggregate in the SELECT list, e.g. SUM(quantity) AS total.
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  /// Qualified input column; empty for COUNT(*).
+  std::string column;
+  /// Output attribute name. Defaults (applied by the binder) look like
+  /// "sum_quantity" / "count_all".
+  std::string alias;
+
+  /// Output value type: COUNT -> int64, SUM/AVG -> double, MIN/MAX -> the
+  /// input column's type (`input` resolves it).
+  ValueType output_type(const Schema& input) const;
+
+  /// "sum(Order.quantity) AS total"
+  std::string to_string() const;
+
+  friend bool operator==(const AggSpec&, const AggSpec&) = default;
+};
+
+class AggregateOp final : public LogicalOp {
+ public:
+  AggregateOp(PlanPtr child, Schema schema, std::vector<std::string> group_by,
+              std::vector<AggSpec> aggregates)
+      : LogicalOp(OpKind::kAggregate, std::move(schema), {std::move(child)}),
+        group_by_(std::move(group_by)), aggregates_(std::move(aggregates)) {}
+
+  /// Qualified grouping columns, in output order.
+  const std::vector<std::string>& group_by() const { return group_by_; }
+  const std::vector<AggSpec>& aggregates() const { return aggregates_; }
+  std::string label() const override;
+
+ private:
+  std::vector<std::string> group_by_;
+  std::vector<AggSpec> aggregates_;
+};
+
+/// Build an aggregation over `child`. Group columns (possibly bare) are
+/// resolved against the child schema; aggregate input columns likewise;
+/// empty aliases receive defaults; duplicate output names throw
+/// PlanError. The output schema lists group columns first (keeping their
+/// sources), then one attribute per aggregate (source-less, named by
+/// alias). `group_by` may be empty (global aggregation, one output row).
+PlanPtr make_aggregate(PlanPtr child, const std::vector<std::string>& group_by,
+                       std::vector<AggSpec> aggregates);
+
+}  // namespace mvd

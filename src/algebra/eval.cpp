@@ -1,0 +1,105 @@
+#include "src/algebra/eval.hpp"
+
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+
+namespace mvd {
+
+struct CompiledExpr::Node {
+  ExprKind kind = ExprKind::kLiteral;
+  // kColumn
+  std::size_t column_index = 0;
+  // kLiteral
+  Value literal;
+  // kComparison
+  CompareOp op = CompareOp::kEq;
+  // children: lhs/rhs for comparison, operand(s) for bool/not
+  std::vector<std::shared_ptr<const Node>> children;
+};
+
+CompiledExpr::CompiledExpr(const ExprPtr& expr, const Schema& schema) {
+  MVD_ASSERT_MSG(expr != nullptr, "cannot compile null expression");
+  root_ = compile(expr, schema);
+}
+
+std::shared_ptr<const CompiledExpr::Node> CompiledExpr::compile(
+    const ExprPtr& expr, const Schema& schema) {
+  auto node = std::make_shared<Node>();
+  node->kind = expr->kind();
+  switch (expr->kind()) {
+    case ExprKind::kColumn:
+      node->column_index =
+          schema.index_of(static_cast<const ColumnExpr&>(*expr).name());
+      break;
+    case ExprKind::kLiteral:
+      node->literal = static_cast<const LiteralExpr&>(*expr).value();
+      break;
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(*expr);
+      node->op = c.op();
+      node->children.push_back(compile(c.lhs(), schema));
+      node->children.push_back(compile(c.rhs(), schema));
+      break;
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      for (const auto& op : static_cast<const BoolExpr&>(*expr).operands()) {
+        node->children.push_back(compile(op, schema));
+      }
+      break;
+    case ExprKind::kNot:
+      node->children.push_back(
+          compile(static_cast<const NotExpr&>(*expr).operand(), schema));
+      break;
+  }
+  return node;
+}
+
+Value CompiledExpr::eval_node(const Node& node, const Tuple& tuple) {
+  switch (node.kind) {
+    case ExprKind::kColumn:
+      MVD_ASSERT(node.column_index < tuple.size());
+      return tuple[node.column_index];
+    case ExprKind::kLiteral:
+      return node.literal;
+    case ExprKind::kComparison: {
+      const Value l = eval_node(*node.children[0], tuple);
+      const Value r = eval_node(*node.children[1], tuple);
+      const std::strong_ordering ord = l.compare(r);
+      switch (node.op) {
+        case CompareOp::kEq: return Value::boolean(ord == 0);
+        case CompareOp::kNe: return Value::boolean(ord != 0);
+        case CompareOp::kLt: return Value::boolean(ord < 0);
+        case CompareOp::kLe: return Value::boolean(ord <= 0);
+        case CompareOp::kGt: return Value::boolean(ord > 0);
+        case CompareOp::kGe: return Value::boolean(ord >= 0);
+      }
+      MVD_ASSERT(false);
+      return Value::boolean(false);
+    }
+    case ExprKind::kAnd: {
+      for (const auto& c : node.children) {
+        if (!eval_node(*c, tuple).as_bool()) return Value::boolean(false);
+      }
+      return Value::boolean(true);
+    }
+    case ExprKind::kOr: {
+      for (const auto& c : node.children) {
+        if (eval_node(*c, tuple).as_bool()) return Value::boolean(true);
+      }
+      return Value::boolean(false);
+    }
+    case ExprKind::kNot:
+      return Value::boolean(!eval_node(*node.children[0], tuple).as_bool());
+  }
+  MVD_ASSERT(false);
+  return Value::boolean(false);
+}
+
+Value CompiledExpr::evaluate(const Tuple& tuple) const {
+  return eval_node(*root_, tuple);
+}
+
+}  // namespace mvd

@@ -1,0 +1,37 @@
+// Expression evaluation over tuples.
+//
+// CompiledExpr binds an Expr tree against a Schema once (resolving column
+// names to tuple indices, with a BindError on unknown/ambiguous names) so
+// that per-tuple evaluation does no string lookups.
+#pragma once
+
+#include <memory>
+
+#include "src/algebra/expr.hpp"
+#include "src/catalog/schema.hpp"
+#include "src/storage/table.hpp"
+
+namespace mvd {
+
+class CompiledExpr {
+ public:
+  /// Bind `expr` against `schema`. Throws BindError on resolution failure.
+  CompiledExpr(const ExprPtr& expr, const Schema& schema);
+
+  /// Evaluate over one tuple of the bound schema.
+  Value evaluate(const Tuple& tuple) const;
+
+  /// evaluate() coerced to a predicate result; throws ExecError when the
+  /// expression does not produce a bool.
+  bool matches(const Tuple& tuple) const { return evaluate(tuple).as_bool(); }
+
+ private:
+  struct Node;
+  std::shared_ptr<const Node> root_;
+
+  static std::shared_ptr<const Node> compile(const ExprPtr& expr,
+                                             const Schema& schema);
+  static Value eval_node(const Node& node, const Tuple& tuple);
+};
+
+}  // namespace mvd

@@ -1,0 +1,158 @@
+// Scalar expression trees for predicates and (future) computed columns.
+//
+// Expressions are immutable and shared (ExprPtr = shared_ptr<const Expr>).
+// Structural identity — the backbone of common-subexpression detection in
+// the MVPP — is defined on *normalized* expressions: conjunctions and
+// disjunctions are flattened, deduplicated and sorted; comparisons are
+// oriented column-first; column references are fully qualified by the
+// binder before normalization.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/storage/value.hpp"
+
+namespace mvd {
+
+enum class ExprKind { kColumn, kLiteral, kComparison, kAnd, kOr, kNot };
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// "=", "<>", "<", "<=", ">", ">=".
+std::string to_string(CompareOp op);
+/// Mirror of a comparison: a < b  <=>  b > a.
+CompareOp flip(CompareOp op);
+/// Logical negation: NOT (a < b) == a >= b.
+CompareOp negate(CompareOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  ExprKind kind() const { return kind_; }
+
+  /// Canonical text form, e.g. (Division.city = 'LA'). Two normalized
+  /// expressions are structurally equal iff their to_string()s match.
+  virtual std::string to_string() const = 0;
+
+ protected:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+ private:
+  ExprKind kind_;
+};
+
+class ColumnExpr final : public Expr {
+ public:
+  explicit ColumnExpr(std::string name)
+      : Expr(ExprKind::kColumn), name_(std::move(name)) {}
+  /// Possibly-qualified column name; the binder rewrites to qualified.
+  const std::string& name() const { return name_; }
+  std::string to_string() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(ExprKind::kLiteral), value_(std::move(value)) {}
+  const Value& value() const { return value_; }
+  std::string to_string() const override { return value_.to_string(); }
+
+ private:
+  Value value_;
+};
+
+class ComparisonExpr final : public Expr {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+  CompareOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+  std::string to_string() const override;
+
+ private:
+  CompareOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// N-ary AND / OR. Normalization flattens nesting and sorts operands.
+class BoolExpr final : public Expr {
+ public:
+  BoolExpr(ExprKind kind, std::vector<ExprPtr> operands);
+  const std::vector<ExprPtr>& operands() const { return operands_; }
+  std::string to_string() const override;
+
+ private:
+  std::vector<ExprPtr> operands_;
+};
+
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr operand);
+  const ExprPtr& operand() const { return operand_; }
+  std::string to_string() const override;
+
+ private:
+  ExprPtr operand_;
+};
+
+// ---- Factories -----------------------------------------------------------
+
+ExprPtr col(std::string name);
+ExprPtr lit(Value value);
+ExprPtr lit_i64(std::int64_t v);
+ExprPtr lit_str(std::string v);
+ExprPtr lit_real(double v);
+ExprPtr cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr lt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr gt(ExprPtr lhs, ExprPtr rhs);
+/// AND of `operands`; returns nullptr for empty input, the sole operand for
+/// a single-element input.
+ExprPtr conj(std::vector<ExprPtr> operands);
+/// OR of `operands`, same edge-case handling as conj().
+ExprPtr disj(std::vector<ExprPtr> operands);
+ExprPtr neg(ExprPtr operand);
+
+// ---- Analysis ------------------------------------------------------------
+
+/// All column names referenced by `expr` (as written; qualify first if you
+/// need canonical names).
+std::set<std::string> columns_of(const ExprPtr& expr);
+
+/// The top-level conjuncts of `expr`: AND is unfolded, anything else is a
+/// single conjunct. conj(conjuncts_of(e)) is equivalent to e.
+std::vector<ExprPtr> conjuncts_of(const ExprPtr& expr);
+
+/// Flatten nested AND/OR, dedupe + sort operands, orient comparisons
+/// column-first, and push NOT into comparisons. Idempotent.
+ExprPtr normalize(const ExprPtr& expr);
+
+/// Structural equality of normalized forms.
+bool expr_equal(const ExprPtr& a, const ExprPtr& b);
+
+/// If `expr` is `column op column`, returns {left name, right name}.
+struct ColumnPair {
+  std::string left;
+  std::string right;
+};
+std::optional<ColumnPair> as_column_equality(const ExprPtr& expr);
+
+/// Rewrite every column reference through `rename`; used by the binder to
+/// qualify names and by plan surgery to retarget columns.
+ExprPtr rewrite_columns(
+    const ExprPtr& expr,
+    const std::function<std::string(const std::string&)>& rename);
+
+}  // namespace mvd

@@ -1,0 +1,165 @@
+#include "src/algebra/logical_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace mvd {
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan: return "scan";
+    case OpKind::kSelect: return "select";
+    case OpKind::kProject: return "project";
+    case OpKind::kJoin: return "join";
+    case OpKind::kAggregate: return "aggregate";
+  }
+  MVD_ASSERT(false);
+  return {};
+}
+
+ExprPtr bind_expr(const ExprPtr& expr, const Schema& schema) {
+  MVD_ASSERT(expr != nullptr);
+  return rewrite_columns(expr, [&schema](const std::string& name) {
+    return schema.at(schema.index_of(name)).qualified();
+  });
+}
+
+SelectOp::SelectOp(PlanPtr child, ExprPtr predicate)
+    : LogicalOp(OpKind::kSelect, child->output_schema(), {child}),
+      predicate_(std::move(predicate)) {
+  MVD_ASSERT(predicate_ != nullptr);
+}
+
+std::string ProjectOp::label() const {
+  return "project[" + join(columns_, ", ") + "]";
+}
+
+JoinOp::JoinOp(PlanPtr left, PlanPtr right, ExprPtr predicate)
+    : LogicalOp(OpKind::kJoin,
+                Schema::concat(left->output_schema(), right->output_schema()),
+                {left, right}),
+      predicate_(std::move(predicate)) {
+  MVD_ASSERT(predicate_ != nullptr);
+}
+
+PlanPtr make_scan(const Catalog& catalog, const std::string& relation) {
+  const Schema& base = catalog.schema(relation);
+  // Qualify attribute sources so downstream schemas keep provenance.
+  std::vector<Attribute> attrs;
+  attrs.reserve(base.size());
+  for (Attribute a : base.attributes()) {
+    if (a.source.empty()) a.source = relation;
+    attrs.push_back(std::move(a));
+  }
+  return std::make_shared<ScanOp>(relation, Schema(std::move(attrs)));
+}
+
+PlanPtr make_named_scan(const std::string& relation, Schema schema) {
+  return std::make_shared<ScanOp>(relation, std::move(schema));
+}
+
+PlanPtr make_select(PlanPtr child, const ExprPtr& predicate) {
+  MVD_ASSERT(child != nullptr);
+  ExprPtr bound = bind_expr(predicate, child->output_schema());
+  return std::make_shared<SelectOp>(std::move(child), std::move(bound));
+}
+
+PlanPtr make_project(PlanPtr child, const std::vector<std::string>& columns) {
+  MVD_ASSERT(child != nullptr);
+  if (columns.empty()) throw PlanError("projection list must not be empty");
+  const Schema& in = child->output_schema();
+  std::vector<Attribute> attrs;
+  std::vector<std::string> qualified;
+  attrs.reserve(columns.size());
+  qualified.reserve(columns.size());
+  for (const std::string& c : columns) {
+    const Attribute& a = in.at(in.index_of(c));
+    if (std::find(qualified.begin(), qualified.end(), a.qualified()) !=
+        qualified.end()) {
+      throw PlanError("duplicate projection column '" + a.qualified() + "'");
+    }
+    attrs.push_back(a);
+    qualified.push_back(a.qualified());
+  }
+  return std::make_shared<ProjectOp>(std::move(child),
+                                     Schema(std::move(attrs)),
+                                     std::move(qualified));
+}
+
+PlanPtr make_join(PlanPtr left, PlanPtr right, const ExprPtr& predicate) {
+  MVD_ASSERT(left != nullptr && right != nullptr);
+  const Schema joint =
+      Schema::concat(left->output_schema(), right->output_schema());
+  ExprPtr bound = bind_expr(predicate, joint);
+  return std::make_shared<JoinOp>(std::move(left), std::move(right),
+                                  std::move(bound));
+}
+
+std::set<std::string> base_relations(const PlanPtr& plan) {
+  std::set<std::string> out;
+  if (plan == nullptr) return out;
+  if (plan->kind() == OpKind::kScan) {
+    out.insert(static_cast<const ScanOp&>(*plan).relation());
+  }
+  for (const PlanPtr& c : plan->children()) {
+    auto sub = base_relations(c);
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+namespace {
+void render_tree(const PlanPtr& plan, int depth, std::ostringstream& os) {
+  os << std::string(static_cast<std::size_t>(depth) * 2, ' ') << plan->label()
+     << '\n';
+  for (const PlanPtr& c : plan->children()) render_tree(c, depth + 1, os);
+}
+}  // namespace
+
+std::string plan_tree_string(const PlanPtr& plan) {
+  MVD_ASSERT(plan != nullptr);
+  std::ostringstream os;
+  render_tree(plan, 0, os);
+  return os.str();
+}
+
+std::string signature(const PlanPtr& plan) {
+  MVD_ASSERT(plan != nullptr);
+  switch (plan->kind()) {
+    case OpKind::kScan:
+      return "scan(" + static_cast<const ScanOp&>(*plan).relation() + ")";
+    case OpKind::kSelect: {
+      const auto& s = static_cast<const SelectOp&>(*plan);
+      return "select[" + normalize(s.predicate())->to_string() + "](" +
+             signature(plan->children()[0]) + ")";
+    }
+    case OpKind::kProject: {
+      const auto& p = static_cast<const ProjectOp&>(*plan);
+      // Projection identity is order-insensitive: sort columns.
+      std::vector<std::string> cols = p.columns();
+      std::sort(cols.begin(), cols.end());
+      return "project[" + join(cols, ",") + "](" +
+             signature(plan->children()[0]) + ")";
+    }
+    case OpKind::kJoin: {
+      const auto& j = static_cast<const JoinOp&>(*plan);
+      std::string l = signature(j.left());
+      std::string r = signature(j.right());
+      if (r < l) std::swap(l, r);  // joins are commutative
+      return "join[" + normalize(j.predicate())->to_string() + "]{" + l +
+             "," + r + "}";
+    }
+    case OpKind::kAggregate:
+      // Aggregate identity comes from the node's own label (sorted group
+      // columns + aggregate specs) over the child.
+      return plan->label() + "(" + signature(plan->children()[0]) + ")";
+  }
+  MVD_ASSERT(false);
+  return {};
+}
+
+}  // namespace mvd

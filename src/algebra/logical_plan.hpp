@@ -1,0 +1,139 @@
+// Bound logical operator trees (select / project / join / scan).
+//
+// Plans are immutable shared DAG fragments. Every node carries its output
+// schema, computed at construction; predicates and projection lists are
+// stored with fully-qualified column names. Structural signatures (see
+// signature()) define common-subexpression identity for MVPP merging:
+// two nodes compute the same relation iff they have the same signature
+// (joins compare children unordered, predicates compare normalized).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/algebra/expr.hpp"
+#include "src/catalog/catalog.hpp"
+#include "src/catalog/schema.hpp"
+
+namespace mvd {
+
+enum class OpKind { kScan, kSelect, kProject, kJoin, kAggregate };
+
+std::string to_string(OpKind kind);
+
+class LogicalOp;
+using PlanPtr = std::shared_ptr<const LogicalOp>;
+
+class LogicalOp {
+ public:
+  virtual ~LogicalOp() = default;
+
+  OpKind kind() const { return kind_; }
+  const Schema& output_schema() const { return schema_; }
+  const std::vector<PlanPtr>& children() const { return children_; }
+
+  /// One-line description of this node alone ("select[(x = 1)]").
+  virtual std::string label() const = 0;
+
+ protected:
+  LogicalOp(OpKind kind, Schema schema, std::vector<PlanPtr> children)
+      : kind_(kind), schema_(std::move(schema)),
+        children_(std::move(children)) {}
+
+ private:
+  OpKind kind_;
+  Schema schema_;
+  std::vector<PlanPtr> children_;
+};
+
+class ScanOp final : public LogicalOp {
+ public:
+  ScanOp(std::string relation, Schema schema)
+      : LogicalOp(OpKind::kScan, std::move(schema), {}),
+        relation_(std::move(relation)) {}
+  const std::string& relation() const { return relation_; }
+  std::string label() const override { return "scan(" + relation_ + ")"; }
+
+ private:
+  std::string relation_;
+};
+
+class SelectOp final : public LogicalOp {
+ public:
+  SelectOp(PlanPtr child, ExprPtr predicate);
+  const ExprPtr& predicate() const { return predicate_; }
+  std::string label() const override {
+    return "select[" + predicate_->to_string() + "]";
+  }
+
+ private:
+  ExprPtr predicate_;
+};
+
+class ProjectOp final : public LogicalOp {
+ public:
+  ProjectOp(PlanPtr child, Schema schema, std::vector<std::string> columns)
+      : LogicalOp(OpKind::kProject, std::move(schema), {std::move(child)}),
+        columns_(std::move(columns)) {}
+  /// Qualified column names, in output order.
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::string label() const override;
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+class JoinOp final : public LogicalOp {
+ public:
+  JoinOp(PlanPtr left, PlanPtr right, ExprPtr predicate);
+  const ExprPtr& predicate() const { return predicate_; }
+  const PlanPtr& left() const { return children()[0]; }
+  const PlanPtr& right() const { return children()[1]; }
+  std::string label() const override {
+    return "join[" + predicate_->to_string() + "]";
+  }
+
+ private:
+  ExprPtr predicate_;
+};
+
+// ---- Constructors (bind + schema inference) --------------------------------
+
+/// Scan of a catalog base relation; attributes are qualified with the
+/// relation name. Throws CatalogError when the relation is unknown.
+PlanPtr make_scan(const Catalog& catalog, const std::string& relation);
+
+/// Scan of an arbitrary relation with a known schema (used for reading
+/// materialized views, whose schemas are MVPP node schemas).
+PlanPtr make_named_scan(const std::string& relation, Schema schema);
+
+/// Selection; `predicate` is bound against the child schema and rewritten
+/// to qualified column names. Throws BindError on unknown columns.
+PlanPtr make_select(PlanPtr child, const ExprPtr& predicate);
+
+/// Projection onto `columns` (bare or qualified); output order follows
+/// `columns`. Throws BindError on unknown columns.
+PlanPtr make_project(PlanPtr child, const std::vector<std::string>& columns);
+
+/// Inner join. `predicate` is bound against the concatenated schema.
+PlanPtr make_join(PlanPtr left, PlanPtr right, const ExprPtr& predicate);
+
+// ---- Analysis --------------------------------------------------------------
+
+/// Names of all base relations scanned beneath `plan`.
+std::set<std::string> base_relations(const PlanPtr& plan);
+
+/// Multi-line indented tree rendering.
+std::string plan_tree_string(const PlanPtr& plan);
+
+/// Canonical structural signature. Equal signatures <=> same computed
+/// relation (up to join commutativity and predicate normalization).
+std::string signature(const PlanPtr& plan);
+
+/// Qualify `expr`'s column references against `schema` (resolving bare
+/// names); throws BindError on unknown/ambiguous columns.
+ExprPtr bind_expr(const ExprPtr& expr, const Schema& schema);
+
+}  // namespace mvd

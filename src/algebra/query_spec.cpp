@@ -1,0 +1,352 @@
+#include "src/algebra/query_spec.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace mvd {
+
+namespace {
+
+std::string relation_of_column(const std::string& qualified) {
+  const std::size_t dot = qualified.find('.');
+  MVD_ASSERT_MSG(dot != std::string::npos,
+                 "expected qualified column, got '" << qualified << "'");
+  return qualified.substr(0, dot);
+}
+
+}  // namespace
+
+std::string JoinPredicate::left_relation() const {
+  return relation_of_column(left_column);
+}
+
+std::string JoinPredicate::right_relation() const {
+  return relation_of_column(right_column);
+}
+
+std::string JoinPredicate::canonical() const {
+  return left_column <= right_column
+             ? left_column + " = " + right_column
+             : right_column + " = " + left_column;
+}
+
+std::vector<ExprPtr> QuerySpec::selections_on(
+    const std::string& relation) const {
+  std::vector<ExprPtr> out;
+  for (const ExprPtr& s : selections_) {
+    const auto rels = relations_of_expr(s);
+    if (rels.size() == 1 && *rels.begin() == relation) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<ExprPtr> QuerySpec::multi_relation_selections() const {
+  std::vector<ExprPtr> out;
+  for (const ExprPtr& s : selections_) {
+    if (relations_of_expr(s).size() > 1) out.push_back(s);
+  }
+  return out;
+}
+
+std::set<std::string> QuerySpec::relations_of_expr(const ExprPtr& expr) {
+  std::set<std::string> rels;
+  for (const std::string& c : columns_of(expr)) {
+    rels.insert(relation_of_column(c));
+  }
+  return rels;
+}
+
+std::set<std::string> QuerySpec::used_columns(
+    const std::string& relation) const {
+  std::set<std::string> cols;
+  auto take = [&](const std::string& qualified) {
+    if (relation_of_column(qualified) == relation) cols.insert(qualified);
+  };
+  for (const std::string& p : projection_) take(p);
+  for (const ExprPtr& s : selections_) {
+    for (const std::string& c : columns_of(s)) take(c);
+  }
+  for (const JoinPredicate& j : joins_) {
+    take(j.left_column);
+    take(j.right_column);
+  }
+  return cols;
+}
+
+std::vector<JoinPredicate> QuerySpec::joins_between(
+    const std::string& a, const std::string& b) const {
+  std::vector<JoinPredicate> out;
+  for (const JoinPredicate& j : joins_) {
+    const std::string lr = j.left_relation();
+    const std::string rr = j.right_relation();
+    if ((lr == a && rr == b) || (lr == b && rr == a)) out.push_back(j);
+  }
+  return out;
+}
+
+bool QuerySpec::join_graph_connected() const {
+  if (relations_.size() <= 1) return true;
+  std::set<std::string> reached = {relations_.front()};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const JoinPredicate& j : joins_) {
+      const bool l = reached.contains(j.left_relation());
+      const bool r = reached.contains(j.right_relation());
+      if (l != r) {
+        reached.insert(l ? j.right_relation() : j.left_relation());
+        grew = true;
+      }
+    }
+  }
+  return reached.size() == relations_.size();
+}
+
+std::string QuerySpec::to_string() const {
+  std::ostringstream os;
+  os << name_ << " (fq=" << frequency_ << "): SELECT ";
+  if (has_aggregation()) {
+    std::vector<std::string> items = group_by_;
+    for (const AggSpec& a : aggregates_) items.push_back(a.to_string());
+    os << join(items, ", ");
+  } else {
+    os << join(projection_, ", ");
+  }
+  os << " FROM " << join(relations_, ", ");
+  std::vector<std::string> preds;
+  for (const JoinPredicate& j : joins_) preds.push_back(j.canonical());
+  for (const ExprPtr& s : selections_) preds.push_back(s->to_string());
+  if (!preds.empty()) os << " WHERE " << join(preds, " AND ");
+  if (!group_by_.empty()) os << " GROUP BY " << join(group_by_, ", ");
+  return os.str();
+}
+
+namespace {
+
+// Render an expression as parseable SQL (DATE literals prefixed, infix
+// AND/OR, NOT prefix).
+std::string expr_sql(const ExprPtr& e) {
+  switch (e->kind()) {
+    case ExprKind::kColumn:
+      return static_cast<const ColumnExpr&>(*e).name();
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(*e).value();
+      if (v.type() == ValueType::kDate) return "DATE '" + v.to_string() + "'";
+      if (v.type() == ValueType::kBool) return v.as_bool() ? "TRUE" : "FALSE";
+      return v.to_string();
+    }
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(*e);
+      return "(" + expr_sql(c.lhs()) + " " + to_string(c.op()) + " " +
+             expr_sql(c.rhs()) + ")";
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const auto& b = static_cast<const BoolExpr&>(*e);
+      std::vector<std::string> parts;
+      for (const ExprPtr& op : b.operands()) parts.push_back(expr_sql(op));
+      return "(" + join(parts, e->kind() == ExprKind::kAnd ? " AND " : " OR ") +
+             ")";
+    }
+    case ExprKind::kNot:
+      return "(NOT " + expr_sql(static_cast<const NotExpr&>(*e).operand()) +
+             ")";
+  }
+  MVD_ASSERT(false);
+  return {};
+}
+
+}  // namespace
+
+std::string QuerySpec::to_sql() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (has_aggregation()) {
+    std::vector<std::string> items = group_by_;
+    for (const AggSpec& a : aggregates_) {
+      items.push_back(mvd::to_string(a.fn) + "(" +
+                      (a.column.empty() ? "*" : a.column) + ") AS " + a.alias);
+    }
+    os << join(items, ", ");
+  } else {
+    os << join(projection_, ", ");
+  }
+  os << " FROM " << join(relations_, ", ");
+  std::vector<std::string> preds;
+  for (const JoinPredicate& j : joins_) {
+    preds.push_back("(" + j.left_column + " = " + j.right_column + ")");
+  }
+  for (const ExprPtr& s : selections_) preds.push_back(expr_sql(s));
+  if (!preds.empty()) os << " WHERE " << join(preds, " AND ");
+  if (!group_by_.empty()) os << " GROUP BY " << join(group_by_, ", ");
+  return os.str();
+}
+
+QuerySpec QuerySpec::bind(const Catalog& catalog, std::string name,
+                          double frequency,
+                          std::vector<std::string> relations,
+                          const ExprPtr& where,
+                          std::vector<std::string> select_list,
+                          std::vector<std::string> group_by,
+                          std::vector<AggSpec> aggregates) {
+  if (relations.empty()) throw BindError("query needs at least one relation");
+  if (!(frequency >= 0)) throw BindError("negative query frequency");
+  for (std::size_t i = 0; i < relations.size(); ++i) {
+    if (!catalog.has_relation(relations[i])) {
+      throw CatalogError("unknown relation '" + relations[i] + "'");
+    }
+    for (std::size_t j = i + 1; j < relations.size(); ++j) {
+      if (relations[i] == relations[j]) {
+        throw BindError("relation '" + relations[i] +
+                        "' listed twice (self-joins are not supported)");
+      }
+    }
+  }
+
+  // The joint schema over all FROM relations, with qualified sources.
+  Schema joint;
+  for (const std::string& r : relations) {
+    joint = Schema::concat(joint, make_scan(catalog, r)->output_schema());
+  }
+
+  QuerySpec spec;
+  spec.name_ = std::move(name);
+  spec.frequency_ = frequency;
+  spec.relations_ = std::move(relations);
+
+  if (where != nullptr) {
+    const ExprPtr bound = bind_expr(where, joint);
+    for (const ExprPtr& conjunct : conjuncts_of(bound)) {
+      if (auto pair = as_column_equality(conjunct);
+          pair.has_value() && relation_of_column(pair->left) !=
+                                  relation_of_column(pair->right)) {
+        spec.joins_.push_back(JoinPredicate{pair->left, pair->right});
+      } else {
+        if (relations_of_expr(conjunct).empty()) {
+          throw BindError("constant predicate '" + conjunct->to_string() +
+                          "' is not supported");
+        }
+        spec.selections_.push_back(conjunct);
+      }
+    }
+  }
+
+  if (aggregates.empty()) {
+    if (!group_by.empty()) {
+      throw BindError("GROUP BY without aggregate functions is not supported");
+    }
+    if (select_list.empty()) throw BindError("empty SELECT list");
+    for (const std::string& c : select_list) {
+      const Attribute& a = joint.at(joint.index_of(c));
+      const std::string q = a.qualified();
+      if (std::find(spec.projection_.begin(), spec.projection_.end(), q) !=
+          spec.projection_.end()) {
+        throw BindError("duplicate SELECT column '" + q + "'");
+      }
+      spec.projection_.push_back(q);
+    }
+    return spec;
+  }
+
+  // Aggregation query: qualify group columns, check the SELECT list's
+  // plain columns are exactly the grouping columns, resolve aggregate
+  // inputs and aliases.
+  for (const std::string& g : group_by) {
+    const std::string q = joint.at(joint.index_of(g)).qualified();
+    if (std::find(spec.group_by_.begin(), spec.group_by_.end(), q) !=
+        spec.group_by_.end()) {
+      throw BindError("duplicate GROUP BY column '" + q + "'");
+    }
+    spec.group_by_.push_back(q);
+  }
+  for (const std::string& c : select_list) {
+    const std::string q = joint.at(joint.index_of(c)).qualified();
+    if (std::find(spec.group_by_.begin(), spec.group_by_.end(), q) ==
+        spec.group_by_.end()) {
+      throw BindError("SELECT column '" + q +
+                      "' must appear in GROUP BY alongside aggregates");
+    }
+  }
+  for (AggSpec& agg : aggregates) {
+    if (!agg.column.empty()) {
+      agg.column = joint.at(joint.index_of(agg.column)).qualified();
+    }
+    if (agg.alias.empty()) {
+      // Same defaulting rule make_aggregate applies, fixed here so the
+      // spec is self-describing (to_sql round-trips).
+      const std::string base =
+          agg.column.empty() ? "all"
+                             : agg.column.substr(agg.column.find('.') + 1);
+      agg.alias = mvd::to_string(agg.fn) + "_" + base;
+    }
+  }
+  spec.aggregates_ = std::move(aggregates);
+
+  // The attributes that must survive up to the aggregate operator.
+  spec.projection_ = spec.group_by_;
+  for (const AggSpec& agg : spec.aggregates_) {
+    if (agg.column.empty()) continue;
+    if (std::find(spec.projection_.begin(), spec.projection_.end(),
+                  agg.column) == spec.projection_.end()) {
+      spec.projection_.push_back(agg.column);
+    }
+  }
+  if (spec.projection_.empty()) {
+    // Global COUNT(*)-style query: keep one arbitrary column so the
+    // intermediate plans have a non-empty schema.
+    spec.projection_.push_back(joint.at(0).qualified());
+  }
+  return spec;
+}
+
+PlanPtr apply_query_output(PlanPtr input, const QuerySpec& spec) {
+  if (spec.has_aggregation()) {
+    return make_aggregate(std::move(input), spec.group_by(),
+                          spec.aggregates());
+  }
+  return make_project(std::move(input), spec.projection());
+}
+
+PlanPtr canonical_plan(const Catalog& catalog, const QuerySpec& spec) {
+  std::vector<JoinPredicate> remaining = spec.joins();
+  std::set<std::string> placed;
+
+  PlanPtr plan = make_scan(catalog, spec.relations().front());
+  placed.insert(spec.relations().front());
+
+  for (std::size_t i = 1; i < spec.relations().size(); ++i) {
+    const std::string& rel = spec.relations()[i];
+    PlanPtr right = make_scan(catalog, rel);
+    // Collect every not-yet-applied join conjunct linking `rel` to the
+    // relations already in the plan.
+    std::vector<ExprPtr> applicable;
+    for (auto it = remaining.begin(); it != remaining.end();) {
+      const bool connects =
+          (placed.contains(it->left_relation()) && it->right_relation() == rel) ||
+          (placed.contains(it->right_relation()) && it->left_relation() == rel);
+      if (connects) {
+        applicable.push_back(it->expr());
+        it = remaining.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Cross join (TRUE predicate) when nothing connects yet.
+    ExprPtr pred = applicable.empty() ? lit(Value::boolean(true))
+                                      : conj(std::move(applicable));
+    plan = make_join(std::move(plan), std::move(right), pred);
+    placed.insert(rel);
+  }
+  // Join conjuncts that could not attach while building (both sides placed
+  // late) are applied as selections.
+  std::vector<ExprPtr> post;
+  for (const JoinPredicate& j : remaining) post.push_back(j.expr());
+  for (const ExprPtr& s : spec.selections()) post.push_back(s);
+  if (!post.empty()) plan = make_select(std::move(plan), conj(std::move(post)));
+  return apply_query_output(std::move(plan), spec);
+}
+
+}  // namespace mvd

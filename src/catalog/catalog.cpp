@@ -1,0 +1,105 @@
+#include "src/catalog/catalog.hpp"
+
+#include <cmath>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace mvd {
+
+Catalog::Catalog(double blocking_factor) : blocking_factor_(blocking_factor) {
+  if (!(blocking_factor > 0)) {
+    throw CatalogError("blocking factor must be positive");
+  }
+}
+
+void Catalog::add_relation(const std::string& name, Schema schema,
+                           RelationStats stats, double update_frequency) {
+  if (name.empty()) throw CatalogError("relation name must not be empty");
+  if (relations_.contains(name)) {
+    throw CatalogError("duplicate relation '" + name + "'");
+  }
+  if (!(stats.rows >= 0)) {
+    throw CatalogError("relation '" + name + "' has negative row count");
+  }
+  if (stats.blocks.has_value() && !(*stats.blocks >= 0)) {
+    throw CatalogError("relation '" + name + "' has negative block count");
+  }
+  if (!(update_frequency >= 0)) {
+    throw CatalogError("relation '" + name + "' has negative update frequency");
+  }
+  for (const auto& [col, cs] : stats.columns) {
+    if (!schema.contains(col)) {
+      throw CatalogError("stats for unknown column '" + col +
+                         "' of relation '" + name + "'");
+    }
+    if (cs.distinct.has_value() && !(*cs.distinct > 0)) {
+      throw CatalogError("non-positive distinct count for '" + name + "." +
+                         col + "'");
+    }
+  }
+  relations_.emplace(name,
+                     Entry{std::move(schema), std::move(stats), update_frequency});
+  order_.push_back(name);
+}
+
+bool Catalog::has_relation(const std::string& name) const {
+  return relations_.contains(name);
+}
+
+const Catalog::Entry& Catalog::entry(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    throw CatalogError("unknown relation '" + name + "'");
+  }
+  return it->second;
+}
+
+const Schema& Catalog::schema(const std::string& name) const {
+  return entry(name).schema;
+}
+
+const RelationStats& Catalog::stats(const std::string& name) const {
+  return entry(name).stats;
+}
+
+double Catalog::update_frequency(const std::string& name) const {
+  return entry(name).update_frequency;
+}
+
+void Catalog::set_update_frequency(const std::string& name, double fu) {
+  if (!(fu >= 0)) throw CatalogError("negative update frequency");
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    throw CatalogError("unknown relation '" + name + "'");
+  }
+  it->second.update_frequency = fu;
+}
+
+double Catalog::blocks_for_rows(double rows) const {
+  if (rows <= 0) return 0;
+  return std::max(1.0, std::ceil(rows / blocking_factor_));
+}
+
+void Catalog::add_join_size_override(const std::set<std::string>& relations,
+                                     JoinSizeOverride size) {
+  if (relations.size() < 2) {
+    throw CatalogError("join size override needs at least two relations");
+  }
+  for (const std::string& r : relations) {
+    if (!has_relation(r)) {
+      throw CatalogError("join size override references unknown relation '" +
+                         r + "'");
+    }
+  }
+  join_overrides_[relations] = size;
+}
+
+const JoinSizeOverride* Catalog::join_size_override(
+    const std::set<std::string>& relations) const {
+  auto it = join_overrides_.find(relations);
+  return it == join_overrides_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mvd

@@ -1,0 +1,77 @@
+// The catalog: the warehouse's view of its member-database relations.
+//
+// Registers base relations with schemas, statistics and update frequencies
+// (the fu(v) annotations on MVPP leaves), plus optional join-cardinality
+// overrides so a user can pin the intermediate sizes the paper's Table 1
+// states explicitly instead of relying on the uniformity estimator.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.hpp"
+#include "src/catalog/statistics.hpp"
+
+namespace mvd {
+
+/// Explicitly pinned size of a join over a set of base relations.
+struct JoinSizeOverride {
+  double rows = 0;
+  std::optional<double> blocks;  // derived from blocking factor when unset
+};
+
+class Catalog {
+ public:
+  /// `blocking_factor` = tuples per disk block, the paper uses 10
+  /// (30k records == 3k blocks).
+  explicit Catalog(double blocking_factor = 10.0);
+
+  /// Register a base relation. `update_frequency` is the fu() annotation:
+  /// how many times the relation is updated per unit period. Throws
+  /// CatalogError on duplicates or invalid stats.
+  void add_relation(const std::string& name, Schema schema,
+                    RelationStats stats, double update_frequency = 1.0);
+
+  bool has_relation(const std::string& name) const;
+  const Schema& schema(const std::string& name) const;
+  const RelationStats& stats(const std::string& name) const;
+  double update_frequency(const std::string& name) const;
+  void set_update_frequency(const std::string& name, double fu);
+
+  /// Registered relation names in registration order.
+  const std::vector<std::string>& relation_names() const { return order_; }
+
+  double blocking_factor() const { return blocking_factor_; }
+
+  /// Blocks for `rows` tuples at the catalog blocking factor (>= 1 for any
+  /// non-empty relation).
+  double blocks_for_rows(double rows) const;
+
+  /// Pin the size of the join over exactly `relations` (bare base-relation
+  /// names, any order). Estimation consults overrides before falling back
+  /// to distinct-value arithmetic.
+  void add_join_size_override(const std::set<std::string>& relations,
+                              JoinSizeOverride size);
+  const JoinSizeOverride* join_size_override(
+      const std::set<std::string>& relations) const;
+
+ private:
+  struct Entry {
+    Schema schema;
+    RelationStats stats;
+    double update_frequency = 1.0;
+  };
+
+  const Entry& entry(const std::string& name) const;
+
+  double blocking_factor_;
+  std::map<std::string, Entry> relations_;
+  std::vector<std::string> order_;
+  std::map<std::set<std::string>, JoinSizeOverride> join_overrides_;
+};
+
+}  // namespace mvd

@@ -1,0 +1,81 @@
+#include "src/catalog/schema.hpp"
+
+#include <sstream>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace mvd {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < attributes_.size(); ++j) {
+      MVD_ASSERT_MSG(attributes_[i].qualified() != attributes_[j].qualified(),
+                     "duplicate attribute " << attributes_[i].qualified());
+    }
+  }
+}
+
+const Attribute& Schema::at(std::size_t i) const {
+  MVD_ASSERT_MSG(i < attributes_.size(),
+                 "attribute index " << i << " out of range "
+                                    << attributes_.size());
+  return attributes_[i];
+}
+
+std::optional<std::size_t> Schema::find(const std::string& name) const {
+  const std::size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    const std::string source = name.substr(0, dot);
+    const std::string bare = name.substr(dot + 1);
+    for (std::size_t i = 0; i < attributes_.size(); ++i) {
+      if (attributes_[i].name == bare && attributes_[i].source == source) {
+        return i;
+      }
+    }
+    return std::nullopt;
+  }
+  std::optional<std::size_t> found;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) {
+      if (found.has_value()) {
+        throw BindError("ambiguous attribute '" + name + "' (matches " +
+                        attributes_[*found].qualified() + " and " +
+                        attributes_[i].qualified() + ")");
+      }
+      found = i;
+    }
+  }
+  return found;
+}
+
+std::size_t Schema::index_of(const std::string& name) const {
+  auto idx = find(name);
+  if (!idx.has_value()) {
+    throw BindError("unknown attribute '" + name + "' in schema " +
+                    to_string());
+  }
+  return *idx;
+}
+
+Schema Schema::concat(const Schema& left, const Schema& right) {
+  std::vector<Attribute> attrs = left.attributes_;
+  attrs.insert(attrs.end(), right.attributes_.begin(),
+               right.attributes_.end());
+  return Schema(std::move(attrs));
+}
+
+std::string Schema::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << attributes_[i].qualified() << ' ' << mvd::to_string(attributes_[i].type);
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace mvd

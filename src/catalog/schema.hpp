@@ -1,0 +1,65 @@
+// Relation schemas: ordered, typed, named attributes.
+//
+// A Schema describes either a base relation in the catalog or the output of
+// a logical operator (intermediate schemas are derived during binding).
+// Attribute names inside one schema are unique; cross-relation duplicates
+// ("name" in both Product and Customer) are resolved with qualified
+// references at bind time.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/catalog/value_type.hpp"
+
+namespace mvd {
+
+/// One typed column. `source` records the base relation the attribute
+/// originally came from, so intermediate schemas keep qualified names
+/// (e.g. "Product.name") even after several joins.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  std::string source;  // base relation name; empty for computed columns
+
+  /// "source.name" when a source is known, otherwise just "name".
+  std::string qualified() const {
+    return source.empty() ? name : source + "." + name;
+  }
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  std::size_t size() const { return attributes_.size(); }
+  const Attribute& at(std::size_t i) const;
+
+  /// Index of the attribute matching `name`, which may be bare ("city") or
+  /// qualified ("Division.city"). Returns nullopt when absent; throws
+  /// BindError when a bare name is ambiguous.
+  std::optional<std::size_t> find(const std::string& name) const;
+
+  /// find() that throws BindError when the attribute is absent.
+  std::size_t index_of(const std::string& name) const;
+
+  bool contains(const std::string& name) const { return find(name).has_value(); }
+
+  /// Concatenation, used for join output schemas.
+  static Schema concat(const Schema& left, const Schema& right);
+
+  /// "(Product.Pid int64, Product.name string, ...)"
+  std::string to_string() const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace mvd

@@ -1,0 +1,47 @@
+// Statistics attached to base relations and used by the cost model.
+//
+// Table 1 of the paper supplies exactly these inputs: row counts, block
+// counts, selection selectivities (derivable from per-column distinct
+// counts and value ranges) and join selectivities (derivable from distinct
+// counts of join keys, with explicit overrides for the join sizes the
+// paper pins down).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace mvd {
+
+/// Per-column statistics. All fields optional; the estimator falls back to
+/// documented defaults when a field is missing.
+struct ColumnStats {
+  /// Number of distinct values; drives equality selectivity (1/distinct)
+  /// and join selectivity (1/max(distinct_left, distinct_right)).
+  std::optional<double> distinct;
+
+  /// Value range for numeric columns; drives range selectivity by linear
+  /// interpolation (uniformity assumption).
+  std::optional<double> min_value;
+  std::optional<double> max_value;
+};
+
+/// Statistics of one base relation.
+struct RelationStats {
+  /// Cardinality in tuples. Required (> 0 for a non-empty relation).
+  double rows = 0;
+
+  /// Size in disk blocks. When unset, derived as ceil(rows /
+  /// blocking_factor) using the catalog-wide blocking factor.
+  std::optional<double> blocks;
+
+  /// Per-column statistics keyed by bare attribute name.
+  std::map<std::string, ColumnStats> columns;
+
+  const ColumnStats* column(const std::string& name) const {
+    auto it = columns.find(name);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace mvd

@@ -1,0 +1,24 @@
+#include "src/catalog/value_type.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace mvd {
+
+std::string to_string(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64: return "int64";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+    case ValueType::kBool: return "bool";
+    case ValueType::kDate: return "date";
+  }
+  MVD_ASSERT_MSG(false, "unknown ValueType " << static_cast<int>(type));
+  return {};
+}
+
+bool is_numeric(ValueType type) {
+  return type == ValueType::kInt64 || type == ValueType::kDouble ||
+         type == ValueType::kDate;
+}
+
+}  // namespace mvd

@@ -1,0 +1,28 @@
+// Attribute value types supported by the relational layer.
+//
+// The paper's queries need strings (names, cities), integers (ids,
+// quantities) and dates; doubles and bools round the set out for generated
+// workloads. Dates are stored as days-since-epoch int64s but kept as a
+// distinct type so schemas stay self-describing.
+#pragma once
+
+#include <string>
+
+namespace mvd {
+
+enum class ValueType {
+  kInt64,
+  kDouble,
+  kString,
+  kBool,
+  kDate,
+};
+
+/// Human-readable type name ("int64", "string", ...).
+std::string to_string(ValueType type);
+
+/// True for kInt64, kDouble and kDate — types with a meaningful order on a
+/// numeric axis (used by range-selectivity estimation).
+bool is_numeric(ValueType type);
+
+}  // namespace mvd

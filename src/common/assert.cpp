@@ -1,0 +1,13 @@
+#include "src/common/assert.hpp"
+
+namespace mvd::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw AssertionError(os.str());
+}
+
+}  // namespace mvd::detail

@@ -1,0 +1,47 @@
+// Internal invariant checking.
+//
+// MVD_ASSERT throws AssertionError instead of aborting so that unit tests
+// can verify that invariants are enforced, and so a long-running design
+// session is not torn down by a recoverable logic error in one request.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mvd {
+
+/// Thrown when an internal invariant is violated. Indicates a bug in
+/// mvdesign itself (or misuse of an API documented as unchecked), never a
+/// problem with user input; user-input problems throw mvd::Error subclasses.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace mvd
+
+/// Check an internal invariant; throws mvd::AssertionError on failure.
+#define MVD_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::mvd::detail::assert_fail(#expr, __FILE__, __LINE__, std::string{}); \
+    }                                                                     \
+  } while (false)
+
+/// Like MVD_ASSERT but with a streamed message:
+///   MVD_ASSERT_MSG(a < b, "a=" << a << " b=" << b);
+#define MVD_ASSERT_MSG(expr, stream_expr)                                 \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream mvd_assert_os_;                                  \
+      mvd_assert_os_ << stream_expr;                                      \
+      ::mvd::detail::assert_fail(#expr, __FILE__, __LINE__,               \
+                                 mvd_assert_os_.str());                   \
+    }                                                                     \
+  } while (false)

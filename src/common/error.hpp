@@ -1,0 +1,52 @@
+// Exception hierarchy for user-facing errors.
+//
+// Everything a caller can trigger through the public API (bad SQL, unknown
+// relation, inconsistent statistics, malformed plan requests) throws a
+// subclass of mvd::Error. Internal invariant violations throw
+// mvd::AssertionError instead (see assert.hpp).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mvd {
+
+/// Base class of all user-facing mvdesign errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed SQL text (lexing or grammar failure).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Name resolution failure: unknown relation, unknown/ambiguous column,
+/// or a type mismatch discovered while binding an expression.
+class BindError : public Error {
+ public:
+  explicit BindError(const std::string& what) : Error("bind error: " + what) {}
+};
+
+/// Catalog misuse: duplicate relation, missing statistics, bad frequency.
+class CatalogError : public Error {
+ public:
+  explicit CatalogError(const std::string& what)
+      : Error("catalog error: " + what) {}
+};
+
+/// A logical plan that cannot be costed/optimized/merged as requested.
+class PlanError : public Error {
+ public:
+  explicit PlanError(const std::string& what) : Error("plan error: " + what) {}
+};
+
+/// Runtime failure while executing a physical plan.
+class ExecError : public Error {
+ public:
+  explicit ExecError(const std::string& what) : Error("exec error: " + what) {}
+};
+
+}  // namespace mvd

@@ -1,0 +1,27 @@
+// Hash helpers: combine hashes boost-style and hash common aggregates.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+namespace mvd {
+
+/// Mix `value`'s hash into `seed` (boost::hash_combine recipe).
+template <typename T>
+void hash_combine(std::size_t& seed, const T& value) {
+  seed ^= std::hash<T>{}(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+          (seed >> 2);
+}
+
+/// FNV-1a over raw bytes; used where a stable (cross-run) hash is needed.
+inline std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace mvd

@@ -1,0 +1,202 @@
+#include "src/common/json.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+
+namespace mvd {
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+void Json::push_back(Json value) {
+  MVD_ASSERT(kind_ == Kind::kArray);
+  array_.push_back(std::move(value));
+}
+
+void Json::set(const std::string& key, Json value) {
+  MVD_ASSERT(kind_ == Kind::kObject);
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  return 0;
+}
+
+bool Json::contains(const std::string& key) const {
+  if (kind_ != Kind::kObject) return false;
+  for (const auto& [k, _] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::at(const std::string& key) const {
+  MVD_ASSERT(kind_ == Kind::kObject);
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  MVD_ASSERT_MSG(false, "missing JSON key '" << key << "'");
+  static const Json kNull;
+  return kNull;
+}
+
+const Json& Json::at(std::size_t index) const {
+  MVD_ASSERT(kind_ == Kind::kArray);
+  MVD_ASSERT(index < array_.size());
+  return array_[index];
+}
+
+double Json::as_number() const {
+  MVD_ASSERT(kind_ == Kind::kNumber);
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  MVD_ASSERT(kind_ == Kind::kString);
+  return string_;
+}
+
+bool Json::as_bool() const {
+  MVD_ASSERT(kind_ == Kind::kBool);
+  return bool_;
+}
+
+std::string json_quote(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+std::string number_text(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
+                                          (static_cast<std::size_t>(depth) + 1),
+                                      ' ')
+                 : "";
+  const std::string close_pad =
+      indent > 0
+          ? "\n" + std::string(
+                       static_cast<std::size_t>(indent) *
+                           static_cast<std::size_t>(depth),
+                       ' ')
+          : "";
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: out += number_text(number_); break;
+    case Kind::kString: out += json_quote(string_); break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += pad;
+        array_[i].write(out, indent, depth + 1);
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += pad;
+        out += json_quote(object_[i].first);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace mvd

@@ -1,0 +1,61 @@
+// A minimal JSON document builder and serializer (output only — the
+// library emits machine-readable design reports; it never parses JSON).
+// Objects preserve insertion order so emitted reports are stable and
+// diffable.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mvd {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  static Json null() { return Json(); }
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json number(std::size_t v) { return number(static_cast<double>(v)); }
+  static Json number(int v) { return number(static_cast<double>(v)); }
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+
+  /// Array append. Asserts kind == kArray.
+  void push_back(Json value);
+  /// Object insert-or-overwrite (insertion order kept). Asserts kObject.
+  void set(const std::string& key, Json value);
+
+  std::size_t size() const;
+  bool contains(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  const Json& at(std::size_t index) const;
+
+  double as_number() const;
+  const std::string& as_string() const;
+  bool as_bool() const;
+
+  /// Serialize; `indent` > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Escape a string for embedding in JSON (adds the quotes).
+std::string json_quote(const std::string& text);
+
+}  // namespace mvd

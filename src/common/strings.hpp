@@ -1,0 +1,41 @@
+// Small string utilities used across the library (no std::format on the
+// target toolchain, so formatting goes through ostringstream helpers).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mvd {
+
+/// Concatenate any streamable arguments into a string.
+template <typename... Args>
+std::string str_cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Join the elements of `parts` with `sep` between them.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view text);
+
+/// True if `text` begins with `prefix` (ASCII case-insensitive).
+bool starts_with_icase(std::string_view text, std::string_view prefix);
+
+/// Case-insensitive ASCII equality.
+bool equals_icase(std::string_view a, std::string_view b);
+
+/// Fixed-precision decimal rendering, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int digits);
+
+}  // namespace mvd

@@ -1,0 +1,73 @@
+#include "src/common/text_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+
+namespace mvd {
+
+TextTable::TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  MVD_ASSERT(!headers_.empty());
+  if (aligns_.empty()) {
+    aligns_.assign(headers_.size(), Align::kLeft);
+  }
+  MVD_ASSERT(aligns_.size() == headers_.size());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MVD_ASSERT_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, table has "
+                            << headers_.size() << " columns");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::render(int indent) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  auto emit_cells = [&](std::ostringstream& os,
+                        const std::vector<std::string>& cells) {
+    os << pad;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << "  ";
+      const std::size_t fill = widths[c] - cells[c].size();
+      if (aligns_[c] == Align::kRight) os << std::string(fill, ' ');
+      os << cells[c];
+      if (aligns_[c] == Align::kLeft && c + 1 != cells.size()) {
+        os << std::string(fill, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+
+  std::ostringstream os;
+  emit_cells(os, headers_);
+  os << pad << std::string(total, '-') << '\n';
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      os << pad << std::string(total, '-') << '\n';
+    } else {
+      emit_cells(os, r.cells);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mvd

@@ -1,0 +1,45 @@
+// Aligned plain-text table rendering, used by the bench harness to print
+// paper-style tables (Table 1, Table 2, sweeps) to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mvd {
+
+/// Column alignment within a TextTable.
+enum class Align { kLeft, kRight };
+
+/// Builds and renders a fixed-column ASCII table:
+///
+///   TextTable t({"strategy", "query cost", "total"});
+///   t.add_row({"none", "95.671m", "95.671m"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns = {});
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line at this position.
+  void add_separator();
+
+  /// Render with padded columns, a header underline, and `indent` leading
+  /// spaces on every line.
+  std::string render(int indent = 0) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mvd

@@ -1,0 +1,50 @@
+#include "src/common/units.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace mvd {
+
+namespace {
+
+// Trim trailing zeros (and a trailing '.') from a fixed-precision render, so
+// 12.0650 prints as "12.065" and 35.2500 as "35.25".
+std::string trim_zeros(std::string s) {
+  if (s.find('.') == std::string::npos) return s;
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::string format_blocks(double blocks) {
+  const double mag = std::fabs(blocks);
+  if (mag >= 1e9) return trim_zeros(format_fixed(blocks / 1e9, 3)) + "g";
+  if (mag >= 1e6) return trim_zeros(format_fixed(blocks / 1e6, 3)) + "m";
+  if (mag >= 1e3) return trim_zeros(format_fixed(blocks / 1e3, 3)) + "k";
+  return trim_zeros(format_fixed(blocks, 2));
+}
+
+double parse_blocks(const std::string& text) {
+  std::string t(trim(text));
+  if (t.empty()) throw Error("parse_blocks: empty input");
+  double scale = 1.0;
+  switch (t.back()) {
+    case 'k': case 'K': scale = 1e3; t.pop_back(); break;
+    case 'm': case 'M': scale = 1e6; t.pop_back(); break;
+    case 'g': case 'G': scale = 1e9; t.pop_back(); break;
+    default: break;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end == t.c_str() || *end != '\0') {
+    throw Error("parse_blocks: malformed number '" + text + "'");
+  }
+  return v * scale;
+}
+
+}  // namespace mvd

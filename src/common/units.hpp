@@ -1,0 +1,20 @@
+// Rendering of block-access counts in the paper's own notation:
+// "35.25k", "12.065m", "0.25k". Costs in mvdesign are plain doubles whose
+// unit is one disk-block access.
+#pragma once
+
+#include <string>
+
+namespace mvd {
+
+/// Format `blocks` like the paper: >= 1e6 as "N.NNNm", >= 1e3 as "N.NNk",
+/// otherwise as a plain number. Examples: 35250 -> "35.25k",
+/// 12065000 -> "12.065m", 42 -> "42".
+std::string format_blocks(double blocks);
+
+/// Parse the reverse direction ("35.25k" -> 35250). Accepts plain numbers,
+/// and the suffixes k/K (1e3), m/M (1e6), g/G (1e9). Throws mvd::Error on
+/// malformed input. Used by tests that cross-check paper figures.
+double parse_blocks(const std::string& text);
+
+}  // namespace mvd

@@ -1,0 +1,68 @@
+#include "src/distributed/topology.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace mvd {
+
+SiteTopology::SiteTopology(std::vector<std::string> sites,
+                           double default_transfer)
+    : sites_(std::move(sites)), default_transfer_(default_transfer) {
+  if (sites_.empty()) throw PlanError("topology needs at least one site");
+  if (!(default_transfer_ >= 0)) {
+    throw PlanError("negative default transfer cost");
+  }
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    for (std::size_t j = i + 1; j < sites_.size(); ++j) {
+      if (sites_[i] == sites_[j]) {
+        throw PlanError("duplicate site '" + sites_[i] + "'");
+      }
+    }
+  }
+}
+
+bool SiteTopology::has_site(const std::string& site) const {
+  return std::find(sites_.begin(), sites_.end(), site) != sites_.end();
+}
+
+void SiteTopology::set_link_cost(const std::string& a, const std::string& b,
+                                 double cost_per_block) {
+  if (!has_site(a) || !has_site(b)) {
+    throw PlanError("unknown site in link " + a + " <-> " + b);
+  }
+  if (!(cost_per_block >= 0)) throw PlanError("negative link cost");
+  links_[{std::min(a, b), std::max(a, b)}] = cost_per_block;
+}
+
+double SiteTopology::transfer_cost(const std::string& from,
+                                   const std::string& to) const {
+  if (from == to) return 0;
+  auto it = links_.find({std::min(from, to), std::max(from, to)});
+  return it == links_.end() ? default_transfer_ : it->second;
+}
+
+void SiteTopology::place_relation(const std::string& relation,
+                                  const std::string& site) {
+  if (!has_site(site)) throw PlanError("unknown site '" + site + "'");
+  relation_site_[relation] = site;
+}
+
+const std::string& SiteTopology::relation_site(
+    const std::string& relation) const {
+  auto it = relation_site_.find(relation);
+  return it == relation_site_.end() ? sites_.front() : it->second;
+}
+
+void SiteTopology::place_query(const std::string& query,
+                               const std::string& site) {
+  if (!has_site(site)) throw PlanError("unknown site '" + site + "'");
+  query_site_[query] = site;
+}
+
+const std::string& SiteTopology::query_site(const std::string& query) const {
+  auto it = query_site_.find(query);
+  return it == query_site_.end() ? sites_.front() : it->second;
+}
+
+}  // namespace mvd

@@ -1,0 +1,48 @@
+// Site topology for distributed warehouses: which site owns each member
+// database relation, where each warehouse query is issued, and the
+// per-block cost of shipping data between sites.
+//
+// The paper notes (§4.1) that in a distributed environment the cost C
+// must incorporate data-transfer costs between sites; this module is that
+// extension.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mvd {
+
+class SiteTopology {
+ public:
+  /// `default_transfer` is the per-block cost between distinct sites when
+  /// no explicit link cost is set; same-site transfer is always free.
+  explicit SiteTopology(std::vector<std::string> sites,
+                        double default_transfer = 1.0);
+
+  const std::vector<std::string>& sites() const { return sites_; }
+  bool has_site(const std::string& site) const;
+
+  /// Set the per-block cost of the (symmetric) link a <-> b.
+  void set_link_cost(const std::string& a, const std::string& b,
+                     double cost_per_block);
+  double transfer_cost(const std::string& from, const std::string& to) const;
+
+  /// Place a base relation at a site.
+  void place_relation(const std::string& relation, const std::string& site);
+  /// Site of `relation`; defaults to the first site when unplaced.
+  const std::string& relation_site(const std::string& relation) const;
+
+  /// Declare where a query is issued (its consumers live there).
+  void place_query(const std::string& query, const std::string& site);
+  const std::string& query_site(const std::string& query) const;
+
+ private:
+  std::vector<std::string> sites_;
+  double default_transfer_;
+  std::map<std::pair<std::string, std::string>, double> links_;
+  std::map<std::string, std::string> relation_site_;
+  std::map<std::string, std::string> query_site_;
+};
+
+}  // namespace mvd

@@ -1,0 +1,333 @@
+#include "src/exec/executor.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/algebra/eval.hpp"
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+
+namespace mvd {
+
+Table Executor::run(const PlanPtr& plan, ExecStats* stats) const {
+  MVD_ASSERT(plan != nullptr);
+  std::map<const LogicalOp*, TableRef> memo;
+  return *run_node(plan, stats, memo);
+}
+
+Executor::TableRef Executor::run_node(
+    const PlanPtr& plan, ExecStats* stats,
+    std::map<const LogicalOp*, TableRef>& memo) const {
+  if (auto it = memo.find(plan.get()); it != memo.end()) return it->second;
+  TableRef result;
+  switch (plan->kind()) {
+    case OpKind::kScan:
+      result = exec_scan(static_cast<const ScanOp&>(*plan), stats);
+      break;
+    case OpKind::kSelect: {
+      const auto in = run_node(plan->children()[0], stats, memo);
+      result = exec_select(static_cast<const SelectOp&>(*plan), in, stats);
+      break;
+    }
+    case OpKind::kProject: {
+      const auto in = run_node(plan->children()[0], stats, memo);
+      result = exec_project(static_cast<const ProjectOp&>(*plan), in);
+      break;
+    }
+    case OpKind::kJoin: {
+      const auto l = run_node(plan->children()[0], stats, memo);
+      const auto r = run_node(plan->children()[1], stats, memo);
+      result = exec_join(static_cast<const JoinOp&>(*plan), l, r, stats);
+      break;
+    }
+    case OpKind::kAggregate: {
+      const auto in = run_node(plan->children()[0], stats, memo);
+      result = exec_aggregate(static_cast<const AggregateOp&>(*plan), in);
+      break;
+    }
+  }
+  MVD_ASSERT(result != nullptr);
+  if (stats != nullptr) {
+    stats->rows_out[plan->label()] = static_cast<double>(result->row_count());
+  }
+  memo.emplace(plan.get(), result);
+  return result;
+}
+
+Executor::TableRef Executor::exec_scan(const ScanOp& op,
+                                       ExecStats* stats) const {
+  const Table& src = db_->table(op.relation());
+  if (stats != nullptr) stats->blocks_read += src.blocks();
+  // Rebuild under the plan's (qualified) schema so downstream binding by
+  // qualified name works even when the stored table has bare names.
+  if (src.schema().size() != op.output_schema().size()) {
+    throw ExecError("stored table '" + op.relation() +
+                    "' does not match the scan schema");
+  }
+  auto out = std::make_shared<Table>(op.output_schema(), src.blocking_factor());
+  for (const Tuple& t : src.rows()) out->append(t);
+  return out;
+}
+
+Executor::TableRef Executor::exec_select(const SelectOp& op,
+                                         const TableRef& in,
+                                         ExecStats* stats) const {
+  (void)stats;
+  const CompiledExpr pred(op.predicate(), in->schema());
+  auto out = std::make_shared<Table>(in->schema(), in->blocking_factor());
+  for (const Tuple& t : in->rows()) {
+    if (pred.matches(t)) out->append(t);
+  }
+  return out;
+}
+
+Executor::TableRef Executor::exec_project(const ProjectOp& op,
+                                          const TableRef& in) const {
+  std::vector<std::size_t> indices;
+  indices.reserve(op.columns().size());
+  for (const std::string& c : op.columns()) {
+    indices.push_back(in->schema().index_of(c));
+  }
+  auto out = std::make_shared<Table>(op.output_schema(), in->blocking_factor());
+  for (const Tuple& t : in->rows()) {
+    Tuple projected;
+    projected.reserve(indices.size());
+    for (std::size_t i : indices) projected.push_back(t[i]);
+    out->append(std::move(projected));
+  }
+  return out;
+}
+
+namespace {
+
+// Split the join predicate into hashable equi conjuncts (left column ×
+// right column) and a residual predicate evaluated on joined tuples.
+struct JoinSplit {
+  std::vector<std::pair<std::size_t, std::size_t>> equi;  // left idx, right idx
+  std::vector<ExprPtr> residual;
+};
+
+JoinSplit split_join_predicate(const JoinOp& op, const Schema& left,
+                               const Schema& right) {
+  JoinSplit split;
+  for (const ExprPtr& c : conjuncts_of(op.predicate())) {
+    if (auto pair = as_column_equality(c); pair.has_value()) {
+      const auto li = left.find(pair->left);
+      const auto ri = right.find(pair->right);
+      if (li.has_value() && ri.has_value()) {
+        split.equi.emplace_back(*li, *ri);
+        continue;
+      }
+      const auto li2 = left.find(pair->right);
+      const auto ri2 = right.find(pair->left);
+      if (li2.has_value() && ri2.has_value()) {
+        split.equi.emplace_back(*li2, *ri2);
+        continue;
+      }
+    }
+    split.residual.push_back(c);
+  }
+  return split;
+}
+
+std::size_t hash_key(const Tuple& t,
+                     const std::vector<std::size_t>& indices) {
+  std::size_t seed = 0x51ed5eedULL;
+  for (std::size_t i : indices) {
+    seed ^= t[i].hash() + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+bool keys_equal(const Tuple& a, const std::vector<std::size_t>& ai,
+                const Tuple& b, const std::vector<std::size_t>& bi) {
+  for (std::size_t k = 0; k < ai.size(); ++k) {
+    if (!(a[ai[k]] == b[bi[k]])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Executor::TableRef Executor::exec_join(const JoinOp& op, const TableRef& left,
+                                       const TableRef& right,
+                                       ExecStats* stats) const {
+  const Schema& ls = left->schema();
+  const Schema& rs = right->schema();
+  const JoinSplit split = split_join_predicate(op, ls, rs);
+
+  auto out = std::make_shared<Table>(op.output_schema(),
+                                     left->blocking_factor());
+  const Schema joint = Schema::concat(ls, rs);
+  std::unique_ptr<CompiledExpr> residual;
+  if (!split.residual.empty()) {
+    std::vector<ExprPtr> preds = split.residual;
+    residual = std::make_unique<CompiledExpr>(conj(std::move(preds)), joint);
+  }
+
+  auto emit = [&](const Tuple& l, const Tuple& r) {
+    Tuple joined = l;
+    joined.insert(joined.end(), r.begin(), r.end());
+    if (residual == nullptr || residual->matches(joined)) {
+      out->append(std::move(joined));
+    }
+  };
+
+  if (!split.equi.empty()) {
+    // Build on the smaller side, probe with the larger.
+    const bool build_right = right->row_count() <= left->row_count();
+    const Table& build = build_right ? *right : *left;
+    const Table& probe = build_right ? *left : *right;
+    std::vector<std::size_t> build_idx, probe_idx;
+    for (const auto& [li, ri] : split.equi) {
+      build_idx.push_back(build_right ? ri : li);
+      probe_idx.push_back(build_right ? li : ri);
+    }
+    std::unordered_multimap<std::size_t, std::size_t> table;
+    table.reserve(build.row_count());
+    for (std::size_t i = 0; i < build.row_count(); ++i) {
+      table.emplace(hash_key(build.row(i), build_idx), i);
+    }
+    for (std::size_t i = 0; i < probe.row_count(); ++i) {
+      const Tuple& p = probe.row(i);
+      auto [lo, hi] = table.equal_range(hash_key(p, probe_idx));
+      for (auto it = lo; it != hi; ++it) {
+        const Tuple& b = build.row(it->second);
+        if (!keys_equal(p, probe_idx, b, build_idx)) continue;
+        if (build_right) {
+          emit(p, b);
+        } else {
+          emit(b, p);
+        }
+      }
+    }
+    if (stats != nullptr) stats->blocks_read += left->blocks() + right->blocks();
+  } else {
+    // Nested loop (cross product or theta join).
+    for (const Tuple& l : left->rows()) {
+      for (const Tuple& r : right->rows()) emit(l, r);
+    }
+    if (stats != nullptr) {
+      stats->blocks_read +=
+          left->blocks() + left->blocks() * right->blocks();
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Running state of one aggregate within one group.
+struct Accumulator {
+  double count = 0;
+  double sum = 0;
+  std::optional<Value> min;
+  std::optional<Value> max;
+
+  void feed(const Value& v) {
+    count += 1;
+    if (is_numeric(v.type())) sum += v.as_double();
+    if (!min.has_value() || v.compare(*min) < 0) min = v;
+    if (!max.has_value() || v.compare(*max) > 0) max = v;
+  }
+
+  Value result(AggFn fn, ValueType output_type) const {
+    switch (fn) {
+      case AggFn::kCount:
+        return Value::int64(static_cast<std::int64_t>(count));
+      case AggFn::kSum:
+        return Value::real(sum);
+      case AggFn::kAvg:
+        return Value::real(count > 0 ? sum / count : 0.0);
+      case AggFn::kMin:
+      case AggFn::kMax: {
+        const std::optional<Value>& v = fn == AggFn::kMin ? min : max;
+        if (v.has_value()) return *v;
+        // Empty global group: a typed zero placeholder (SQL would say
+        // NULL; the engine has no nulls, documented limitation).
+        return output_type == ValueType::kString ? Value::string("")
+                                                 : Value::int64(0);
+      }
+    }
+    MVD_ASSERT(false);
+    return Value::int64(0);
+  }
+};
+
+}  // namespace
+
+Executor::TableRef Executor::exec_aggregate(const AggregateOp& op,
+                                            const TableRef& in) const {
+  const Schema& is = in->schema();
+  std::vector<std::size_t> group_idx;
+  for (const std::string& g : op.group_by()) {
+    group_idx.push_back(is.index_of(g));
+  }
+  std::vector<std::size_t> agg_idx;  // SIZE_MAX for COUNT(*)
+  for (const AggSpec& a : op.aggregates()) {
+    agg_idx.push_back(a.column.empty() ? SIZE_MAX : is.index_of(a.column));
+  }
+
+  // Group rows by key; keep first-seen order for determinism.
+  std::map<std::string, std::pair<Tuple, std::vector<Accumulator>>> groups;
+  std::vector<std::string> order;
+  for (const Tuple& t : in->rows()) {
+    std::string key;
+    Tuple key_values;
+    for (std::size_t gi : group_idx) {
+      key += t[gi].to_string();
+      key += '\x1f';
+      key_values.push_back(t[gi]);
+    }
+    auto [it, inserted] = groups.try_emplace(
+        key, std::move(key_values),
+        std::vector<Accumulator>(op.aggregates().size()));
+    if (inserted) order.push_back(it->first);
+    for (std::size_t a = 0; a < agg_idx.size(); ++a) {
+      it->second.second[a].feed(agg_idx[a] == SIZE_MAX ? Value::int64(1)
+                                                       : t[agg_idx[a]]);
+    }
+  }
+  // SQL semantics: a global aggregate over an empty input yields one row.
+  if (groups.empty() && op.group_by().empty()) {
+    groups.try_emplace(std::string{}, Tuple{},
+                       std::vector<Accumulator>(op.aggregates().size()));
+    order.push_back(std::string{});
+  }
+
+  auto out = std::make_shared<Table>(op.output_schema(),
+                                     in->blocking_factor());
+  const Schema& os = op.output_schema();
+  for (const std::string& key : order) {
+    const auto& [key_values, accs] = groups.at(key);
+    Tuple row = key_values;
+    for (std::size_t a = 0; a < accs.size(); ++a) {
+      row.push_back(accs[a].result(
+          op.aggregates()[a].fn,
+          os.at(group_idx.size() + a).type));
+    }
+    out->append(std::move(row));
+  }
+  return out;
+}
+
+bool same_bag(const Table& a, const Table& b) {
+  if (a.schema().size() != b.schema().size()) return false;
+  if (a.row_count() != b.row_count()) return false;
+  auto key = [](const Tuple& t) {
+    std::string k;
+    for (const Value& v : t) {
+      k += v.to_string();
+      k += '\x1f';
+    }
+    return k;
+  };
+  std::map<std::string, int> counts;
+  for (const Tuple& t : a.rows()) counts[key(t)]++;
+  for (const Tuple& t : b.rows()) {
+    if (--counts[key(t)] < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace mvd

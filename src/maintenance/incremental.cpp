@@ -1,0 +1,102 @@
+#include "src/maintenance/incremental.hpp"
+
+#include <map>
+
+#include "src/common/assert.hpp"
+
+namespace mvd {
+
+namespace {
+
+// Delta size (in blocks) of `node`'s result and the cost of computing it,
+// for a batch changing `fraction` of `base`. Nodes untouched by the delta
+// have zero delta and zero cost.
+struct DeltaInfo {
+  double blocks = 0;
+  double cost = 0;
+};
+
+DeltaInfo delta_walk(const MvppGraph& g, NodeId id, NodeId base,
+                     double fraction, std::map<NodeId, DeltaInfo>& memo) {
+  if (auto it = memo.find(id); it != memo.end()) return it->second;
+  const MvppNode& n = g.node(id);
+  DeltaInfo info;
+  switch (n.kind) {
+    case MvppNodeKind::kBase:
+      if (id == base) info.blocks = fraction * n.blocks;
+      break;
+    case MvppNodeKind::kSelect:
+    case MvppNodeKind::kProject: {
+      const DeltaInfo child = delta_walk(g, n.children[0], base, fraction, memo);
+      if (child.blocks > 0) {
+        // Scan the child delta; the result delta shrinks proportionally to
+        // this operator's overall reduction.
+        const double reduction =
+            g.node(n.children[0]).blocks > 0
+                ? n.blocks / g.node(n.children[0]).blocks
+                : 0;
+        info.blocks = child.blocks * reduction;
+        info.cost = child.cost + child.blocks;
+      }
+      break;
+    }
+    case MvppNodeKind::kJoin: {
+      const DeltaInfo l = delta_walk(g, n.children[0], base, fraction, memo);
+      const DeltaInfo r = delta_walk(g, n.children[1], base, fraction, memo);
+      // A single base lies beneath exactly one side.
+      const DeltaInfo& delta = l.blocks > 0 ? l : r;
+      const MvppNode& other =
+          g.node(l.blocks > 0 ? n.children[1] : n.children[0]);
+      if (delta.blocks > 0) {
+        // Probe the delta against the full other input (block nested loop
+        // with the delta as the outer).
+        info.cost = delta.cost + delta.blocks + delta.blocks * other.blocks;
+        const double input_product =
+            g.node(n.children[0]).blocks * g.node(n.children[1]).blocks;
+        const double reduction =
+            input_product > 0 ? n.blocks / input_product : 0;
+        info.blocks = delta.blocks * other.blocks * reduction;
+      }
+      break;
+    }
+    case MvppNodeKind::kQuery:
+      info = delta_walk(g, n.children[0], base, fraction, memo);
+      break;
+  }
+  memo.emplace(id, info);
+  return info;
+}
+
+}  // namespace
+
+double incremental_delta_cost(const MvppGraph& graph, NodeId v, NodeId base,
+                              const IncrementalOptions& options) {
+  MVD_ASSERT(graph.annotated());
+  MVD_ASSERT(graph.node(base).kind == MvppNodeKind::kBase);
+  std::map<NodeId, DeltaInfo> memo;
+  const DeltaInfo info =
+      delta_walk(graph, v, base, options.update_fraction, memo);
+  if (info.blocks <= 0 && info.cost <= 0) return 0;
+  // Apply the delta to the stored view: write its blocks.
+  return info.cost + info.blocks;
+}
+
+double incremental_maintenance_cost(const MvppGraph& graph, NodeId v,
+                                    const IncrementalOptions& options) {
+  double total = 0;
+  for (NodeId b : graph.bases_under(v)) {
+    total += graph.node(b).frequency *
+             incremental_delta_cost(graph, v, b, options);
+  }
+  return total;
+}
+
+double total_incremental_maintenance(const MvppGraph& graph,
+                                     const MaterializedSet& m,
+                                     const IncrementalOptions& options) {
+  double total = 0;
+  for (NodeId v : m) total += incremental_maintenance_cost(graph, v, options);
+  return total;
+}
+
+}  // namespace mvd

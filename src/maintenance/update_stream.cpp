@@ -1,0 +1,65 @@
+#include "src/maintenance/update_stream.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace mvd {
+
+std::size_t apply_update_batch(Database& db, const std::string& relation,
+                               const UpdateStreamOptions& options, Rng& rng) {
+  const Table& old = db.table(relation);
+  if (old.row_count() == 0) return 0;
+
+  const std::size_t n = old.row_count();
+  auto count_of = [&](double fraction) {
+    return static_cast<std::size_t>(std::llround(fraction * static_cast<double>(n)));
+  };
+  const std::size_t deletes = std::min(count_of(options.delete_fraction), n - 1);
+  const std::size_t modifies = count_of(options.modify_fraction);
+  const std::size_t inserts = count_of(options.insert_fraction);
+
+  // Choose rows to delete.
+  std::vector<bool> dead(n, false);
+  for (std::size_t i = 0; i < deletes; ++i) dead[rng.index(n)] = true;
+
+  Table next(old.schema(), old.blocking_factor());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!dead[i]) next.append(old.row(i));
+  }
+
+  // In-place modifications: perturb one numeric column of random rows.
+  std::size_t numeric_col = old.schema().size();
+  for (std::size_t c = 0; c < old.schema().size(); ++c) {
+    if (old.schema().at(c).type == ValueType::kInt64) {
+      numeric_col = c;
+      break;
+    }
+  }
+  std::size_t touched = deletes;
+  if (numeric_col < old.schema().size() && next.row_count() > 0) {
+    for (std::size_t i = 0; i < modifies; ++i) {
+      const std::size_t r = rng.index(next.row_count());
+      Tuple t = next.row(r);
+      t[numeric_col] =
+          Value::int64(t[numeric_col].as_int64() + rng.uniform_int(-5, 5));
+      next.update_row(r, std::move(t));
+      ++touched;
+    }
+  }
+
+  // Inserts: near-duplicates of random surviving rows.
+  for (std::size_t i = 0; i < inserts && next.row_count() > 0; ++i) {
+    Tuple t = next.row(rng.index(next.row_count()));
+    if (numeric_col < old.schema().size()) {
+      t[numeric_col] = Value::int64(t[numeric_col].as_int64() + 1);
+    }
+    next.append(std::move(t));
+    ++touched;
+  }
+
+  db.put_table(relation, std::move(next));
+  return touched;
+}
+
+}  // namespace mvd

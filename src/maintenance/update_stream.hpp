@@ -1,0 +1,29 @@
+// Synthetic update streams for exercising the recompute-refresh discipline
+// end-to-end: mutate base tables, refresh the deployed views, check
+// answers stay consistent with from-scratch evaluation.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/random.hpp"
+#include "src/storage/database.hpp"
+
+namespace mvd {
+
+struct UpdateStreamOptions {
+  /// Fraction of existing rows to modify in place per batch.
+  double modify_fraction = 0.005;
+  /// Rows to append per batch, as a fraction of the current size.
+  double insert_fraction = 0.005;
+  /// Rows to delete per batch, as a fraction of the current size.
+  double delete_fraction = 0.002;
+};
+
+/// Apply one update batch to `relation` in `db`: deletes random rows,
+/// perturbs numeric columns of random rows, and appends near-duplicates of
+/// random rows (keeping schema types valid). Returns the number of rows
+/// touched. Deterministic in `rng`.
+std::size_t apply_update_batch(Database& db, const std::string& relation,
+                               const UpdateStreamOptions& options, Rng& rng);
+
+}  // namespace mvd

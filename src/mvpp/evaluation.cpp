@@ -1,0 +1,156 @@
+#include "src/mvpp/evaluation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace mvd {
+
+MvppEvaluator::MvppEvaluator(const MvppGraph& graph, MaintenancePolicy policy,
+                             IndexPolicy index)
+    : graph_(&graph), policy_(policy), index_(index) {
+  MVD_ASSERT_MSG(graph.annotated(),
+                 "MvppGraph must be annotate()d before evaluation");
+}
+
+double MvppEvaluator::op_contribution(const MvppNode& n,
+                                      const MaterializedSet& m) const {
+  if (!index_.enabled) return n.op_cost;
+  const MvppGraph& g = *graph_;
+  switch (n.kind) {
+    case MvppNodeKind::kSelect: {
+      // An equality selection over a stored (indexed) view fetches only
+      // its matching blocks.
+      const NodeId c = n.children[0];
+      if (m.contains(c) && is_pure_equality(n.predicate)) {
+        return std::max(1.0, n.blocks);
+      }
+      return n.op_cost;
+    }
+    case MvppNodeKind::kJoin: {
+      // Index nested loop with a stored view as the inner side, when it
+      // beats the block nested loop.
+      double best = n.op_cost;
+      for (int side = 0; side < 2; ++side) {
+        const NodeId inner = n.children[static_cast<std::size_t>(side)];
+        const NodeId outer = n.children[static_cast<std::size_t>(1 - side)];
+        if (!m.contains(inner)) continue;
+        const double probes =
+            g.node(outer).rows * index_.probe_cost_blocks;
+        best = std::min(best, g.node(outer).blocks + probes);
+      }
+      return best;
+    }
+    default:
+      return n.op_cost;
+  }
+}
+
+double produce_walk(const MvppEvaluator& eval, NodeId v,
+                    const MaterializedSet& m,
+                    std::map<NodeId, double>& memo) {
+  if (auto it = memo.find(v); it != memo.end()) return it->second;
+  const MvppGraph& g = eval.graph();
+  const MvppNode& n = g.node(v);
+  MVD_ASSERT_MSG(n.kind != MvppNodeKind::kQuery,
+                 "produce_cost over a query root; use its child");
+  double cost = 0;
+  if (n.kind != MvppNodeKind::kBase) {
+    cost = eval.op_contribution(n, m);
+    for (NodeId c : n.children) {
+      const MvppNode& child = g.node(c);
+      const bool stored = child.kind == MvppNodeKind::kBase || m.contains(c);
+      if (!stored) cost += produce_walk(eval, c, m, memo);
+    }
+  }
+  memo.emplace(v, cost);
+  return cost;
+}
+
+double MvppEvaluator::produce_cost(NodeId v, const MaterializedSet& m) const {
+  std::map<NodeId, double> memo;
+  return produce_walk(*this, v, m, memo);
+}
+
+double MvppEvaluator::answer_cost(NodeId query, const MaterializedSet& m) const {
+  const MvppNode& q = graph_->node(query);
+  MVD_ASSERT(q.kind == MvppNodeKind::kQuery);
+  const NodeId result = q.children[0];
+  if (m.contains(result)) return graph_->node(result).blocks;
+  return produce_cost(result, m);
+}
+
+double MvppEvaluator::query_processing_cost(const MaterializedSet& m) const {
+  double total = 0;
+  for (NodeId q : graph_->query_ids()) {
+    total += graph_->node(q).frequency * answer_cost(q, m);
+  }
+  return total;
+}
+
+double MvppEvaluator::update_factor(NodeId v) const {
+  double factor = 0;
+  for (NodeId b : graph_->bases_under(v)) {
+    const double fu = graph_->node(b).frequency;
+    if (policy_.mode == MaintenancePolicy::Mode::kBatchRecompute) {
+      factor = std::max(factor, fu);
+    } else {
+      factor += fu;
+    }
+  }
+  return factor;
+}
+
+double MvppEvaluator::maintenance_cost(NodeId v, const MaterializedSet& m) const {
+  const MvppNode& n = graph_->node(v);
+  MVD_ASSERT_MSG(n.is_operation(), "only operation nodes can be maintained");
+  const double recompute =
+      policy_.reuse_materialized ? produce_cost(v, m) : n.full_cost;
+  return update_factor(v) * recompute;
+}
+
+double MvppEvaluator::total_maintenance_cost(const MaterializedSet& m) const {
+  double total = 0;
+  for (NodeId v : m) total += maintenance_cost(v, m);
+  return total;
+}
+
+MvppCosts MvppEvaluator::evaluate(const MaterializedSet& m) const {
+  check_materializable(m);
+  return MvppCosts{query_processing_cost(m), total_maintenance_cost(m)};
+}
+
+double MvppEvaluator::total_cost(const MaterializedSet& m) const {
+  return evaluate(m).total();
+}
+
+double MvppEvaluator::weight(NodeId v) const {
+  const MvppNode& n = graph_->node(v);
+  MVD_ASSERT(n.is_operation());
+  double access_saving = 0;
+  for (NodeId q : graph_->queries_using(v)) {
+    access_saving += graph_->node(q).frequency * n.full_cost;
+  }
+  return access_saving - update_factor(v) * n.full_cost;
+}
+
+void MvppEvaluator::check_materializable(const MaterializedSet& m) const {
+  for (NodeId v : m) {
+    if (!graph_->node(v).is_operation()) {
+      throw PlanError("node '" + graph_->node(v).name +
+                      "' is not a materializable operation node");
+    }
+  }
+}
+
+std::string to_string(const MvppGraph& graph, const MaterializedSet& m) {
+  std::vector<std::string> names;
+  for (NodeId v : m) names.push_back(graph.node(v).name);
+  std::sort(names.begin(), names.end());
+  return "{" + join(names, ", ") + "}";
+}
+
+}  // namespace mvd

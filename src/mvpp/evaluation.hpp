@@ -1,0 +1,130 @@
+// Cost evaluation of an MVPP under a chosen materialized set M
+// (Section 4.1 of the paper).
+//
+//   C_total(M) = Σ_i fq(qi) · C(M -> qi)  +  Σ_j fu-factor(vj) · C(L -> vj)
+//
+// Query side: answering query q costs a scan of its result when the result
+// node is in M; otherwise the cost of producing it, where every virtual
+// intermediate is re-derived on the fly and every materialized descendant
+// is read at its stored block count.
+//
+// Maintenance side: each v in M is recomputed from its nearest stored
+// frontier (materialized descendants are *reused* — this is the only
+// reading of the paper's Table 2 whose rows are mutually consistent, and
+// it can be disabled for ablation). The recompute is charged once per
+// update batch (max fu over the base relations beneath v) or once per
+// individual base update (the literal Σ fu(bj) of the formula), selected
+// by MaintenancePolicy::mode.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/mvpp/graph.hpp"
+
+namespace mvd {
+
+using MaterializedSet = std::set<NodeId>;
+
+struct MaintenancePolicy {
+  enum class Mode {
+    /// All updates to the base relations beneath a view within one period
+    /// are applied with a single recompute: factor = max fu (paper's
+    /// worked example; all fu = 1 there).
+    kBatchRecompute,
+    /// One recompute per base-relation update: factor = Σ fu (the literal
+    /// Section 4.1 formula).
+    kPerUpdate,
+  };
+  Mode mode = Mode::kBatchRecompute;
+
+  /// Reuse materialized descendants when recomputing a view. Disable to
+  /// charge the full from-base-relations cost Ca(v) instead.
+  bool reuse_materialized = true;
+};
+
+struct MvppCosts {
+  double query_processing = 0;
+  double maintenance = 0;
+  double total() const { return query_processing + maintenance; }
+};
+
+/// Index modeling for stored views — the paper's §3.2 argument that "if an
+/// intermediate result is materialized, we can establish a proper index on
+/// it afterwards", guaranteeing a performance gain. When enabled, an
+/// equality selection reading a stored view fetches only its matching
+/// blocks, and a join whose inner side is a stored view runs as an
+/// index-nested-loop (outer scan + one probe per outer tuple) when that
+/// beats the block nested loop. Base relations stay index-less (they
+/// belong to the member databases).
+struct IndexPolicy {
+  bool enabled = false;
+  /// Blocks touched per index probe (root-to-leaf plus the record).
+  double probe_cost_blocks = 1.2;
+};
+
+class MvppEvaluator {
+ public:
+  explicit MvppEvaluator(const MvppGraph& graph, MaintenancePolicy policy = {},
+                         IndexPolicy index = {});
+  virtual ~MvppEvaluator() = default;
+
+  const MvppGraph& graph() const { return *graph_; }
+  const MaintenancePolicy& policy() const { return policy_; }
+  const IndexPolicy& index_policy() const { return index_; }
+
+  /// Cost of producing v's result given M, *not* counting v itself as
+  /// stored: materialized or base children are read at their block
+  /// counts (charged in the consuming op_cost), virtual children are
+  /// recursively re-derived. Virtual so extended cost models (e.g. the
+  /// communication-aware distributed evaluator) plug into the selection
+  /// algorithms unchanged.
+  virtual double produce_cost(NodeId v, const MaterializedSet& m) const;
+
+  /// Cost of answering `query` (a kQuery root): a scan of its result node
+  /// when that node is materialized, else produce_cost of it.
+  virtual double answer_cost(NodeId query, const MaterializedSet& m) const;
+
+  /// Σ fq(q) · answer_cost(q).
+  double query_processing_cost(const MaterializedSet& m) const;
+
+  /// Update factor of v per the policy mode (max or Σ of fu over the base
+  /// relations beneath v).
+  double update_factor(NodeId v) const;
+
+  /// Maintenance cost of one view v (assumed in M): update_factor ·
+  /// recompute cost (frontier-reusing or full, per the policy).
+  virtual double maintenance_cost(NodeId v, const MaterializedSet& m) const;
+
+  /// Σ over v in M.
+  double total_maintenance_cost(const MaterializedSet& m) const;
+
+  MvppCosts evaluate(const MaterializedSet& m) const;
+  double total_cost(const MaterializedSet& m) const;
+
+  /// The paper's node weight
+  ///   w(v) = Σ_{q in Ov} fq(q)·Ca(v)  -  fu-factor(v)·Ca(v).
+  double weight(NodeId v) const;
+
+  /// Throws PlanError if m contains ids that are not operation nodes.
+  void check_materializable(const MaterializedSet& m) const;
+
+ private:
+  /// This node's operator cost given M (index-aware when enabled);
+  /// excludes child production.
+  double op_contribution(const MvppNode& n, const MaterializedSet& m) const;
+
+  friend double produce_walk(const MvppEvaluator&, NodeId,
+                             const MaterializedSet&,
+                             std::map<NodeId, double>&);
+
+  const MvppGraph* graph_;
+  MaintenancePolicy policy_;
+  IndexPolicy index_;
+};
+
+/// Render a materialized set as "{tmp2, tmp4}" using node names.
+std::string to_string(const MvppGraph& graph, const MaterializedSet& m);
+
+}  // namespace mvd

@@ -1,0 +1,157 @@
+// The Multiple View Processing Plan (MVPP) — the paper's Section 3 DAG.
+//
+// Vertices are base relations (leaves, with update frequencies fu), the
+// relational operations of the merged query plans (select / project /
+// join), and query roots (with query frequencies fq). Arcs run from
+// sources to the operations consuming them. Each operation node carries,
+// after annotate():
+//   - an equivalent plan tree from base relations (shared structurally
+//     with its children's trees),
+//   - estimated result size (rows/blocks),
+//   - op_cost  — producing the result from direct inputs, and
+//   - full_cost — the paper's Ca(v): producing it from base relations,
+//     re-deriving every virtual intermediate beneath it.
+//
+// Nodes are deduplicated by structural signature on insertion, which is
+// exactly the paper's common-subexpression merge (S(u) = S(v) and
+// R(u) = R(v) => one vertex).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/algebra/aggregate.hpp"
+#include "src/algebra/logical_plan.hpp"
+#include "src/cost/cost_model.hpp"
+
+namespace mvd {
+
+using NodeId = int;
+
+enum class MvppNodeKind { kBase, kSelect, kProject, kJoin, kAggregate, kQuery };
+
+std::string to_string(MvppNodeKind kind);
+
+struct MvppNode {
+  NodeId id = -1;
+  MvppNodeKind kind = MvppNodeKind::kBase;
+  /// "Product" for bases, "tmp3" for operations, the query name for roots.
+  std::string name;
+
+  std::vector<NodeId> children;  // S(v): direct sources
+  std::vector<NodeId> parents;   // D(v): direct destinations
+
+  // Kind-specific payloads.
+  std::string relation;              // kBase
+  ExprPtr predicate;                 // kSelect / kJoin
+  std::vector<std::string> columns;  // kProject; group-by for kAggregate
+  std::vector<AggSpec> aggregates;   // kAggregate
+  double frequency = 0;              // fu for kBase, fq for kQuery
+
+  /// Structural signature (see algebra/logical_plan.hpp); the dedup key.
+  std::string sig;
+
+  // Filled by annotate().
+  PlanPtr expr;        // equivalent plan from base relations
+  double rows = 0;
+  double blocks = 0;
+  double op_cost = 0;    // from direct inputs
+  double full_cost = 0;  // Ca(v), from base relations
+
+  bool is_operation() const {
+    return kind != MvppNodeKind::kBase && kind != MvppNodeKind::kQuery;
+  }
+
+  /// One-line rendering ("tmp1: select[(Division.city = 'LA')]").
+  std::string label() const;
+};
+
+class MvppGraph {
+ public:
+  // ---- Construction. All adders deduplicate: re-adding a node with an
+  // existing signature returns the existing id. ----
+
+  /// Base relation leaf; `update_frequency` is fu(v).
+  NodeId add_base(const std::string& relation, const Schema& schema,
+                  double update_frequency);
+
+  NodeId add_select(NodeId child, const ExprPtr& predicate);
+  NodeId add_project(NodeId child, const std::vector<std::string>& columns);
+  NodeId add_join(NodeId left, NodeId right, const ExprPtr& predicate);
+
+  /// Grouped aggregation over `child` (group_by may be empty for a global
+  /// aggregate). Aliases must already be resolved (make_aggregate rules
+  /// apply at annotate() time).
+  NodeId add_aggregate(NodeId child, std::vector<std::string> group_by,
+                       std::vector<AggSpec> aggregates);
+
+  /// Query root over `child` (typically the query's final projection).
+  /// Query roots are never deduplicated; names must be unique.
+  NodeId add_query(const std::string& name, double frequency, NodeId child);
+
+  // ---- Access ----
+
+  std::size_t size() const { return nodes_.size(); }
+  const MvppNode& node(NodeId id) const;
+  const std::vector<MvppNode>& nodes() const { return nodes_; }
+
+  std::vector<NodeId> base_ids() const;       // L
+  std::vector<NodeId> query_ids() const;      // R
+  /// Operation nodes (the materialization candidates), in topological
+  /// order (children before parents — the insertion order guarantees it).
+  std::vector<NodeId> operation_ids() const;
+
+  /// All strict ancestors D*{v} (everything reachable following parents).
+  std::set<NodeId> ancestors(NodeId id) const;
+  /// All strict descendants S*{v}.
+  std::set<NodeId> descendants(NodeId id) const;
+
+  /// R ∩ D*{v}: the queries whose evaluation can use v (the paper's Ov).
+  std::vector<NodeId> queries_using(NodeId id) const;
+  /// L ∩ S*{v}: the base relations beneath v (the paper's Iv).
+  std::vector<NodeId> bases_under(NodeId id) const;
+
+  NodeId find_by_name(const std::string& name) const;  // -1 when absent
+
+  /// Name an operation node explicitly (e.g. the paper's tmp1..tmp7,
+  /// result1..result4) instead of the automatic tmpN naming. Throws
+  /// PlanError on duplicates or non-operation nodes.
+  void set_name(NodeId id, const std::string& name);
+
+  /// What-if analysis: change fq of a query root or fu of a base leaf.
+  /// Costs (Ca etc.) are frequency-independent, so no re-annotation is
+  /// needed. Throws PlanError on operation nodes or negative values.
+  void set_frequency(NodeId id, double frequency);
+
+  // ---- Annotation & rendering ----
+
+  /// Compute expr/rows/blocks/op_cost/full_cost for every node.
+  /// Also assigns tmpN names to unnamed operation nodes in topological
+  /// order. Must be called before cost evaluation.
+  void annotate(const CostModel& cost_model);
+  bool annotated() const { return annotated_; }
+
+  /// Structural sanity: acyclic, consistent parent/child links, query
+  /// roots parentless, bases childless. Throws AssertionError on
+  /// violation (these are internal invariants).
+  void validate() const;
+
+  /// Graphviz rendering with costs and frequencies.
+  std::string to_dot() const;
+
+  /// Indented multi-line text rendering (queries at top).
+  std::string to_text() const;
+
+ private:
+  NodeId add_node(MvppNode node);
+  NodeId dedup(const std::string& sig) const;  // -1 when new
+
+  std::vector<MvppNode> nodes_;
+  std::map<std::string, NodeId> by_signature_;
+  std::map<NodeId, Schema> base_schemas_;
+  bool annotated_ = false;
+};
+
+}  // namespace mvd

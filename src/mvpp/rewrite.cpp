@@ -1,0 +1,52 @@
+#include "src/mvpp/rewrite.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace mvd {
+
+namespace {
+
+PlanPtr node_plan(const MvppGraph& g, NodeId id, const MaterializedSet& m,
+                  bool allow_stored_self) {
+  const MvppNode& n = g.node(id);
+  MVD_ASSERT_MSG(g.annotated(), "graph must be annotated");
+  if (n.kind == MvppNodeKind::kBase) {
+    return make_named_scan(n.name, n.expr->output_schema());
+  }
+  if (allow_stored_self && m.contains(id)) {
+    return make_named_scan(n.name, n.expr->output_schema());
+  }
+  switch (n.kind) {
+    case MvppNodeKind::kSelect:
+      return make_select(node_plan(g, n.children[0], m, true), n.predicate);
+    case MvppNodeKind::kProject:
+      return make_project(node_plan(g, n.children[0], m, true), n.columns);
+    case MvppNodeKind::kJoin:
+      return make_join(node_plan(g, n.children[0], m, true),
+                       node_plan(g, n.children[1], m, true), n.predicate);
+    case MvppNodeKind::kAggregate:
+      return make_aggregate(node_plan(g, n.children[0], m, true), n.columns,
+                            n.aggregates);
+    case MvppNodeKind::kQuery:
+      return node_plan(g, n.children[0], m, true);
+    default:
+      MVD_ASSERT(false);
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+PlanPtr refresh_plan(const MvppGraph& graph, NodeId node,
+                     const MaterializedSet& m) {
+  return node_plan(graph, node, m, /*allow_stored_self=*/false);
+}
+
+PlanPtr answer_plan(const MvppGraph& graph, NodeId query,
+                    const MaterializedSet& m) {
+  const MvppNode& q = graph.node(query);
+  MVD_ASSERT(q.kind == MvppNodeKind::kQuery);
+  return node_plan(graph, q.children[0], m, /*allow_stored_self=*/true);
+}
+
+}  // namespace mvd

@@ -1,0 +1,28 @@
+// Rewriting MVPP nodes into executable plans that read from the
+// materialized frontier.
+//
+// Once a materialized set M is chosen, a node's result is computed by a
+// plan whose leaves are (a) base-relation scans and (b) scans of stored
+// views — any descendant in M is read by name instead of being re-derived.
+// These plans are what the warehouse actually runs: views are refreshed
+// with refresh plans (M excluding the view itself), queries are answered
+// with answer plans (M as-is).
+#pragma once
+
+#include "src/mvpp/evaluation.hpp"
+
+namespace mvd {
+
+/// Plan computing `node`'s result given M. Descendants in M become named
+/// scans (schema taken from their annotated expr); `node` itself is
+/// rebuilt even when it is in M — callers wanting a stored read should
+/// test membership first (answer_plan does).
+PlanPtr refresh_plan(const MvppGraph& graph, NodeId node,
+                     const MaterializedSet& m);
+
+/// Plan answering a query root: a scan of its stored result when the
+/// result node is in M, otherwise refresh_plan of the result node.
+PlanPtr answer_plan(const MvppGraph& graph, NodeId query,
+                    const MaterializedSet& m);
+
+}  // namespace mvd

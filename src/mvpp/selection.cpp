@@ -1,0 +1,482 @@
+#include "src/mvpp/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+#include "src/common/units.hpp"
+
+namespace mvd {
+
+SelectionResult evaluate_strategy(const MvppEvaluator& eval, std::string name,
+                                  MaterializedSet m) {
+  SelectionResult r;
+  r.algorithm = std::move(name);
+  r.costs = eval.evaluate(m);
+  r.materialized = std::move(m);
+  return r;
+}
+
+SelectionResult select_nothing(const MvppEvaluator& eval) {
+  return evaluate_strategy(eval, "materialize-nothing", {});
+}
+
+SelectionResult select_all_query_results(const MvppEvaluator& eval) {
+  MaterializedSet m;
+  for (NodeId q : eval.graph().query_ids()) {
+    m.insert(eval.graph().node(q).children[0]);
+  }
+  return evaluate_strategy(eval, "materialize-all-queries", std::move(m));
+}
+
+SelectionResult select_all_operations(const MvppEvaluator& eval) {
+  MaterializedSet m;
+  for (NodeId v : eval.graph().operation_ids()) m.insert(v);
+  return evaluate_strategy(eval, "materialize-everything", std::move(m));
+}
+
+SelectionResult yang_heuristic(const MvppEvaluator& eval, YangOptions options) {
+  const MvppGraph& g = eval.graph();
+  SelectionResult r;
+  r.algorithm = "yang-heuristic";
+
+  // Step 2: candidates with positive weight, by descending weight.
+  std::vector<NodeId> lv;
+  for (NodeId v : g.operation_ids()) {
+    if (eval.weight(v) > 0) lv.push_back(v);
+  }
+  std::sort(lv.begin(), lv.end(), [&](NodeId a, NodeId b) {
+    const double wa = eval.weight(a);
+    const double wb = eval.weight(b);
+    if (wa != wb) return wa > wb;
+    return a < b;  // deterministic tie-break
+  });
+  {
+    std::vector<std::string> names;
+    for (NodeId v : lv) {
+      names.push_back(g.node(v).name + "(w=" + format_blocks(eval.weight(v)) +
+                      ")");
+    }
+    r.trace.push_back("LV = <" + join(names, ", ") + ">");
+  }
+
+  MaterializedSet m;
+  while (!lv.empty()) {
+    const NodeId v = lv.front();
+    lv.erase(lv.begin());
+    const MvppNode& n = g.node(v);
+
+    if (options.skip_when_parents_materialized && !n.parents.empty()) {
+      const bool all_parents = std::all_of(
+          n.parents.begin(), n.parents.end(), [&](NodeId p) {
+            return g.node(p).kind != MvppNodeKind::kQuery && m.contains(p);
+          });
+      if (all_parents) {
+        r.trace.push_back(n.name + ": skipped, all parents materialized");
+        continue;
+      }
+    }
+
+    // Step 5: Cs = Σ_{q∈Ov} fq(q)·(Ca(v) − Σ_{u∈S{v}∩M} Ca(u))
+    //             − fu-factor(v)·(recompute cost of v under M).
+    double replicated = 0;
+    for (NodeId u : g.descendants(v)) {
+      if (m.contains(u)) replicated += g.node(u).full_cost;
+    }
+    double access_saving = 0;
+    for (NodeId q : g.queries_using(v)) {
+      access_saving += g.node(q).frequency * (n.full_cost - replicated);
+    }
+    const double recompute = options.reuse_aware_maintenance_gain
+                                 ? eval.produce_cost(v, m)
+                                 : n.full_cost;
+    const double upkeep = eval.update_factor(v) * recompute;
+    const double cs = access_saving - upkeep;
+
+    if (cs > 0) {
+      m.insert(v);
+      r.trace.push_back(n.name + ": Cs=" + format_blocks(cs) +
+                        " > 0, materialize");
+    } else {
+      r.trace.push_back(n.name + ": Cs=" + format_blocks(cs) + " <= 0, reject");
+      if (options.branch_pruning) {
+        const std::set<NodeId> branch = [&] {
+          std::set<NodeId> b = g.ancestors(v);
+          const std::set<NodeId> d = g.descendants(v);
+          b.insert(d.begin(), d.end());
+          return b;
+        }();
+        const auto before = lv.size();
+        lv.erase(std::remove_if(lv.begin(), lv.end(),
+                                [&](NodeId u) { return branch.contains(u); }),
+                 lv.end());
+        if (lv.size() != before) {
+          r.trace.push_back("  pruned " + std::to_string(before - lv.size()) +
+                            " node(s) on the same branch");
+        }
+      }
+    }
+  }
+
+  // Step 9: remove v whose direct destinations are all materialized —
+  // guarded so cleanup never worsens the solution.
+  if (options.final_cleanup) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (NodeId v : m) {
+        const MvppNode& n = g.node(v);
+        if (n.parents.empty()) continue;
+        const bool covered = std::all_of(
+            n.parents.begin(), n.parents.end(), [&](NodeId p) {
+              return g.node(p).kind != MvppNodeKind::kQuery && m.contains(p);
+            });
+        if (!covered) continue;
+        MaterializedSet without = m;
+        without.erase(v);
+        if (eval.total_cost(without) <= eval.total_cost(m)) {
+          r.trace.push_back(n.name +
+                            ": removed in cleanup (all destinations "
+                            "materialized)");
+          m = std::move(without);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  r.costs = eval.evaluate(m);
+  r.materialized = std::move(m);
+  return r;
+}
+
+SelectionResult exhaustive_optimal(const MvppEvaluator& eval,
+                                   std::size_t max_candidates) {
+  const std::vector<NodeId> candidates = eval.graph().operation_ids();
+  if (candidates.size() > max_candidates) {
+    throw PlanError(str_cat("exhaustive search over ", candidates.size(),
+                            " candidates exceeds the limit of ",
+                            max_candidates));
+  }
+  SelectionResult r;
+  r.algorithm = "exhaustive-optimal";
+  double best = std::numeric_limits<double>::infinity();
+  MaterializedSet best_set;
+  const std::size_t combos = std::size_t{1} << candidates.size();
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    MaterializedSet m;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (mask & (std::size_t{1} << i)) m.insert(candidates[i]);
+    }
+    const double cost = eval.total_cost(m);
+    if (cost < best) {
+      best = cost;
+      best_set = std::move(m);
+    }
+  }
+  r.costs = eval.evaluate(best_set);
+  r.materialized = std::move(best_set);
+  return r;
+}
+
+namespace {
+
+struct BnbContext {
+  const MvppEvaluator* eval = nullptr;
+  std::vector<NodeId> candidates;  // decision order
+  MaterializedSet included;
+  double best_cost = 0;
+  MaterializedSet best_set;
+  std::size_t nodes_visited = 0;
+
+  // Lower bound for the current partial decision: included members are
+  // fixed in, candidates[depth..] are free. The query side is bounded by
+  // materializing every free candidate (query cost is monotone
+  // non-increasing in M); each included view's maintenance is bounded by
+  // recomputing against the fullest possible frontier (reuse-aware
+  // maintenance is non-increasing in M; the no-reuse policy is constant,
+  // for which this is exact).
+  double lower_bound(std::size_t depth) const {
+    MaterializedSet fullest = included;
+    for (std::size_t i = depth; i < candidates.size(); ++i) {
+      fullest.insert(candidates[i]);
+    }
+    double bound = eval->query_processing_cost(fullest);
+    for (NodeId v : included) bound += eval->maintenance_cost(v, fullest);
+    return bound;
+  }
+
+  void visit(std::size_t depth) {
+    ++nodes_visited;
+    if (lower_bound(depth) >= best_cost - 1e-9) return;  // prune
+    if (depth == candidates.size()) {
+      const double cost = eval->total_cost(included);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_set = included;
+      }
+      return;
+    }
+    const NodeId v = candidates[depth];
+    // Include-first: high-weight candidates usually belong in M, so the
+    // incumbent improves early and prunes more.
+    included.insert(v);
+    visit(depth + 1);
+    included.erase(v);
+    visit(depth + 1);
+  }
+};
+
+}  // namespace
+
+SelectionResult branch_and_bound_optimal(const MvppEvaluator& eval,
+                                         std::size_t max_candidates) {
+  BnbContext ctx;
+  ctx.eval = &eval;
+  ctx.candidates = eval.graph().operation_ids();
+  if (ctx.candidates.size() > max_candidates) {
+    throw PlanError(str_cat("branch and bound over ", ctx.candidates.size(),
+                            " candidates exceeds the limit of ",
+                            max_candidates));
+  }
+  // Decide high-weight nodes first.
+  std::sort(ctx.candidates.begin(), ctx.candidates.end(),
+            [&](NodeId a, NodeId b) {
+              const double wa = eval.weight(a);
+              const double wb = eval.weight(b);
+              if (wa != wb) return wa > wb;
+              return a < b;
+            });
+  // Seed the incumbent with the greedy solution.
+  ctx.best_set = greedy_incremental(eval).materialized;
+  ctx.best_cost = eval.total_cost(ctx.best_set);
+  ctx.visit(0);
+
+  SelectionResult r;
+  r.algorithm = "branch-and-bound";
+  r.costs = eval.evaluate(ctx.best_set);
+  r.materialized = std::move(ctx.best_set);
+  r.trace.push_back(str_cat("visited ", ctx.nodes_visited,
+                            " search nodes of ",
+                            (std::size_t{1} << (ctx.candidates.size() + 1)) - 1,
+                            " possible"));
+  return r;
+}
+
+SelectionResult greedy_incremental(const MvppEvaluator& eval) {
+  SelectionResult r;
+  r.algorithm = "greedy-incremental";
+  const std::vector<NodeId> candidates = eval.graph().operation_ids();
+  MaterializedSet m;
+  double current = eval.total_cost(m);
+  while (true) {
+    NodeId best_v = -1;
+    double best_cost = current;
+    for (NodeId v : candidates) {
+      if (m.contains(v)) continue;
+      MaterializedSet next = m;
+      next.insert(v);
+      const double cost = eval.total_cost(next);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_v = v;
+      }
+    }
+    if (best_v < 0) break;
+    m.insert(best_v);
+    r.trace.push_back(eval.graph().node(best_v).name + ": total " +
+                      format_blocks(current) + " -> " +
+                      format_blocks(best_cost));
+    current = best_cost;
+  }
+  r.costs = eval.evaluate(m);
+  r.materialized = std::move(m);
+  return r;
+}
+
+SelectionResult local_search(const MvppEvaluator& eval, MaterializedSet start,
+                             std::size_t max_rounds) {
+  SelectionResult r;
+  r.algorithm = "local-search";
+  eval.check_materializable(start);
+  const std::vector<NodeId> candidates = eval.graph().operation_ids();
+
+  MaterializedSet current = std::move(start);
+  double current_cost = eval.total_cost(current);
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    MaterializedSet best_move;
+    double best_cost = current_cost;
+    std::string best_desc;
+
+    auto consider = [&](MaterializedSet next, std::string desc) {
+      const double cost = eval.total_cost(next);
+      if (cost < best_cost - 1e-9) {
+        best_cost = cost;
+        best_move = std::move(next);
+        best_desc = std::move(desc);
+      }
+    };
+
+    for (NodeId v : candidates) {
+      MaterializedSet toggled = current;
+      if (toggled.erase(v) == 0) {
+        toggled.insert(v);
+        consider(std::move(toggled), "add " + eval.graph().node(v).name);
+      } else {
+        consider(std::move(toggled), "drop " + eval.graph().node(v).name);
+      }
+    }
+    // Swaps: replace one member with one non-member.
+    for (NodeId out : current) {
+      for (NodeId in : candidates) {
+        if (current.contains(in)) continue;
+        MaterializedSet swapped = current;
+        swapped.erase(out);
+        swapped.insert(in);
+        consider(std::move(swapped),
+                 "swap " + eval.graph().node(out).name + " -> " +
+                     eval.graph().node(in).name);
+      }
+    }
+
+    if (best_desc.empty()) break;  // local optimum
+    current = std::move(best_move);
+    current_cost = best_cost;
+    r.trace.push_back(best_desc + " -> " + format_blocks(best_cost));
+  }
+  r.costs = eval.evaluate(current);
+  r.materialized = std::move(current);
+  return r;
+}
+
+double total_view_blocks(const MvppGraph& graph, const MaterializedSet& m) {
+  double blocks = 0;
+  for (NodeId v : m) blocks += graph.node(v).blocks;
+  return blocks;
+}
+
+SelectionResult budgeted_greedy(const MvppEvaluator& eval,
+                                double budget_blocks) {
+  if (!(budget_blocks >= 0)) throw PlanError("negative space budget");
+  SelectionResult r;
+  r.algorithm = "budgeted-greedy";
+  const std::vector<NodeId> candidates = eval.graph().operation_ids();
+
+  MaterializedSet m;
+  double used = 0;
+  double current = eval.total_cost(m);
+  while (true) {
+    NodeId best_v = -1;
+    double best_density = 0;
+    double best_cost = current;
+    for (NodeId v : candidates) {
+      if (m.contains(v)) continue;
+      const double blocks = std::max(eval.graph().node(v).blocks, 1e-9);
+      if (used + blocks > budget_blocks) continue;
+      MaterializedSet next = m;
+      next.insert(v);
+      const double cost = eval.total_cost(next);
+      const double density = (current - cost) / blocks;
+      if (cost < current && density > best_density) {
+        best_density = density;
+        best_v = v;
+        best_cost = cost;
+      }
+    }
+    if (best_v < 0) break;
+    m.insert(best_v);
+    used += eval.graph().node(best_v).blocks;
+    r.trace.push_back(eval.graph().node(best_v).name + ": total " +
+                      format_blocks(current) + " -> " +
+                      format_blocks(best_cost) + ", space " +
+                      format_blocks(used) + "/" +
+                      format_blocks(budget_blocks));
+    current = best_cost;
+  }
+  r.costs = eval.evaluate(m);
+  r.materialized = std::move(m);
+  return r;
+}
+
+SelectionResult budgeted_optimal(const MvppEvaluator& eval,
+                                 double budget_blocks,
+                                 std::size_t max_candidates) {
+  if (!(budget_blocks >= 0)) throw PlanError("negative space budget");
+  const std::vector<NodeId> candidates = eval.graph().operation_ids();
+  if (candidates.size() > max_candidates) {
+    throw PlanError(str_cat("budgeted search over ", candidates.size(),
+                            " candidates exceeds the limit of ",
+                            max_candidates));
+  }
+  SelectionResult r;
+  r.algorithm = "budgeted-optimal";
+  double best = std::numeric_limits<double>::infinity();
+  MaterializedSet best_set;
+  const std::size_t combos = std::size_t{1} << candidates.size();
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    MaterializedSet m;
+    double blocks = 0;
+    bool fits = true;
+    for (std::size_t i = 0; i < candidates.size() && fits; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        m.insert(candidates[i]);
+        blocks += eval.graph().node(candidates[i]).blocks;
+        fits = blocks <= budget_blocks;
+      }
+    }
+    if (!fits) continue;
+    const double cost = eval.total_cost(m);
+    if (cost < best) {
+      best = cost;
+      best_set = std::move(m);
+    }
+  }
+  r.costs = eval.evaluate(best_set);
+  r.materialized = std::move(best_set);
+  return r;
+}
+
+SelectionResult simulated_annealing(const MvppEvaluator& eval,
+                                    AnnealingOptions options) {
+  SelectionResult r;
+  r.algorithm = "simulated-annealing";
+  const std::vector<NodeId> candidates = eval.graph().operation_ids();
+  if (candidates.empty()) {
+    r.costs = eval.evaluate({});
+    return r;
+  }
+
+  MaterializedSet current = greedy_incremental(eval).materialized;
+  double current_cost = eval.total_cost(current);
+  MaterializedSet best = current;
+  double best_cost = current_cost;
+
+  Rng rng(options.seed);
+  double temperature =
+      std::max(options.initial_temperature * eval.total_cost({}), 1e-9);
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    const NodeId v = candidates[rng.index(candidates.size())];
+    MaterializedSet next = current;
+    if (!next.erase(v)) next.insert(v);
+    const double next_cost = eval.total_cost(next);
+    const double delta = next_cost - current_cost;
+    if (delta <= 0 || rng.uniform01() < std::exp(-delta / temperature)) {
+      current = std::move(next);
+      current_cost = next_cost;
+      if (current_cost < best_cost) {
+        best = current;
+        best_cost = current_cost;
+      }
+    }
+    temperature *= options.cooling;
+  }
+  r.costs = eval.evaluate(best);
+  r.materialized = std::move(best);
+  return r;
+}
+
+}  // namespace mvd

@@ -1,0 +1,123 @@
+// Materialized-view selection over an annotated MVPP.
+//
+// Implements the paper's Figure 9 heuristic plus the baselines used by the
+// benches: the trivial strategies bounding the spectrum (nothing / all
+// query results / every operation node), an exhaustive 2^n optimum for
+// ground truth on small graphs, an exact-gain greedy (HRU-style), and a
+// simulated-annealing search for larger graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.hpp"
+#include "src/mvpp/evaluation.hpp"
+
+namespace mvd {
+
+struct SelectionResult {
+  std::string algorithm;
+  MaterializedSet materialized;
+  MvppCosts costs;
+  /// Human-readable decision log (the §4.3 walkthrough lines for the Yang
+  /// heuristic).
+  std::vector<std::string> trace;
+};
+
+/// Evaluate an explicitly chosen set (for what-if analysis and Table 2).
+SelectionResult evaluate_strategy(const MvppEvaluator& eval, std::string name,
+                                  MaterializedSet m);
+
+/// M = ∅: everything virtual.
+SelectionResult select_nothing(const MvppEvaluator& eval);
+
+/// M = the result node of every query (materialize all application views).
+SelectionResult select_all_query_results(const MvppEvaluator& eval);
+
+/// M = every operation node.
+SelectionResult select_all_operations(const MvppEvaluator& eval);
+
+struct YangOptions {
+  /// Step 7: on a non-positive Cs for v, also drop the later LV entries
+  /// lying on v's branch (ancestors/descendants of v).
+  bool branch_pruning = true;
+  /// The paper's Cs charges maintenance at the full from-base recompute
+  /// cost Cm(v) = Ca(v) even when materialized descendants could be
+  /// reused (its walkthrough rejects result4 on exactly that basis).
+  /// Setting this discounts the maintenance term by the current frontier
+  /// instead — a strictly better-informed gain (ablation Ext-C).
+  bool reuse_aware_maintenance_gain = false;
+  /// Walkthrough rule: skip v when all of its direct parents are already
+  /// materialized (tmp1 in the paper's trace).
+  bool skip_when_parents_materialized = true;
+  /// Step 9 cleanup: drop v from M when D(v) ⊆ M — applied only when it
+  /// does not worsen the total cost (the unguarded rule can regress).
+  bool final_cleanup = true;
+};
+
+/// The paper's Figure 9 heuristic: order candidates by descending weight
+/// w(v), admit v when its incremental gain Cs is positive, discounting
+/// savings already captured by materialized descendants.
+SelectionResult yang_heuristic(const MvppEvaluator& eval, YangOptions options = {});
+
+/// Exact optimum by enumerating all 2^n subsets of operation nodes.
+/// Throws PlanError when there are more than `max_candidates` candidates.
+SelectionResult exhaustive_optimal(const MvppEvaluator& eval,
+                                   std::size_t max_candidates = 24);
+
+/// Exact optimum by best-first branch and bound (in the spirit of the
+/// authors' follow-up 0-1 integer-programming formulation). Sound lower
+/// bound: the query side can never beat "everything still undecided is
+/// materialized" and each already-included view can never be maintained
+/// for less than under the most-reusable frontier — so subtrees whose
+/// bound reaches the incumbent are pruned. Returns the same answer as
+/// exhaustive_optimal while handling noticeably more candidates; throws
+/// PlanError above `max_candidates`.
+SelectionResult branch_and_bound_optimal(const MvppEvaluator& eval,
+                                         std::size_t max_candidates = 40);
+
+/// Exact-gain greedy: repeatedly add the candidate with the largest
+/// positive decrease of total cost.
+SelectionResult greedy_incremental(const MvppEvaluator& eval);
+
+struct AnnealingOptions {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 20000;
+  double initial_temperature = 0.05;  // fraction of the empty-set cost
+  double cooling = 0.999;
+};
+
+/// Simulated annealing over subsets (bit flips), seeded from the greedy
+/// solution.
+SelectionResult simulated_annealing(const MvppEvaluator& eval,
+                                    AnnealingOptions options = {});
+
+/// Local-search polish: starting from `start`, repeatedly apply the best
+/// improving single add, drop, or swap of one view until a local optimum
+/// is reached. Useful as a cheap post-pass on any heuristic's output
+/// (e.g. yang + local_search closes most of the Ext-B gap).
+SelectionResult local_search(const MvppEvaluator& eval, MaterializedSet start,
+                             std::size_t max_rounds = 1000);
+
+// ---- Space-budgeted selection -----------------------------------------
+//
+// In practice warehouses cap the storage spent on views. These variants
+// keep Σ blocks(v) over M within `budget_blocks` — the classic constraint
+// of the greedy view-selection literature (HRU), grafted onto the
+// paper's cost model.
+
+/// Blocks occupied by the set.
+double total_view_blocks(const MvppGraph& graph, const MaterializedSet& m);
+
+/// Greedy by gain density: repeatedly add the candidate with the best
+/// (total-cost decrease) / blocks ratio that still fits. Stops when
+/// nothing fitting improves the total.
+SelectionResult budgeted_greedy(const MvppEvaluator& eval,
+                                double budget_blocks);
+
+/// Exact optimum under the budget by exhaustive enumeration (small n).
+SelectionResult budgeted_optimal(const MvppEvaluator& eval,
+                                 double budget_blocks,
+                                 std::size_t max_candidates = 22);
+
+}  // namespace mvd

@@ -1,0 +1,124 @@
+#include "src/mvpp/serialize.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace mvd {
+
+Json to_json(const MvppGraph& graph) {
+  Json nodes = Json::array();
+  for (const MvppNode& n : graph.nodes()) {
+    Json j = Json::object();
+    j.set("id", Json::number(static_cast<double>(n.id)));
+    j.set("kind", Json::string(to_string(n.kind)));
+    j.set("name", Json::string(n.name));
+    switch (n.kind) {
+      case MvppNodeKind::kBase:
+        j.set("relation", Json::string(n.relation));
+        j.set("update_frequency", Json::number(n.frequency));
+        break;
+      case MvppNodeKind::kSelect:
+      case MvppNodeKind::kJoin:
+        j.set("predicate", Json::string(n.predicate->to_string()));
+        break;
+      case MvppNodeKind::kProject: {
+        Json cols = Json::array();
+        for (const std::string& c : n.columns) cols.push_back(Json::string(c));
+        j.set("columns", std::move(cols));
+        break;
+      }
+      case MvppNodeKind::kAggregate: {
+        Json groups = Json::array();
+        for (const std::string& c : n.columns) {
+          groups.push_back(Json::string(c));
+        }
+        j.set("group_by", std::move(groups));
+        Json aggs = Json::array();
+        for (const AggSpec& a : n.aggregates) {
+          aggs.push_back(Json::string(a.to_string()));
+        }
+        j.set("aggregates", std::move(aggs));
+        break;
+      }
+      case MvppNodeKind::kQuery:
+        j.set("query_frequency", Json::number(n.frequency));
+        break;
+    }
+    Json children = Json::array();
+    for (NodeId c : n.children) {
+      children.push_back(Json::number(static_cast<double>(c)));
+    }
+    j.set("children", std::move(children));
+    if (graph.annotated() && n.kind != MvppNodeKind::kQuery) {
+      j.set("rows", Json::number(n.rows));
+      j.set("blocks", Json::number(n.blocks));
+      if (n.is_operation()) {
+        j.set("op_cost", Json::number(n.op_cost));
+        j.set("full_cost", Json::number(n.full_cost));
+      }
+    }
+    nodes.push_back(std::move(j));
+  }
+  Json out = Json::object();
+  out.set("annotated", Json::boolean(graph.annotated()));
+  out.set("nodes", std::move(nodes));
+  return out;
+}
+
+Json to_json(const MvppGraph& graph, const SelectionResult& selection) {
+  Json out = Json::object();
+  out.set("algorithm", Json::string(selection.algorithm));
+  Json views = Json::array();
+  for (NodeId v : selection.materialized) {
+    views.push_back(Json::string(graph.node(v).name));
+  }
+  out.set("materialized", std::move(views));
+  Json costs = Json::object();
+  costs.set("query_processing", Json::number(selection.costs.query_processing));
+  costs.set("maintenance", Json::number(selection.costs.maintenance));
+  costs.set("total", Json::number(selection.costs.total()));
+  out.set("costs", std::move(costs));
+  Json trace = Json::array();
+  for (const std::string& line : selection.trace) {
+    trace.push_back(Json::string(line));
+  }
+  out.set("trace", std::move(trace));
+  return out;
+}
+
+Json design_report_json(const MvppEvaluator& eval,
+                        const SelectionResult& selection) {
+  const MvppGraph& g = eval.graph();
+  Json out = Json::object();
+  out.set("selection", to_json(g, selection));
+
+  Json queries = Json::array();
+  for (NodeId q : g.query_ids()) {
+    Json j = Json::object();
+    j.set("name", Json::string(g.node(q).name));
+    j.set("frequency", Json::number(g.node(q).frequency));
+    j.set("answer_cost", Json::number(eval.answer_cost(q, selection.materialized)));
+    j.set("answer_cost_all_virtual", Json::number(eval.answer_cost(q, {})));
+    queries.push_back(std::move(j));
+  }
+  out.set("queries", std::move(queries));
+
+  Json views = Json::array();
+  for (NodeId v : selection.materialized) {
+    Json j = Json::object();
+    j.set("name", Json::string(g.node(v).name));
+    j.set("blocks", Json::number(g.node(v).blocks));
+    j.set("maintenance_cost",
+          Json::number(eval.maintenance_cost(v, selection.materialized)));
+    Json consumers = Json::array();
+    for (NodeId q : g.queries_using(v)) {
+      consumers.push_back(Json::string(g.node(q).name));
+    }
+    j.set("serves", std::move(consumers));
+    views.push_back(std::move(j));
+  }
+  out.set("views", std::move(views));
+  out.set("graph", to_json(g));
+  return out;
+}
+
+}  // namespace mvd

@@ -1,0 +1,26 @@
+// Machine-readable serialization of MVPPs and design decisions — stable
+// JSON meant for dashboards, diffing design runs, and driving external
+// tooling (e.g. feeding the DOT/JSON into a UI).
+#pragma once
+
+#include "src/common/json.hpp"
+#include "src/mvpp/evaluation.hpp"
+#include "src/mvpp/selection.hpp"
+
+namespace mvd {
+
+/// The full graph: one entry per node with kind, name, payload (predicate
+/// / columns / aggregates / relation), children, frequencies and the
+/// annotation results (rows, blocks, op_cost, full_cost).
+Json to_json(const MvppGraph& graph);
+
+/// A selection outcome: algorithm, chosen view names, cost breakdown,
+/// decision trace.
+Json to_json(const MvppGraph& graph, const SelectionResult& selection);
+
+/// Selection outcome plus per-view detail under the given evaluator
+/// (answering/maintenance costs per query and per view).
+Json design_report_json(const MvppEvaluator& eval,
+                        const SelectionResult& selection);
+
+}  // namespace mvd

@@ -1,0 +1,194 @@
+#include "src/optimizer/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+
+namespace mvd {
+
+Optimizer::Optimizer(const CostModel& cost_model, OptimizerConfig config)
+    : cost_model_(&cost_model), config_(config) {}
+
+PlanPtr Optimizer::relation_unit(const QuerySpec& spec,
+                                 const std::string& relation,
+                                 const PlanPlacement& placement) const {
+  PlanPtr plan = make_scan(cost_model_->catalog(), relation);
+  if (placement.push_selections_down) {
+    std::vector<ExprPtr> preds = spec.selections_on(relation);
+    if (!preds.empty()) plan = make_select(plan, conj(std::move(preds)));
+  }
+  if (placement.push_projections_down) {
+    const std::set<std::string> used = spec.used_columns(relation);
+    // Keep schema order; skip the projection when it keeps everything.
+    std::vector<std::string> cols;
+    for (const Attribute& a : plan->output_schema().attributes()) {
+      if (used.contains(a.qualified())) cols.push_back(a.qualified());
+    }
+    if (!cols.empty() && cols.size() < plan->output_schema().size()) {
+      plan = make_project(plan, cols);
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+// Join conjuncts of `spec` linking `placed` to `next`, removing them from
+// `remaining`.
+std::vector<ExprPtr> take_applicable_joins(
+    std::vector<JoinPredicate>& remaining,
+    const std::set<std::string>& placed, const std::string& next) {
+  std::vector<ExprPtr> out;
+  for (auto it = remaining.begin(); it != remaining.end();) {
+    const std::string lr = it->left_relation();
+    const std::string rr = it->right_relation();
+    const bool connects = (placed.contains(lr) && rr == next) ||
+                          (placed.contains(rr) && lr == next);
+    if (connects) {
+      out.push_back(it->expr());
+      it = remaining.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PlanPtr Optimizer::build_plan(const QuerySpec& spec,
+                              const std::vector<std::string>& order,
+                              const PlanPlacement& placement) const {
+  if (order.size() != spec.relations().size()) {
+    throw PlanError("join order size mismatch");
+  }
+  for (const std::string& r : order) {
+    if (std::find(spec.relations().begin(), spec.relations().end(), r) ==
+        spec.relations().end()) {
+      throw PlanError("join order names relation '" + r +
+                      "' absent from the query");
+    }
+  }
+
+  std::vector<JoinPredicate> remaining = spec.joins();
+  std::set<std::string> placed{order.front()};
+  PlanPtr plan = relation_unit(spec, order.front(), placement);
+
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    PlanPtr right = relation_unit(spec, order[i], placement);
+    std::vector<ExprPtr> preds =
+        take_applicable_joins(remaining, placed, order[i]);
+    ExprPtr joined = preds.empty() ? lit(Value::boolean(true))
+                                   : conj(std::move(preds));
+    plan = make_join(std::move(plan), std::move(right), joined);
+    placed.insert(order[i]);
+  }
+  MVD_ASSERT_MSG(remaining.empty(), "unapplied join predicates remain");
+
+  std::vector<ExprPtr> top;
+  if (!placement.push_selections_down) {
+    for (const ExprPtr& s : spec.selections()) top.push_back(s);
+  } else {
+    for (const ExprPtr& s : spec.multi_relation_selections()) top.push_back(s);
+  }
+  if (!top.empty()) plan = make_select(std::move(plan), conj(std::move(top)));
+  return apply_query_output(std::move(plan), spec);
+}
+
+std::vector<std::string> Optimizer::optimal_join_order(
+    const QuerySpec& spec) const {
+  const std::vector<std::string>& rels = spec.relations();
+  const std::size_t n = rels.size();
+  if (n == 1) return rels;
+  if (n > 20) throw PlanError("too many relations for subset-DP join search");
+
+  const PlanPlacement pushed{true, true};
+
+  // Adjacency over relation indices.
+  std::vector<std::uint32_t> adjacent(n, 0);
+  auto index_of = [&](const std::string& r) {
+    return static_cast<std::size_t>(
+        std::find(rels.begin(), rels.end(), r) - rels.begin());
+  };
+  for (const JoinPredicate& j : spec.joins()) {
+    const std::size_t a = index_of(j.left_relation());
+    const std::size_t b = index_of(j.right_relation());
+    adjacent[a] |= 1u << b;
+    adjacent[b] |= 1u << a;
+  }
+
+  struct State {
+    double cost = std::numeric_limits<double>::infinity();
+    std::vector<std::string> order;
+  };
+  std::vector<State> dp(std::size_t{1} << n);
+
+  for (std::size_t r = 0; r < n; ++r) {
+    State& s = dp[std::size_t{1} << r];
+    s.order = {rels[r]};
+    // Cost of the unit alone: producing its (selected/projected) result.
+    s.cost = cost_model_->full_cost(relation_unit(spec, rels[r], pushed));
+  }
+
+  const std::size_t full = (std::size_t{1} << n) - 1;
+  for (std::size_t mask = 1; mask <= full; ++mask) {
+    if (!std::isfinite(dp[mask].cost)) continue;
+    if (mask == full) break;
+    // Which relations may extend this set?
+    std::uint32_t frontier = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (mask & (std::size_t{1} << r)) frontier |= adjacent[r];
+    }
+    frontier &= ~static_cast<std::uint32_t>(mask);
+    const bool use_connected = config_.connected_subsets_only && frontier != 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t bit = std::size_t{1} << r;
+      if (mask & bit) continue;
+      if (use_connected && !(frontier & bit)) continue;
+      std::vector<std::string> order = dp[mask].order;
+      order.push_back(rels[r]);
+      // Score the prefix: cost of the partial left-deep join tree
+      // (build_plan requires all relations, so construct the prefix here).
+      std::vector<JoinPredicate> remaining = spec.joins();
+      std::set<std::string> placed{order.front()};
+      PlanPtr plan = relation_unit(spec, order.front(), pushed);
+      for (std::size_t i = 1; i < order.size(); ++i) {
+        PlanPtr right = relation_unit(spec, order[i], pushed);
+        std::vector<ExprPtr> preds =
+            take_applicable_joins(remaining, placed, order[i]);
+        ExprPtr joined = preds.empty() ? lit(Value::boolean(true))
+                                       : conj(std::move(preds));
+        plan = make_join(std::move(plan), std::move(right), joined);
+        placed.insert(order[i]);
+      }
+      const double cost = cost_model_->full_cost(plan);
+      State& next = dp[mask | bit];
+      if (cost < next.cost) {
+        next.cost = cost;
+        next.order = std::move(order);
+      }
+    }
+  }
+
+  if (!std::isfinite(dp[full].cost)) {
+    // Disconnected graph with connected_subsets_only pruning every path:
+    // rerun allowing cross joins.
+    Optimizer relaxed(*cost_model_, OptimizerConfig{false});
+    return relaxed.optimal_join_order(spec);
+  }
+  return dp[full].order;
+}
+
+PlanPtr Optimizer::optimize(const QuerySpec& spec) const {
+  return build_plan(spec, optimal_join_order(spec), PlanPlacement{true, true});
+}
+
+PlanPtr Optimizer::optimize_pushed_up(const QuerySpec& spec) const {
+  return build_plan(spec, optimal_join_order(spec),
+                    PlanPlacement{false, false});
+}
+
+}  // namespace mvd

@@ -1,0 +1,134 @@
+#include "src/sql/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace mvd {
+
+namespace {
+
+const std::set<std::string>& keywords() {
+  // DATE is intentionally not a keyword: the date-literal prefix is
+  // recognized by the parser from adjacency (DATE '...'), so relations may
+  // have a column named "date" (the paper's Order relation does).
+  static const std::set<std::string> kw = {"SELECT", "FROM", "WHERE", "AND",
+                                           "OR",     "NOT",  "TRUE",  "FALSE",
+                                           "GROUP",  "BY",   "AS"};
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+
+  auto peek = [&](std::size_t k = 0) -> char {
+    return i + k < n ? sql[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tok.text = sql.substr(start, i - start);
+      const std::string upper = [&] {
+        std::string u = tok.text;
+        for (char& ch : u) ch = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(ch)));
+        return u;
+      }();
+      if (keywords().contains(upper)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = TokenKind::kIdentifier;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      bool dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (!dot && sql[i] == '.' &&
+                        std::isdigit(static_cast<unsigned char>(peek(1)))))) {
+        if (sql[i] == '.') dot = true;
+        ++i;
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.text = sql.substr(start, i - start);
+      tok.number = std::strtod(tok.text.c_str(), nullptr);
+      tok.is_integer = !dot;
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (peek(1) == '\'') {  // '' escape
+            value += '\'';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          value += sql[i++];
+        }
+      }
+      if (!closed) {
+        throw ParseError(str_cat("unterminated string literal at offset ",
+                                 tok.offset));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(value);
+    } else {
+      // Multi-char symbols first.
+      static const char* two_char[] = {"<>", "!=", "<=", ">="};
+      std::string pair{c, peek(1)};
+      bool matched = false;
+      for (const char* s : two_char) {
+        if (pair == s) {
+          tok.kind = TokenKind::kSymbol;
+          tok.text = pair;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string singles = ",.()=<>*";
+        if (singles.find(c) == std::string::npos) {
+          throw ParseError(str_cat("unexpected character '", c,
+                                   "' at offset ", i));
+        }
+        tok.kind = TokenKind::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace mvd

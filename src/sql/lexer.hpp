@@ -1,0 +1,38 @@
+// Tokenizer for the SQL subset (SELECT–FROM–WHERE over SPJ predicates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvd {
+
+enum class TokenKind {
+  kIdentifier,  // Product, Div.city   (qualification handled by the parser)
+  kKeyword,     // SELECT FROM WHERE AND OR NOT TRUE FALSE DATE
+  kNumber,      // 42, 3.5
+  kString,      // 'LA' with '' escaping
+  kSymbol,      // , . ( ) = <> != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // raw text; keywords upper-cased, strings unquoted
+  double number = 0;     // kNumber value
+  bool is_integer = false;
+  std::size_t offset = 0;  // byte offset, for error messages
+
+  bool is_keyword(const std::string& kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool is_symbol(const std::string& s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+};
+
+/// Tokenize `sql`; throws ParseError on malformed input. The returned
+/// vector always ends with a kEnd token.
+std::vector<Token> tokenize(const std::string& sql);
+
+}  // namespace mvd

@@ -1,0 +1,41 @@
+#include "src/storage/database.hpp"
+
+#include "src/common/error.hpp"
+
+namespace mvd {
+
+void Database::add_table(const std::string& name, Table table) {
+  if (tables_.contains(name)) {
+    throw ExecError("duplicate table '" + name + "'");
+  }
+  tables_.emplace(name, std::move(table));
+}
+
+void Database::put_table(const std::string& name, Table table) {
+  tables_.insert_or_assign(name, std::move(table));
+}
+
+bool Database::has_table(const std::string& name) const {
+  return tables_.contains(name);
+}
+
+const Table& Database::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw ExecError("unknown table '" + name + "'");
+  return it->second;
+}
+
+void Database::drop_table(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    throw ExecError("cannot drop unknown table '" + name + "'");
+  }
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [n, _] : tables_) names.push_back(n);
+  return names;
+}
+
+}  // namespace mvd

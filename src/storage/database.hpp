@@ -1,0 +1,33 @@
+// A Database is the named collection of base-relation Tables the executor
+// runs against (the "member databases" of the paper, already mirrored and
+// homogenized). Materialized views live beside base tables under their
+// MVPP node names.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/storage/table.hpp"
+
+namespace mvd {
+
+class Database {
+ public:
+  /// Add a table under `name`; throws ExecError on duplicates.
+  void add_table(const std::string& name, Table table);
+
+  /// Replace-or-insert, used when refreshing materialized views.
+  void put_table(const std::string& name, Table table);
+
+  bool has_table(const std::string& name) const;
+  const Table& table(const std::string& name) const;
+
+  void drop_table(const std::string& name);
+
+  std::vector<std::string> table_names() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace mvd

@@ -1,0 +1,118 @@
+#include "src/storage/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/text_table.hpp"
+
+namespace mvd {
+
+Table::Table(Schema schema, double blocking_factor)
+    : schema_(std::move(schema)), blocking_factor_(blocking_factor) {
+  MVD_ASSERT(blocking_factor_ > 0);
+}
+
+namespace {
+bool type_compatible(ValueType declared, ValueType actual) {
+  if (declared == actual) return true;
+  // Dates are stored as int64 day counts; accept either tag.
+  return (declared == ValueType::kDate && actual == ValueType::kInt64) ||
+         (declared == ValueType::kInt64 && actual == ValueType::kDate);
+}
+}  // namespace
+
+void Table::append(Tuple tuple) {
+  if (tuple.size() != schema_.size()) {
+    throw ExecError("tuple arity " + std::to_string(tuple.size()) +
+                    " does not match schema arity " +
+                    std::to_string(schema_.size()));
+  }
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (!type_compatible(schema_.at(i).type, tuple[i].type())) {
+      throw ExecError("type mismatch for " + schema_.at(i).qualified() +
+                      ": declared " + to_string(schema_.at(i).type) +
+                      ", got " + to_string(tuple[i].type()));
+    }
+  }
+  rows_.push_back(std::move(tuple));
+}
+
+const Tuple& Table::row(std::size_t i) const {
+  MVD_ASSERT_MSG(i < rows_.size(), "row " << i << " out of range");
+  return rows_[i];
+}
+
+void Table::update_row(std::size_t i, Tuple tuple) {
+  MVD_ASSERT_MSG(i < rows_.size(), "row " << i << " out of range");
+  append(std::move(tuple));  // reuse the arity/type checks
+  rows_[i] = std::move(rows_.back());
+  rows_.pop_back();
+}
+
+void Table::remove_row(std::size_t i) {
+  MVD_ASSERT_MSG(i < rows_.size(), "row " << i << " out of range");
+  rows_[i] = std::move(rows_.back());
+  rows_.pop_back();
+}
+
+double Table::blocks() const {
+  if (rows_.empty()) return 0;
+  return std::max(1.0,
+                  std::ceil(static_cast<double>(rows_.size()) / blocking_factor_));
+}
+
+RelationStats Table::compute_stats() const {
+  RelationStats stats;
+  stats.rows = static_cast<double>(rows_.size());
+  stats.blocks = blocks();
+  for (std::size_t c = 0; c < schema_.size(); ++c) {
+    const Attribute& attr = schema_.at(c);
+    ColumnStats cs;
+    std::unordered_set<Value> distinct;
+    bool any_numeric = false;
+    double lo = 0, hi = 0;
+    for (const Tuple& t : rows_) {
+      distinct.insert(t[c]);
+      if (is_numeric(t[c].type())) {
+        const double x = t[c].as_double();
+        if (!any_numeric) {
+          lo = hi = x;
+          any_numeric = true;
+        } else {
+          lo = std::min(lo, x);
+          hi = std::max(hi, x);
+        }
+      }
+    }
+    if (!rows_.empty()) cs.distinct = static_cast<double>(distinct.size());
+    if (any_numeric) {
+      cs.min_value = lo;
+      cs.max_value = hi;
+    }
+    stats.columns[attr.name] = cs;
+  }
+  return stats;
+}
+
+std::string Table::preview(std::size_t limit) const {
+  std::vector<std::string> headers;
+  headers.reserve(schema_.size());
+  for (const Attribute& a : schema_.attributes()) headers.push_back(a.qualified());
+  TextTable t(std::move(headers));
+  for (std::size_t i = 0; i < rows_.size() && i < limit; ++i) {
+    std::vector<std::string> cells;
+    cells.reserve(rows_[i].size());
+    for (const Value& v : rows_[i]) cells.push_back(v.to_string());
+    t.add_row(std::move(cells));
+  }
+  std::string out = t.render();
+  if (rows_.size() > limit) {
+    out += "... (" + std::to_string(rows_.size() - limit) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace mvd

@@ -1,0 +1,57 @@
+// In-memory tables with block accounting.
+//
+// The executor runs against Tables; the cost model reasons in blocks, so a
+// Table reports its size in blocks using the same blocking factor the
+// catalog uses, making estimated-vs-actual comparisons meaningful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.hpp"
+#include "src/catalog/statistics.hpp"
+#include "src/storage/value.hpp"
+
+namespace mvd {
+
+using Tuple = std::vector<Value>;
+
+class Table {
+ public:
+  explicit Table(Schema schema, double blocking_factor = 10.0);
+
+  const Schema& schema() const { return schema_; }
+  double blocking_factor() const { return blocking_factor_; }
+
+  /// Append a tuple; arity and types are checked (kInt64 accepted where
+  /// kDate is declared and vice versa — both are day counts).
+  void append(Tuple tuple);
+
+  std::size_t row_count() const { return rows_.size(); }
+  const Tuple& row(std::size_t i) const;
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Replace row `i`; same arity/type checks as append().
+  void update_row(std::size_t i, Tuple tuple);
+
+  /// Remove row `i` (swap-with-last, order not preserved).
+  void remove_row(std::size_t i);
+
+  /// Size in blocks: ceil(rows / blocking_factor), 0 when empty.
+  double blocks() const;
+
+  /// Derive RelationStats (rows, blocks, per-column distinct counts and
+  /// numeric min/max) from the actual data. Lets generated datasets feed
+  /// the estimator the truth, isolating cost-model error from stats error.
+  RelationStats compute_stats() const;
+
+  /// First `limit` rows rendered as an aligned table (for examples/demos).
+  std::string preview(std::size_t limit = 10) const;
+
+ private:
+  Schema schema_;
+  double blocking_factor_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace mvd

@@ -1,0 +1,130 @@
+#include "src/warehouse/designer.hpp"
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/text_table.hpp"
+#include "src/common/units.hpp"
+#include "src/sql/parser.hpp"
+
+namespace mvd {
+
+WarehouseDesigner::WarehouseDesigner(Catalog catalog, DesignerOptions options)
+    : catalog_(std::move(catalog)),
+      options_(options),
+      cost_model_(catalog_, options.cost),
+      optimizer_(cost_model_) {}
+
+void WarehouseDesigner::add_query(const std::string& name, double frequency,
+                                  const std::string& sql) {
+  add_query(parse_and_bind(catalog_, name, frequency, sql));
+}
+
+void WarehouseDesigner::add_query(QuerySpec spec) {
+  for (const QuerySpec& q : queries_) {
+    if (q.name() == spec.name()) {
+      throw PlanError("duplicate query name '" + spec.name() + "'");
+    }
+  }
+  queries_.push_back(std::move(spec));
+}
+
+SelectionAlgorithm WarehouseDesigner::selection_algorithm() const {
+  switch (options_.algorithm) {
+    case DesignerOptions::Algorithm::kYang:
+      return [](const MvppEvaluator& e) { return yang_heuristic(e); };
+    case DesignerOptions::Algorithm::kGreedy:
+      return [](const MvppEvaluator& e) { return greedy_incremental(e); };
+    case DesignerOptions::Algorithm::kExhaustive: {
+      const std::size_t limit = options_.exhaustive_limit;
+      return [limit](const MvppEvaluator& e) {
+        return exhaustive_optimal(e, limit);
+      };
+    }
+    case DesignerOptions::Algorithm::kAnnealing: {
+      const AnnealingOptions annealing = options_.annealing;
+      return [annealing](const MvppEvaluator& e) {
+        return simulated_annealing(e, annealing);
+      };
+    }
+  }
+  throw PlanError("unknown selection algorithm");
+}
+
+DesignResult WarehouseDesigner::design() const {
+  if (queries_.empty()) {
+    throw PlanError("no queries registered; add_query first");
+  }
+  MvppBuilder builder(optimizer_);
+  DesignResult result;
+  result.candidates = builder.build_all_rotations(queries_);
+  MvppChoice choice = choose_best_mvpp(result.candidates, options_.maintenance,
+                                       selection_algorithm());
+  result.mvpp_index = choice.index;
+  result.selection = std::move(choice.selection);
+  return result;
+}
+
+std::string WarehouseDesigner::report(const DesignResult& design) const {
+  const MvppGraph& g = design.graph();
+  MvppEvaluator eval(g, options_.maintenance);
+  std::ostringstream os;
+  os << "=== materialized view design ===\n";
+  os << "queries: " << queries_.size() << ", candidate MVPPs: "
+     << design.candidates.size() << ", winner: #" << design.mvpp_index
+     << " (merge order ";
+  for (std::size_t i = 0;
+       i < design.candidates[design.mvpp_index].merge_order.size(); ++i) {
+    if (i != 0) os << " ";
+    os << design.candidates[design.mvpp_index].merge_order[i];
+  }
+  os << ")\n\n" << g.to_text() << '\n';
+
+  TextTable table({"strategy", "materialized", "query cost", "maintenance",
+                   "total"},
+                  {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight,
+                   Align::kRight});
+  auto row = [&](const SelectionResult& r) {
+    table.add_row({r.algorithm, to_string(g, r.materialized),
+                   format_blocks(r.costs.query_processing),
+                   format_blocks(r.costs.maintenance),
+                   format_blocks(r.costs.total())});
+  };
+  row(select_nothing(eval));
+  row(select_all_query_results(eval));
+  row(select_all_operations(eval));
+  row(design.selection);
+  os << table.render();
+  return os.str();
+}
+
+void WarehouseDesigner::deploy(const DesignResult& design, Database& db) const {
+  const MvppGraph& g = design.graph();
+  // Node ids ascend topologically, so iterating the ordered set stores
+  // every view after the views it reads.
+  for (NodeId v : design.selection.materialized) {
+    MaterializedSet deps = design.selection.materialized;
+    deps.erase(v);
+    const Executor exec(db);
+    Table view = exec.run(refresh_plan(g, v, deps));
+    db.put_table(g.node(v).name, std::move(view));
+  }
+}
+
+void WarehouseDesigner::refresh(const DesignResult& design, Database& db) const {
+  deploy(design, db);  // recompute-and-replace is the paper's maintenance
+}
+
+Table WarehouseDesigner::answer(const DesignResult& design,
+                                const std::string& query_name,
+                                const Database& db, ExecStats* stats) const {
+  const MvppGraph& g = design.graph();
+  const NodeId q = g.find_by_name(query_name);
+  if (q < 0 || g.node(q).kind != MvppNodeKind::kQuery) {
+    throw PlanError("unknown query '" + query_name + "'");
+  }
+  const Executor exec(db);
+  return exec.run(answer_plan(g, q, design.selection.materialized), stats);
+}
+
+}  // namespace mvd

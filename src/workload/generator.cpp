@@ -1,0 +1,371 @@
+#include "src/workload/generator.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/random.hpp"
+#include "src/common/strings.hpp"
+
+namespace mvd {
+
+namespace {
+
+std::string dim_name(std::size_t i) { return "Dim" + std::to_string(i); }
+
+ColumnStats with_distinct(double d) {
+  ColumnStats cs;
+  cs.distinct = d;
+  return cs;
+}
+
+ColumnStats with_range(double d, double lo, double hi) {
+  ColumnStats cs;
+  cs.distinct = d;
+  cs.min_value = lo;
+  cs.max_value = hi;
+  return cs;
+}
+
+}  // namespace
+
+Catalog make_star_catalog(const StarSchemaOptions& options) {
+  if (options.dimensions == 0) throw CatalogError("star needs >= 1 dimension");
+  Catalog catalog(options.blocking_factor);
+
+  for (std::size_t i = 0; i < options.dimensions; ++i) {
+    Schema schema({{"id", ValueType::kInt64, ""},
+                   {"category", ValueType::kString, ""},
+                   {"label", ValueType::kString, ""},
+                   {"weight", ValueType::kInt64, ""}});
+    RelationStats stats;
+    stats.rows = static_cast<double>(options.dimension_rows);
+    stats.columns["id"] = with_distinct(stats.rows);
+    stats.columns["category"] =
+        with_distinct(static_cast<double>(options.categories));
+    stats.columns["label"] = with_distinct(stats.rows);
+    stats.columns["weight"] = with_range(100, 1, 100);
+    catalog.add_relation(dim_name(i), std::move(schema), std::move(stats),
+                         options.update_frequency);
+  }
+
+  std::vector<Attribute> fact_attrs{{"fid", ValueType::kInt64, ""}};
+  for (std::size_t i = 0; i < options.dimensions; ++i) {
+    fact_attrs.push_back({"d" + std::to_string(i), ValueType::kInt64, ""});
+  }
+  fact_attrs.push_back({"measure", ValueType::kInt64, ""});
+  fact_attrs.push_back({"amount", ValueType::kDouble, ""});
+  RelationStats stats;
+  stats.rows = static_cast<double>(options.fact_rows);
+  stats.columns["fid"] = with_distinct(stats.rows);
+  for (std::size_t i = 0; i < options.dimensions; ++i) {
+    stats.columns["d" + std::to_string(i)] =
+        with_distinct(static_cast<double>(options.dimension_rows));
+  }
+  stats.columns["measure"] = with_range(
+      static_cast<double>(options.measure_range), 1,
+      static_cast<double>(options.measure_range));
+  stats.columns["amount"] = with_range(stats.rows, 0, 1'000);
+  catalog.add_relation("Fact", Schema(std::move(fact_attrs)), std::move(stats),
+                       options.update_frequency);
+  return catalog;
+}
+
+std::vector<QuerySpec> generate_star_queries(const Catalog& catalog,
+                                             const StarSchemaOptions& schema,
+                                             const StarQueryOptions& options) {
+  if (options.min_dimensions == 0 ||
+      options.max_dimensions < options.min_dimensions ||
+      options.max_dimensions > schema.dimensions) {
+    throw PlanError("invalid dimension span for star query generation");
+  }
+  Rng rng(options.seed);
+  const ZipfSampler zipf(std::max<std::size_t>(options.count, 1),
+                         options.zipf_skew);
+  // fq(rank) proportional to the zipf pmf, scaled so rank 0 gets
+  // top_frequency.
+  const double scale = options.top_frequency / zipf.pmf(0);
+
+  std::vector<QuerySpec> queries;
+  for (std::size_t qi = 0; qi < options.count; ++qi) {
+    const std::size_t ndims = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(options.min_dimensions),
+        static_cast<std::int64_t>(options.max_dimensions)));
+    std::vector<std::size_t> dims(schema.dimensions);
+    for (std::size_t i = 0; i < dims.size(); ++i) dims[i] = i;
+    rng.shuffle(dims);
+    dims.resize(ndims);
+    std::sort(dims.begin(), dims.end());
+
+    std::vector<std::string> relations{"Fact"};
+    std::vector<ExprPtr> where;
+    std::vector<std::string> projection{"Fact.measure"};
+    for (std::size_t d : dims) {
+      const std::string rel = dim_name(d);
+      relations.push_back(rel);
+      where.push_back(eq(col("Fact.d" + std::to_string(d)), col(rel + ".id")));
+      projection.push_back(rel + ".label");
+      if (rng.chance(options.selection_probability)) {
+        const std::int64_t cat = rng.uniform_int(
+            0, static_cast<std::int64_t>(schema.categories) - 1);
+        where.push_back(eq(col(rel + ".category"),
+                           lit_str("cat_" + std::to_string(cat))));
+      }
+    }
+    if (rng.chance(options.selection_probability)) {
+      const std::int64_t cut = rng.uniform_int(
+          1, static_cast<std::int64_t>(schema.measure_range));
+      where.push_back(gt(col("Fact.measure"), lit_i64(cut)));
+    }
+
+    const double fq = scale * zipf.pmf(qi);
+    if (rng.chance(options.aggregation_probability)) {
+      // Rollup: group on the first chosen dimension's category.
+      const std::string group_col = dim_name(dims.front()) + ".category";
+      std::vector<AggSpec> aggs{AggSpec{AggFn::kSum, "Fact.measure", ""},
+                                AggSpec{AggFn::kCount, "", ""}};
+      queries.push_back(QuerySpec::bind(
+          catalog, "Q" + std::to_string(qi + 1), fq, std::move(relations),
+          conj(where), {group_col}, {group_col}, std::move(aggs)));
+    } else {
+      queries.push_back(QuerySpec::bind(catalog,
+                                        "Q" + std::to_string(qi + 1), fq,
+                                        std::move(relations), conj(where),
+                                        std::move(projection)));
+    }
+  }
+  return queries;
+}
+
+Database populate_star_database(const StarSchemaOptions& options,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  const Catalog catalog = make_star_catalog(options);
+
+  for (std::size_t i = 0; i < options.dimensions; ++i) {
+    Table t(catalog.schema(dim_name(i)), options.blocking_factor);
+    for (std::size_t r = 0; r < options.dimension_rows; ++r) {
+      t.append({Value::int64(static_cast<std::int64_t>(r)),
+                Value::string("cat_" + std::to_string(rng.uniform_int(
+                                  0, static_cast<std::int64_t>(
+                                         options.categories) - 1))),
+                Value::string("label_" + std::to_string(i) + "_" +
+                              std::to_string(r)),
+                Value::int64(rng.uniform_int(1, 100))});
+    }
+    db.add_table(dim_name(i), std::move(t));
+  }
+
+  Table fact(catalog.schema("Fact"), options.blocking_factor);
+  for (std::size_t r = 0; r < options.fact_rows; ++r) {
+    Tuple t{Value::int64(static_cast<std::int64_t>(r))};
+    for (std::size_t i = 0; i < options.dimensions; ++i) {
+      t.push_back(Value::int64(rng.uniform_int(
+          0, static_cast<std::int64_t>(options.dimension_rows) - 1)));
+    }
+    t.push_back(Value::int64(rng.uniform_int(
+        1, static_cast<std::int64_t>(options.measure_range))));
+    t.push_back(Value::real(rng.uniform(0, 1'000)));
+    fact.append(std::move(t));
+  }
+  db.add_table("Fact", std::move(fact));
+  return db;
+}
+
+Catalog catalog_from_database(const Database& db, double blocking_factor,
+                              double update_frequency) {
+  Catalog catalog(blocking_factor);
+  for (const std::string& name : db.table_names()) {
+    const Table& t = db.table(name);
+    // Strip qualification: catalog schemas use bare sources.
+    std::vector<Attribute> attrs;
+    for (Attribute a : t.schema().attributes()) {
+      a.source.clear();
+      attrs.push_back(std::move(a));
+    }
+    catalog.add_relation(name, Schema(std::move(attrs)), t.compute_stats(),
+                         update_frequency);
+  }
+  return catalog;
+}
+
+namespace {
+std::string sub_name(std::size_t i) { return "Sub" + std::to_string(i); }
+}  // namespace
+
+Catalog make_snowflake_catalog(const SnowflakeSchemaOptions& options) {
+  if (options.dimensions == 0) {
+    throw CatalogError("snowflake needs >= 1 dimension");
+  }
+  Catalog catalog(options.blocking_factor);
+
+  for (std::size_t i = 0; i < options.dimensions; ++i) {
+    {
+      Schema schema({{"id", ValueType::kInt64, ""},
+                     {"region", ValueType::kString, ""}});
+      RelationStats stats;
+      stats.rows = static_cast<double>(options.subdimension_rows);
+      stats.columns["id"] = with_distinct(stats.rows);
+      stats.columns["region"] =
+          with_distinct(static_cast<double>(options.categories));
+      catalog.add_relation(sub_name(i), std::move(schema), std::move(stats),
+                           options.update_frequency);
+    }
+    {
+      Schema schema({{"id", ValueType::kInt64, ""},
+                     {"sub_id", ValueType::kInt64, ""},
+                     {"label", ValueType::kString, ""}});
+      RelationStats stats;
+      stats.rows = static_cast<double>(options.dimension_rows);
+      stats.columns["id"] = with_distinct(stats.rows);
+      stats.columns["sub_id"] =
+          with_distinct(static_cast<double>(options.subdimension_rows));
+      stats.columns["label"] = with_distinct(stats.rows);
+      catalog.add_relation(dim_name(i), std::move(schema), std::move(stats),
+                           options.update_frequency);
+    }
+  }
+
+  std::vector<Attribute> fact_attrs{{"fid", ValueType::kInt64, ""}};
+  for (std::size_t i = 0; i < options.dimensions; ++i) {
+    fact_attrs.push_back({"d" + std::to_string(i), ValueType::kInt64, ""});
+  }
+  fact_attrs.push_back({"measure", ValueType::kInt64, ""});
+  RelationStats stats;
+  stats.rows = static_cast<double>(options.fact_rows);
+  stats.columns["fid"] = with_distinct(stats.rows);
+  for (std::size_t i = 0; i < options.dimensions; ++i) {
+    stats.columns["d" + std::to_string(i)] =
+        with_distinct(static_cast<double>(options.dimension_rows));
+  }
+  stats.columns["measure"] = with_range(1'000, 1, 1'000);
+  catalog.add_relation("Fact", Schema(std::move(fact_attrs)), std::move(stats),
+                       options.update_frequency);
+  return catalog;
+}
+
+std::vector<QuerySpec> generate_snowflake_queries(
+    const Catalog& catalog, const SnowflakeSchemaOptions& schema,
+    const StarQueryOptions& options) {
+  if (options.min_dimensions == 0 ||
+      options.max_dimensions < options.min_dimensions ||
+      options.max_dimensions > schema.dimensions) {
+    throw PlanError("invalid dimension span for snowflake query generation");
+  }
+  Rng rng(options.seed);
+  const ZipfSampler zipf(std::max<std::size_t>(options.count, 1),
+                         options.zipf_skew);
+  const double scale = options.top_frequency / zipf.pmf(0);
+
+  std::vector<QuerySpec> queries;
+  for (std::size_t qi = 0; qi < options.count; ++qi) {
+    const std::size_t ndims = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(options.min_dimensions),
+        static_cast<std::int64_t>(options.max_dimensions)));
+    std::vector<std::size_t> dims(schema.dimensions);
+    for (std::size_t i = 0; i < dims.size(); ++i) dims[i] = i;
+    rng.shuffle(dims);
+    dims.resize(ndims);
+    std::sort(dims.begin(), dims.end());
+
+    std::vector<std::string> relations{"Fact"};
+    std::vector<ExprPtr> where;
+    std::vector<std::string> projection{"Fact.measure"};
+    for (std::size_t d : dims) {
+      const std::string dim = dim_name(d);
+      const std::string sub = sub_name(d);
+      relations.push_back(dim);
+      relations.push_back(sub);
+      where.push_back(eq(col("Fact.d" + std::to_string(d)), col(dim + ".id")));
+      where.push_back(eq(col(dim + ".sub_id"), col(sub + ".id")));
+      projection.push_back(dim + ".label");
+      if (rng.chance(options.selection_probability)) {
+        const std::int64_t region = rng.uniform_int(
+            0, static_cast<std::int64_t>(schema.categories) - 1);
+        where.push_back(eq(col(sub + ".region"),
+                           lit_str("region_" + std::to_string(region))));
+      }
+    }
+    const double fq = scale * zipf.pmf(qi);
+    queries.push_back(QuerySpec::bind(catalog, "Q" + std::to_string(qi + 1),
+                                      fq, std::move(relations), conj(where),
+                                      std::move(projection)));
+  }
+  return queries;
+}
+
+namespace {
+std::string chain_name(std::size_t i) { return "R" + std::to_string(i); }
+}  // namespace
+
+Catalog make_chain_catalog(const ChainSchemaOptions& options) {
+  if (options.length < 2) throw CatalogError("chain needs >= 2 relations");
+  Catalog catalog(options.blocking_factor);
+  for (std::size_t i = 0; i < options.length; ++i) {
+    std::vector<Attribute> attrs;
+    if (i > 0) attrs.push_back({"k" + std::to_string(i - 1), ValueType::kInt64, ""});
+    attrs.push_back({"k" + std::to_string(i), ValueType::kInt64, ""});
+    attrs.push_back({"v", ValueType::kInt64, ""});
+    RelationStats stats;
+    stats.rows = static_cast<double>(options.rows) *
+                 (1.0 + 0.5 * static_cast<double>(i % 3));
+    for (const Attribute& a : attrs) {
+      if (a.name == "v") {
+        stats.columns["v"] = with_range(1'000, 1, 1'000);
+      } else {
+        stats.columns[a.name] = with_distinct(stats.rows / 2);
+      }
+    }
+    catalog.add_relation(chain_name(i), Schema(std::move(attrs)),
+                         std::move(stats), options.update_frequency);
+  }
+  return catalog;
+}
+
+std::vector<QuerySpec> generate_chain_queries(const Catalog& catalog,
+                                              const ChainSchemaOptions& schema,
+                                              const ChainQueryOptions& options) {
+  if (options.min_span < 2 || options.max_span < options.min_span ||
+      options.max_span > schema.length) {
+    throw PlanError("invalid span for chain query generation");
+  }
+  Rng rng(options.seed);
+  const ZipfSampler zipf(std::max<std::size_t>(options.count, 1),
+                         options.zipf_skew);
+  const double scale = options.top_frequency / zipf.pmf(0);
+
+  std::vector<QuerySpec> queries;
+  for (std::size_t qi = 0; qi < options.count; ++qi) {
+    const std::size_t span = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(options.min_span),
+        static_cast<std::int64_t>(options.max_span)));
+    const std::size_t start = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(schema.length - span)));
+
+    std::vector<std::string> relations;
+    std::vector<ExprPtr> where;
+    for (std::size_t i = start; i < start + span; ++i) {
+      relations.push_back(chain_name(i));
+      if (i > start) {
+        const std::string key = "k" + std::to_string(i - 1);
+        where.push_back(
+            eq(col(chain_name(i - 1) + "." + key), col(chain_name(i) + "." + key)));
+      }
+    }
+    // A value selection on one end relation half the time.
+    if (rng.chance(0.5)) {
+      const std::int64_t cut = rng.uniform_int(1, 1'000);
+      where.push_back(gt(col(relations.front() + ".v"), lit_i64(cut)));
+    }
+    std::vector<std::string> projection{relations.front() + ".v",
+                                        relations.back() + ".v"};
+    const double fq = scale * zipf.pmf(qi);
+    queries.push_back(QuerySpec::bind(catalog, "Q" + std::to_string(qi + 1),
+                                      fq, std::move(relations), conj(where),
+                                      std::move(projection)));
+  }
+  return queries;
+}
+
+}  // namespace mvd

@@ -1,0 +1,121 @@
+// Synthetic warehouse workloads: star schemas with random SPJ queries, and
+// relation-chain schemas for join-order stress. Both are deterministic in
+// their seeds so benches and property tests are reproducible.
+//
+// The star generator can also populate an actual Database whose contents
+// match the catalog statistics, letting the validation bench compare
+// estimated sizes/costs against executed reality.
+#pragma once
+
+#include <cstdint>
+
+#include "src/algebra/query_spec.hpp"
+#include "src/catalog/catalog.hpp"
+#include "src/storage/database.hpp"
+
+namespace mvd {
+
+struct StarSchemaOptions {
+  std::size_t dimensions = 4;
+  std::size_t fact_rows = 50'000;
+  std::size_t dimension_rows = 2'000;
+  /// Distinct values of each dimension's "category" column (selection
+  /// selectivity 1/categories for equality predicates).
+  std::size_t categories = 20;
+  /// Distinct values (and range max) of the fact "measure" column.
+  std::size_t measure_range = 1'000;
+  double update_frequency = 1.0;
+  double blocking_factor = 10.0;
+};
+
+/// Fact(fid, d0, d1, ..., measure, amount) plus Dim0..DimN(id, category,
+/// label, weight) with statistics filled in.
+Catalog make_star_catalog(const StarSchemaOptions& options);
+
+struct StarQueryOptions {
+  std::size_t count = 8;
+  std::size_t min_dimensions = 1;
+  std::size_t max_dimensions = 3;
+  /// Probability that a chosen dimension gets a category equality
+  /// selection; the fact table gets a measure range selection with the
+  /// same probability.
+  double selection_probability = 0.7;
+  /// Zipf skew of the query-frequency distribution (0 = uniform).
+  double zipf_skew = 1.0;
+  /// Frequency of the most frequent query.
+  double top_frequency = 10.0;
+  /// Probability that a query is a GROUP BY rollup (grouping on one
+  /// chosen dimension's category, SUM + COUNT over the fact measure)
+  /// instead of a plain SPJ query.
+  double aggregation_probability = 0.0;
+  std::uint64_t seed = 7;
+};
+
+/// Random SPJ queries joining the fact table to a random subset of
+/// dimensions, named "Q1".."Qn".
+std::vector<QuerySpec> generate_star_queries(const Catalog& catalog,
+                                             const StarSchemaOptions& schema,
+                                             const StarQueryOptions& options);
+
+/// Populate tables consistent with make_star_catalog's statistics
+/// (uniform categories/measures, foreign keys covering the dimensions).
+Database populate_star_database(const StarSchemaOptions& options,
+                                std::uint64_t seed = 11);
+
+/// Catalog whose statistics are *computed from* the populated tables
+/// (truthful stats, for isolating cost-model error from stats error).
+Catalog catalog_from_database(const Database& db, double blocking_factor,
+                              double update_frequency = 1.0);
+
+struct SnowflakeSchemaOptions {
+  /// Dimensions hanging off the fact table, each with a parent
+  /// sub-dimension (Dim_i -> Sub_i on sub_id): the classic snowflake.
+  std::size_t dimensions = 3;
+  std::size_t fact_rows = 50'000;
+  std::size_t dimension_rows = 2'000;
+  std::size_t subdimension_rows = 100;
+  std::size_t categories = 20;
+  double update_frequency = 1.0;
+  double blocking_factor = 10.0;
+};
+
+/// Fact(fid, d0.., measure) + Dim_i(id, sub_id, label) + Sub_i(id, region)
+/// with statistics. Snowflake queries must traverse two join hops to
+/// reach the selective column (Sub_i.region), making intermediate
+/// dimension joins attractive materialization candidates.
+Catalog make_snowflake_catalog(const SnowflakeSchemaOptions& options);
+
+/// Queries joining the fact through one or two dimensions down to their
+/// sub-dimensions, with equality selections on Sub_i.region; frequencies
+/// Zipf-distributed. Named "Q1".."Qn".
+std::vector<QuerySpec> generate_snowflake_queries(
+    const Catalog& catalog, const SnowflakeSchemaOptions& schema,
+    const StarQueryOptions& options);
+
+struct ChainSchemaOptions {
+  std::size_t length = 5;       // relations R0..R(length-1)
+  std::size_t rows = 10'000;    // per relation
+  double update_frequency = 1.0;
+  double blocking_factor = 10.0;
+};
+
+/// R0(k0, v), R1(k0, k1, v), ..., each Ri joining R(i-1) on k(i-1); used
+/// for join-order and optimality-gap experiments.
+Catalog make_chain_catalog(const ChainSchemaOptions& options);
+
+struct ChainQueryOptions {
+  std::size_t count = 6;
+  std::size_t min_span = 2;   // consecutive relations per query
+  std::size_t max_span = 4;
+  double zipf_skew = 1.0;
+  double top_frequency = 10.0;
+  std::uint64_t seed = 13;
+};
+
+/// Queries over random consecutive spans of the chain (guaranteeing
+/// overlapping subexpressions between queries).
+std::vector<QuerySpec> generate_chain_queries(const Catalog& catalog,
+                                              const ChainSchemaOptions& schema,
+                                              const ChainQueryOptions& options);
+
+}  // namespace mvd

@@ -1,0 +1,293 @@
+#include "src/workload/paper_example.hpp"
+
+#include "src/common/random.hpp"
+#include "src/sql/parser.hpp"
+#include "src/storage/value.hpp"
+
+namespace mvd {
+
+CostModelConfig paper_cost_config() {
+  CostModelConfig config;
+  config.equality_select_half_scan = true;
+  config.use_join_overrides = true;
+  return config;
+}
+
+namespace {
+
+ColumnStats distinct_of(double d) {
+  ColumnStats cs;
+  cs.distinct = d;
+  return cs;
+}
+
+ColumnStats uniform_range(double d, double lo, double hi) {
+  ColumnStats cs;
+  cs.distinct = d;
+  cs.min_value = lo;
+  cs.max_value = hi;
+  return cs;
+}
+
+}  // namespace
+
+Catalog make_paper_catalog() {
+  Catalog catalog(/*blocking_factor=*/10.0);
+
+  {
+    Schema schema({{"Pid", ValueType::kInt64, ""},
+                   {"name", ValueType::kString, ""},
+                   {"Did", ValueType::kInt64, ""}});
+    RelationStats stats;
+    stats.rows = 30'000;
+    stats.blocks = 3'000;
+    stats.columns["Pid"] = distinct_of(30'000);
+    stats.columns["name"] = distinct_of(30'000);
+    stats.columns["Did"] = distinct_of(5'000);
+    catalog.add_relation("Product", std::move(schema), std::move(stats));
+  }
+  {
+    Schema schema({{"Did", ValueType::kInt64, ""},
+                   {"name", ValueType::kString, ""},
+                   {"city", ValueType::kString, ""}});
+    RelationStats stats;
+    stats.rows = 5'000;
+    stats.blocks = 500;
+    stats.columns["Did"] = distinct_of(5'000);
+    stats.columns["name"] = distinct_of(5'000);
+    stats.columns["city"] = distinct_of(50);  // s = 0.02 for city = 'LA'
+    catalog.add_relation("Division", std::move(schema), std::move(stats));
+  }
+  {
+    Schema schema({{"Pid", ValueType::kInt64, ""},
+                   {"Cid", ValueType::kInt64, ""},
+                   {"quantity", ValueType::kInt64, ""},
+                   {"date", ValueType::kDate, ""}});
+    RelationStats stats;
+    stats.rows = 50'000;
+    stats.blocks = 6'000;
+    stats.columns["Pid"] = distinct_of(30'000);
+    stats.columns["Cid"] = distinct_of(20'000);
+    // quantity uniform on [1, 200]: quantity > 100 has s ≈ 0.5.
+    stats.columns["quantity"] = uniform_range(200, 1, 200);
+    // date spans 1996: date > 1996-07-01 has s ≈ 0.5.
+    stats.columns["date"] = uniform_range(
+        365, static_cast<double>(Value::days_from_civil(1996, 1, 1)),
+        static_cast<double>(Value::days_from_civil(1996, 12, 31)));
+    catalog.add_relation("Order", std::move(schema), std::move(stats));
+  }
+  {
+    Schema schema({{"Cid", ValueType::kInt64, ""},
+                   {"name", ValueType::kString, ""},
+                   {"city", ValueType::kString, ""}});
+    RelationStats stats;
+    stats.rows = 20'000;
+    stats.blocks = 2'000;
+    stats.columns["Cid"] = distinct_of(20'000);
+    stats.columns["name"] = distinct_of(20'000);
+    stats.columns["city"] = distinct_of(100);
+    catalog.add_relation("Customer", std::move(schema), std::move(stats));
+  }
+  {
+    Schema schema({{"Tid", ValueType::kInt64, ""},
+                   {"name", ValueType::kString, ""},
+                   {"Pid", ValueType::kInt64, ""},
+                   {"supplier", ValueType::kString, ""}});
+    RelationStats stats;
+    stats.rows = 80'000;
+    stats.blocks = 10'000;
+    stats.columns["Tid"] = distinct_of(80'000);
+    stats.columns["name"] = distinct_of(80'000);
+    stats.columns["Pid"] = distinct_of(30'000);
+    stats.columns["supplier"] = distinct_of(1'000);
+    catalog.add_relation("Part", std::move(schema), std::move(stats));
+  }
+
+  // Table 1's pinned intermediate sizes.
+  catalog.add_join_size_override({"Product", "Division"},
+                                 {30'000, 5'000});
+  catalog.add_join_size_override({"Product", "Division", "Part"},
+                                 {80'000, 20'000});
+  catalog.add_join_size_override({"Order", "Customer"}, {25'000, 5'000});
+  catalog.add_join_size_override({"Product", "Division", "Order", "Customer"},
+                                 {25'000, 5'000});
+  return catalog;
+}
+
+PaperExample make_paper_example() {
+  PaperExample ex{make_paper_catalog(), {}};
+  const Catalog& c = ex.catalog;
+  ex.queries.push_back(parse_and_bind(
+      c, "Q1", 10.0,
+      "SELECT Product.name FROM Product, Division "
+      "WHERE Division.city = 'LA' AND Product.Did = Division.Did"));
+  ex.queries.push_back(parse_and_bind(
+      c, "Q2", 0.5,
+      "SELECT Part.name FROM Product, Part, Division "
+      "WHERE Division.city = 'LA' AND Product.Did = Division.Did "
+      "AND Part.Pid = Product.Pid"));
+  ex.queries.push_back(parse_and_bind(
+      c, "Q3", 0.8,
+      "SELECT Customer.name, Product.name, quantity "
+      "FROM Product, Division, Order, Customer "
+      "WHERE Division.city = 'LA' AND Product.Did = Division.Did "
+      "AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid "
+      "AND date > DATE '1996-07-01'"));
+  ex.queries.push_back(parse_and_bind(
+      c, "Q4", 5.0,
+      "SELECT Customer.city, date FROM Order, Customer "
+      "WHERE quantity > 100 AND Order.Cid = Customer.Cid"));
+  return ex;
+}
+
+Database populate_paper_database(double scale, std::uint64_t seed) {
+  Rng rng(seed);
+  const Catalog catalog = make_paper_catalog();
+  Database db;
+  auto rows_of = [&](const std::string& rel) {
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(catalog.stats(rel).rows * scale));
+  };
+  const std::int64_t n_product = rows_of("Product");
+  const std::int64_t n_division = rows_of("Division");
+  const std::int64_t n_order = rows_of("Order");
+  const std::int64_t n_customer = rows_of("Customer");
+  const std::int64_t n_part = rows_of("Part");
+
+  // 50 cities; 'LA' and 'SF' are cities 0 and 1 so the paper predicates
+  // select ~2% each.
+  auto city_name = [](std::int64_t c) -> std::string {
+    if (c == 0) return "LA";
+    if (c == 1) return "SF";
+    return "city_" + std::to_string(c);
+  };
+
+  {
+    Table t(catalog.schema("Division"), catalog.blocking_factor());
+    for (std::int64_t i = 0; i < n_division; ++i) {
+      t.append({Value::int64(i),
+                Value::string(i == 0 ? "Re" : "div_" + std::to_string(i)),
+                Value::string(city_name(rng.uniform_int(0, 49)))});
+    }
+    db.add_table("Division", std::move(t));
+  }
+  {
+    Table t(catalog.schema("Product"), catalog.blocking_factor());
+    for (std::int64_t i = 0; i < n_product; ++i) {
+      t.append({Value::int64(i), Value::string("prod_" + std::to_string(i)),
+                Value::int64(rng.uniform_int(0, n_division - 1))});
+    }
+    db.add_table("Product", std::move(t));
+  }
+  {
+    Table t(catalog.schema("Customer"), catalog.blocking_factor());
+    for (std::int64_t i = 0; i < n_customer; ++i) {
+      t.append({Value::int64(i), Value::string("cust_" + std::to_string(i)),
+                Value::string(city_name(rng.uniform_int(0, 49)))});
+    }
+    db.add_table("Customer", std::move(t));
+  }
+  {
+    Table t(catalog.schema("Order"), catalog.blocking_factor());
+    const std::int64_t jan1 = Value::days_from_civil(1996, 1, 1);
+    const std::int64_t dec31 = Value::days_from_civil(1996, 12, 31);
+    for (std::int64_t i = 0; i < n_order; ++i) {
+      t.append({Value::int64(rng.uniform_int(0, n_product - 1)),
+                Value::int64(rng.uniform_int(0, n_customer - 1)),
+                Value::int64(rng.uniform_int(1, 200)),
+                Value::date(rng.uniform_int(jan1, dec31))});
+    }
+    db.add_table("Order", std::move(t));
+  }
+  {
+    Table t(catalog.schema("Part"), catalog.blocking_factor());
+    for (std::int64_t i = 0; i < n_part; ++i) {
+      t.append({Value::int64(i), Value::string("part_" + std::to_string(i)),
+                Value::int64(rng.uniform_int(0, n_product - 1)),
+                Value::string("sup_" + std::to_string(rng.uniform_int(0, 99)))});
+    }
+    db.add_table("Part", std::move(t));
+  }
+  return db;
+}
+
+MvppGraph build_figure3_mvpp(const CostModel& cost_model) {
+  const Catalog& c = cost_model.catalog();
+  MvppGraph g;
+  auto schema = [&](const std::string& rel) {
+    return make_scan(c, rel)->output_schema();
+  };
+  const NodeId product = g.add_base("Product", schema("Product"), 1.0);
+  const NodeId division = g.add_base("Division", schema("Division"), 1.0);
+  const NodeId part = g.add_base("Part", schema("Part"), 1.0);
+  const NodeId order = g.add_base("Order", schema("Order"), 1.0);
+  const NodeId customer = g.add_base("Customer", schema("Customer"), 1.0);
+
+  const NodeId tmp1 =
+      g.add_select(division, eq(col("Division.city"), lit_str("LA")));
+  const NodeId tmp2 =
+      g.add_join(product, tmp1, eq(col("Product.Did"), col("Division.Did")));
+  const NodeId result1 = g.add_project(tmp2, {"Product.name"});
+  const NodeId tmp3 =
+      g.add_join(tmp2, part, eq(col("Part.Pid"), col("Product.Pid")));
+  const NodeId result2 = g.add_project(tmp3, {"Part.name"});
+
+  const NodeId tmp4 =
+      g.add_join(order, customer, eq(col("Order.Cid"), col("Customer.Cid")));
+  const NodeId tmp5 = g.add_select(
+      tmp4, gt(col("Order.date"), lit(Value::date_ymd(1996, 7, 1))));
+  const NodeId tmp6 =
+      g.add_join(tmp2, tmp5, eq(col("Product.Pid"), col("Order.Pid")));
+  const NodeId result3 = g.add_project(
+      tmp6, {"Customer.name", "Product.name", "Order.quantity"});
+  const NodeId tmp7 =
+      g.add_select(tmp4, gt(col("Order.quantity"), lit_i64(100)));
+  const NodeId result4 = g.add_project(tmp7, {"Customer.city", "Order.date"});
+
+  g.set_name(tmp1, "tmp1");
+  g.set_name(tmp2, "tmp2");
+  g.set_name(tmp3, "tmp3");
+  g.set_name(tmp4, "tmp4");
+  g.set_name(tmp5, "tmp5");
+  g.set_name(tmp6, "tmp6");
+  g.set_name(tmp7, "tmp7");
+  g.set_name(result1, "result1");
+  g.set_name(result2, "result2");
+  g.set_name(result3, "result3");
+  g.set_name(result4, "result4");
+
+  g.add_query("Q1", 10.0, result1);
+  g.add_query("Q2", 0.5, result2);
+  g.add_query("Q3", 0.8, result3);
+  g.add_query("Q4", 5.0, result4);
+
+  g.annotate(cost_model);
+  return g;
+}
+
+std::vector<QuerySpec> make_pushdown_variant_queries(const Catalog& c) {
+  std::vector<QuerySpec> queries;
+  queries.push_back(parse_and_bind(
+      c, "Q1", 10.0,
+      "SELECT Product.name FROM Product, Division "
+      "WHERE Division.city = 'LA' AND Product.Did = Division.Did"));
+  queries.push_back(parse_and_bind(
+      c, "Q2", 0.5,
+      "SELECT Part.name FROM Product, Part, Division "
+      "WHERE Division.name = 'Re' AND Product.Did = Division.Did "
+      "AND Part.Pid = Product.Pid"));
+  queries.push_back(parse_and_bind(
+      c, "Q3", 0.8,
+      "SELECT Customer.name, Product.name, quantity "
+      "FROM Product, Division, Order, Customer "
+      "WHERE Division.city = 'SF' AND Product.Did = Division.Did "
+      "AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid "
+      "AND date > DATE '1996-07-01'"));
+  queries.push_back(parse_and_bind(
+      c, "Q4", 5.0,
+      "SELECT Customer.city, date FROM Order, Customer "
+      "WHERE quantity > 100 AND Order.Cid = Customer.Cid"));
+  return queries;
+}
+
+}  // namespace mvd

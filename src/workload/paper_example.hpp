@@ -1,0 +1,64 @@
+// The paper's running example (Section 2): the five member-database
+// relations of Table 1 with their statistics, and the four warehouse
+// queries with access frequencies fq = 10, 0.5, 0.8 and 5.
+//
+// Statistics are set so the paper's stated selectivities fall out of the
+// estimator: Division.city has 50 distinct values (s = 0.02 for
+// city = 'LA'), Order.quantity is uniform on [1, 200] (s ≈ 0.5 for
+// quantity > 100), Order.date spans 1996 (s ≈ 0.5 for
+// date > 1996-07-01). The intermediate join sizes of Table 1 are pinned
+// via catalog join-size overrides.
+#pragma once
+
+#include <vector>
+
+#include "src/algebra/query_spec.hpp"
+#include "src/catalog/catalog.hpp"
+#include "src/cost/cost_model.hpp"
+#include "src/mvpp/graph.hpp"
+#include "src/storage/database.hpp"
+
+namespace mvd {
+
+struct PaperExample {
+  Catalog catalog;
+  std::vector<QuerySpec> queries;  // Q1..Q4
+};
+
+/// Cost-model settings matching the paper's conventions (half-scan
+/// equality selections; Table 1 join overrides honored).
+CostModelConfig paper_cost_config();
+
+/// Catalog of Table 1 only (no queries).
+Catalog make_paper_catalog();
+
+/// Catalog + the four Section 2 queries.
+PaperExample make_paper_example();
+
+/// The paper's Figure 3 MVPP, constructed node-by-node with the paper's
+/// names (tmp1..tmp7, result1..result4) and annotated against
+/// `cost_model`:
+///
+///   tmp1 = σ city='LA' (Division)          tmp4 = Order ⋈ Customer
+///   tmp2 = Product ⋈ tmp1                  tmp5 = σ date>1996-07-01 (tmp4)
+///   tmp3 = tmp2 ⋈ Part                     tmp6 = tmp2 ⋈ tmp5
+///   result1 = π name (tmp2)        Q1      tmp7 = σ quantity>100 (tmp4)
+///   result2 = π name (tmp3)        Q2      result4 = π city,date (tmp7)  Q4
+///   result3 = π name,qty (tmp6)    Q3
+MvppGraph build_figure3_mvpp(const CostModel& cost_model);
+
+/// Populate actual tables for the paper schema at `scale` times the
+/// Table 1 row counts (scale = 1 gives the full 30k/5k/50k/20k/80k rows),
+/// with foreign keys covering their targets, 50 cities including 'LA' and
+/// 'SF', order dates spanning 1996, and quantities uniform on [1, 200] —
+/// so executed selectivities match the catalog statistics. Deterministic
+/// in `seed`.
+Database populate_paper_database(double scale = 0.01, std::uint64_t seed = 17);
+
+/// The Figure 5 / Figure 7 variant of the queries (Q2 selects
+/// Division.name = 'Re', Q3 selects Division.city = 'SF'), used by the
+/// pushdown benches to reproduce the disjunctive shared selection
+/// city='LA' OR city='SF' OR name='Re' of Figure 8.
+std::vector<QuerySpec> make_pushdown_variant_queries(const Catalog& catalog);
+
+}  // namespace mvd

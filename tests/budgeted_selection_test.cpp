@@ -1,0 +1,140 @@
+// Tests for space-budgeted view selection and the snowflake generator.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/common/error.hpp"
+#include "src/mvpp/builder.hpp"
+#include "src/mvpp/selection.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace mvd {
+namespace {
+
+class BudgetTest : public ::testing::Test {
+ protected:
+  BudgetTest()
+      : catalog_(make_paper_catalog()),
+        model_(catalog_, paper_cost_config()),
+        graph_(build_figure3_mvpp(model_)),
+        eval_(graph_) {}
+
+  Catalog catalog_;
+  CostModel model_;
+  MvppGraph graph_;
+  MvppEvaluator eval_;
+};
+
+TEST_F(BudgetTest, TotalViewBlocksSums) {
+  const MaterializedSet m{graph_.find_by_name("tmp2"),
+                          graph_.find_by_name("tmp4")};
+  EXPECT_DOUBLE_EQ(total_view_blocks(graph_, m),
+                   graph_.node(graph_.find_by_name("tmp2")).blocks +
+                       graph_.node(graph_.find_by_name("tmp4")).blocks);
+  EXPECT_DOUBLE_EQ(total_view_blocks(graph_, {}), 0.0);
+}
+
+TEST_F(BudgetTest, ZeroBudgetSelectsNothing) {
+  EXPECT_TRUE(budgeted_greedy(eval_, 0).materialized.empty());
+  EXPECT_TRUE(budgeted_optimal(eval_, 0).materialized.empty());
+}
+
+TEST_F(BudgetTest, ResultsRespectTheBudget) {
+  for (const double budget : {50.0, 200.0, 1'000.0, 6'000.0, 1e9}) {
+    const SelectionResult g = budgeted_greedy(eval_, budget);
+    EXPECT_LE(total_view_blocks(graph_, g.materialized), budget + 1e-9);
+    const SelectionResult o = budgeted_optimal(eval_, budget);
+    EXPECT_LE(total_view_blocks(graph_, o.materialized), budget + 1e-9);
+    // Optimal never worse than greedy.
+    EXPECT_LE(o.costs.total(), g.costs.total() + 1e-6);
+  }
+}
+
+TEST_F(BudgetTest, UnlimitedBudgetMatchesUnconstrainedOptimum) {
+  const SelectionResult unconstrained = exhaustive_optimal(eval_);
+  const SelectionResult budgeted = budgeted_optimal(eval_, 1e12);
+  EXPECT_DOUBLE_EQ(budgeted.costs.total(), unconstrained.costs.total());
+}
+
+TEST_F(BudgetTest, TighterBudgetsNeverImproveTotalCost) {
+  double previous = std::numeric_limits<double>::infinity();
+  for (const double budget : {0.0, 100.0, 1'000.0, 10'000.0, 1e9}) {
+    const double cost = budgeted_optimal(eval_, budget).costs.total();
+    EXPECT_LE(cost, previous + 1e-9) << budget;
+    previous = cost;
+  }
+}
+
+TEST_F(BudgetTest, TightBudgetPrefersDenseViews) {
+  // With room for only ~tmp2 (100 blocks) but not tmp4 (5k), the greedy
+  // must still pick something useful.
+  const SelectionResult r = budgeted_greedy(eval_, 150);
+  EXPECT_FALSE(r.materialized.empty());
+  EXPECT_FALSE(r.materialized.contains(graph_.find_by_name("tmp4")));
+  EXPECT_LT(r.costs.total(), eval_.total_cost({}));
+}
+
+TEST_F(BudgetTest, Validation) {
+  EXPECT_THROW(budgeted_greedy(eval_, -1), PlanError);
+  EXPECT_THROW(budgeted_optimal(eval_, -1), PlanError);
+  EXPECT_THROW(budgeted_optimal(eval_, 100, 3), PlanError);
+}
+
+TEST(SnowflakeTest, CatalogShape) {
+  SnowflakeSchemaOptions options;
+  options.dimensions = 2;
+  const Catalog c = make_snowflake_catalog(options);
+  // Fact + 2 dims + 2 subdims.
+  EXPECT_EQ(c.relation_names().size(), 5u);
+  EXPECT_TRUE(c.has_relation("Sub1"));
+  EXPECT_DOUBLE_EQ(c.stats("Sub0").rows, 100);
+  EXPECT_DOUBLE_EQ(*c.stats("Dim0").column("sub_id")->distinct, 100);
+  SnowflakeSchemaOptions bad;
+  bad.dimensions = 0;
+  EXPECT_THROW(make_snowflake_catalog(bad), CatalogError);
+}
+
+TEST(SnowflakeTest, QueriesTraverseTwoHops) {
+  SnowflakeSchemaOptions schema;
+  const Catalog c = make_snowflake_catalog(schema);
+  StarQueryOptions qopts;
+  qopts.count = 6;
+  qopts.max_dimensions = 2;
+  const auto queries = generate_snowflake_queries(c, schema, qopts);
+  ASSERT_EQ(queries.size(), 6u);
+  for (const QuerySpec& q : queries) {
+    // Fact + (dim + sub) per chosen dimension.
+    EXPECT_EQ(q.relations().size() % 2, 1u);
+    EXPECT_GE(q.relations().size(), 3u);
+    EXPECT_TRUE(q.join_graph_connected());
+    EXPECT_EQ(q.joins().size(), q.relations().size() - 1);
+  }
+}
+
+TEST(SnowflakeTest, WorkloadDesignsEndToEnd) {
+  SnowflakeSchemaOptions schema;
+  schema.dimensions = 3;
+  const Catalog catalog = make_snowflake_catalog(schema);
+  StarQueryOptions qopts;
+  qopts.count = 5;
+  qopts.max_dimensions = 2;
+  qopts.seed = 3;
+  const auto queries = generate_snowflake_queries(catalog, schema, qopts);
+  const CostModel model(catalog, {});
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+  const MvppBuildResult built =
+      builder.build(queries, builder.initial_order(queries));
+  built.graph.validate();
+  const MvppEvaluator eval(built.graph);
+  const SelectionResult sel = yang_heuristic(eval);
+  EXPECT_LE(sel.costs.total(), eval.total_cost({}) + 1e-6);
+  // Shared dimension-subdimension joins appear (used by > 1 query) on
+  // most seeds; at minimum the graph merged something.
+  EXPECT_LT(built.graph.operation_ids().size(),
+            5u * 7u);  // far fewer nodes than 5 disjoint plans would need
+}
+
+}  // namespace
+}  // namespace mvd

@@ -1,0 +1,196 @@
+// Targeted tests for corners not covered by the per-module suites:
+// table mutation helpers, generator aggregation mode, optimizer over
+// aggregate queries, serializer edge cases, expression odds and ends.
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/units.hpp"
+#include "src/exec/executor.hpp"
+#include "src/mvpp/builder.hpp"
+#include "src/mvpp/rewrite.hpp"
+#include "src/warehouse/designer.hpp"
+#include "src/sql/parser.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace mvd {
+namespace {
+
+TEST(TableMutationTest, UpdateRowReplacesInPlace) {
+  Table t(Schema({{"x", ValueType::kInt64, "T"}}), 10.0);
+  t.append({Value::int64(1)});
+  t.append({Value::int64(2)});
+  t.update_row(0, {Value::int64(9)});
+  EXPECT_EQ(t.row_count(), 2u);
+  // Order is not guaranteed; check the multiset.
+  std::multiset<std::int64_t> values;
+  for (const Tuple& r : t.rows()) values.insert(r[0].as_int64());
+  EXPECT_EQ(values, (std::multiset<std::int64_t>{2, 9}));
+  EXPECT_THROW(t.update_row(0, {Value::string("bad")}), ExecError);
+}
+
+TEST(TableMutationTest, RemoveRowShrinks) {
+  Table t(Schema({{"x", ValueType::kInt64, "T"}}), 10.0);
+  t.append({Value::int64(1)});
+  t.append({Value::int64(2)});
+  t.remove_row(0);
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_THROW(t.remove_row(5), AssertionError);
+}
+
+TEST(GeneratorTest, AggregationProbabilityProducesRollups) {
+  StarSchemaOptions schema;
+  const Catalog catalog = make_star_catalog(schema);
+  StarQueryOptions qopts;
+  qopts.count = 10;
+  qopts.aggregation_probability = 1.0;
+  const auto queries = generate_star_queries(catalog, schema, qopts);
+  for (const QuerySpec& q : queries) {
+    EXPECT_TRUE(q.has_aggregation()) << q.name();
+    EXPECT_EQ(q.group_by().size(), 1u);
+    EXPECT_EQ(q.aggregates().size(), 2u);
+  }
+  qopts.aggregation_probability = 0.0;
+  for (const QuerySpec& q : generate_star_queries(catalog, schema, qopts)) {
+    EXPECT_FALSE(q.has_aggregation());
+  }
+}
+
+TEST(GeneratorTest, MixedWorkloadBuildsValidMvpps) {
+  StarSchemaOptions schema;
+  schema.dimensions = 3;
+  const Catalog catalog = make_star_catalog(schema);
+  StarQueryOptions qopts;
+  qopts.count = 6;
+  qopts.aggregation_probability = 0.5;
+  qopts.seed = 21;
+  const auto queries = generate_star_queries(catalog, schema, qopts);
+  const CostModel model(catalog, {});
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+  const MvppBuildResult built =
+      builder.build(queries, builder.initial_order(queries));
+  built.graph.validate();
+  EXPECT_EQ(built.graph.query_ids().size(), queries.size());
+}
+
+TEST(OptimizerAggregateTest, AggregateQueriesOptimizeAndExecute) {
+  StarSchemaOptions schema;
+  schema.dimensions = 2;
+  schema.fact_rows = 800;
+  schema.dimension_rows = 60;
+  const Database db = populate_star_database(schema, 55);
+  const Catalog catalog = catalog_from_database(db, 10.0);
+  const QuerySpec q = parse_and_bind(
+      catalog, "A", 1.0,
+      "SELECT Dim0.category, SUM(measure) AS total, COUNT(*) AS n "
+      "FROM Fact, Dim0 WHERE Fact.d0 = Dim0.id GROUP BY Dim0.category");
+  const CostModel model(catalog, {});
+  const Optimizer optimizer(model);
+  const Executor exec(db);
+  const Table expected = exec.run(canonical_plan(catalog, q));
+  const Table optimized = exec.run(optimizer.optimize(q));
+  EXPECT_TRUE(same_bag(expected, optimized));
+  // SUM of the grouped sums equals the global sum.
+  double grouped_total = 0;
+  for (const Tuple& r : optimized.rows()) grouped_total += r[1].as_double();
+  double global = 0;
+  for (const Tuple& r : db.table("Fact").rows()) {
+    global += r[3].as_double();  // measure column
+  }
+  EXPECT_DOUBLE_EQ(grouped_total, global);
+}
+
+TEST(ExprCornerTest, NotExprRendering) {
+  const ExprPtr e = neg(disj({eq(col("a"), lit_i64(1)),
+                              eq(col("b"), lit_i64(2))}));
+  EXPECT_EQ(e->to_string(), "(NOT ((a = 1) OR (b = 2)))");
+  // Normalization keeps NOT over OR (no De Morgan expansion).
+  EXPECT_EQ(normalize(e)->kind(), ExprKind::kNot);
+}
+
+TEST(ExprCornerTest, RewriteColumnsOnNull) {
+  EXPECT_EQ(rewrite_columns(nullptr, [](const std::string& s) { return s; }),
+            nullptr);
+  EXPECT_EQ(normalize(nullptr), nullptr);
+}
+
+TEST(ParserCornerTest, WhitespaceAndCaseInsensitivity) {
+  const ParsedQuery q = parse_query(
+      "select\n\tProduct.name\nfrom   Product\nwhere\nProduct.Pid >= 10");
+  EXPECT_EQ(q.relations, std::vector<std::string>{"Product"});
+  ASSERT_NE(q.where, nullptr);
+}
+
+TEST(ParserCornerTest, DeeplyNestedParentheses) {
+  const ExprPtr p = parse_predicate("(((((a = 1)))))");
+  EXPECT_EQ(p->kind(), ExprKind::kComparison);
+}
+
+TEST(DesignerCornerTest, ReportForAggregationWorkload) {
+  WarehouseDesigner designer(make_paper_catalog(), [] {
+    DesignerOptions o;
+    o.cost = paper_cost_config();
+    return o;
+  }());
+  designer.add_query("rollup", 4.0,
+                     "SELECT city, COUNT(*) FROM Customer GROUP BY city");
+  const DesignResult design = designer.design();
+  const std::string report = designer.report(design);
+  EXPECT_NE(report.find("rollup"), std::string::npos);
+  EXPECT_NE(report.find("aggregate"), std::string::npos);
+}
+
+TEST(DesignerCornerTest, SingleQuerySingleRotation) {
+  WarehouseDesigner designer(make_paper_catalog());
+  designer.add_query("only", 1.0, "SELECT name FROM Product");
+  const DesignResult design = designer.design();
+  EXPECT_EQ(design.candidates.size(), 1u);
+}
+
+TEST(EvaluatorCornerTest, ProduceCostOfQueryRootRejected) {
+  const Catalog catalog = make_paper_catalog();
+  const CostModel model(catalog, paper_cost_config());
+  const MvppGraph g = build_figure3_mvpp(model);
+  const MvppEvaluator eval(g);
+  EXPECT_THROW(eval.produce_cost(g.query_ids().front(), {}), AssertionError);
+}
+
+TEST(UnitsCornerTest, NegativeAndTinyValues) {
+  EXPECT_EQ(format_blocks(-35'250), "-35.25k");
+  EXPECT_EQ(format_blocks(0.5), "0.5");
+  EXPECT_DOUBLE_EQ(parse_blocks("-2k"), -2'000.0);
+}
+
+TEST(PushdownVariantCornerTest, VariantWorkloadEndToEnd) {
+  // The Figure 7/8 variant also answers correctly through deployed views.
+  const Catalog catalog = make_paper_catalog();
+  const CostModel model(catalog, paper_cost_config());
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+  const auto queries = make_pushdown_variant_queries(catalog);
+  const MvppBuildResult built =
+      builder.build(queries, builder.initial_order(queries));
+  const MvppGraph& g = built.graph;
+  const MvppEvaluator eval(g);
+  const SelectionResult sel = yang_heuristic(eval);
+
+  Database db = populate_paper_database(0.02, 61);
+  for (NodeId v : sel.materialized) {
+    MaterializedSet deps = sel.materialized;
+    deps.erase(v);
+    const Executor e(db);
+    db.put_table(g.node(v).name, e.run(refresh_plan(g, v, deps)));
+  }
+  const Executor e(db);
+  for (const QuerySpec& q : queries) {
+    const NodeId root = g.find_by_name(q.name());
+    const Table got = e.run(answer_plan(g, root, sel.materialized));
+    const Table expected = e.run(canonical_plan(catalog, q));
+    EXPECT_TRUE(same_bag(expected, got)) << q.name();
+  }
+}
+
+}  // namespace
+}  // namespace mvd

@@ -1,0 +1,157 @@
+// Parameterized end-to-end property sweeps: for generated workloads
+// (star with/without aggregation, chains) across seeds, the whole
+// pipeline — parse/bind, optimize, MVPP merge + pushdown, view selection,
+// deploy, answer — must preserve query semantics and cost-model
+// invariants. These are the repository's broadest property tests.
+#include <gtest/gtest.h>
+
+#include "src/exec/executor.hpp"
+#include "src/mvpp/builder.hpp"
+#include "src/mvpp/rewrite.hpp"
+#include "src/workload/generator.hpp"
+
+namespace mvd {
+namespace {
+
+struct E2ECase {
+  std::uint64_t seed = 1;
+  std::size_t queries = 4;
+  double aggregation_probability = 0.0;
+  const char* tag = "";
+};
+
+std::string case_name(const ::testing::TestParamInfo<E2ECase>& info) {
+  return std::string(info.param.tag) + "_seed" +
+         std::to_string(info.param.seed) + "_q" +
+         std::to_string(info.param.queries);
+}
+
+class EndToEndStarTest : public ::testing::TestWithParam<E2ECase> {
+ protected:
+  EndToEndStarTest() {
+    schema_.dimensions = 3;
+    schema_.fact_rows = 1'500;
+    schema_.dimension_rows = 120;
+    schema_.categories = 6;
+    db_ = populate_star_database(schema_, GetParam().seed * 1000 + 1);
+    catalog_ = catalog_from_database(db_, 10.0);
+    StarQueryOptions qopts;
+    qopts.count = GetParam().queries;
+    qopts.max_dimensions = 3;
+    qopts.seed = GetParam().seed;
+    qopts.aggregation_probability = GetParam().aggregation_probability;
+    queries_ = generate_star_queries(catalog_, schema_, qopts);
+  }
+
+  StarSchemaOptions schema_;
+  Database db_;
+  Catalog catalog_{10.0};
+  std::vector<QuerySpec> queries_;
+};
+
+TEST_P(EndToEndStarTest, DesignDeployAnswerMatchesGroundTruth) {
+  const CostModel model(catalog_, {});
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+
+  // Ground truth before any views exist.
+  const Executor exec(db_);
+  std::map<std::string, Table> expected;
+  for (const QuerySpec& q : queries_) {
+    expected.emplace(q.name(), exec.run(canonical_plan(catalog_, q)));
+  }
+
+  for (const MvppBuildResult& built : builder.build_all_rotations(queries_)) {
+    built.graph.validate();
+    const MvppGraph& g = built.graph;
+    const MvppEvaluator eval(g);
+
+    // Invariants across selection algorithms.
+    const SelectionResult yang = yang_heuristic(eval);
+    const SelectionResult greedy = greedy_incremental(eval);
+    EXPECT_LE(yang.costs.total(), eval.total_cost({}) + 1e-6);
+    EXPECT_LE(greedy.costs.total(), yang.costs.total() + 1e-6);
+
+    // Deploy the heuristic's choice and check every query's answer.
+    Database db = db_;
+    for (NodeId v : yang.materialized) {
+      MaterializedSet deps = yang.materialized;
+      deps.erase(v);
+      const Executor e(db);
+      db.put_table(g.node(v).name, e.run(refresh_plan(g, v, deps)));
+    }
+    const Executor e(db);
+    for (NodeId q : g.query_ids()) {
+      const Table got = e.run(answer_plan(g, q, yang.materialized));
+      EXPECT_TRUE(same_bag(expected.at(g.node(q).name), got))
+          << g.node(q).name << " on rotation starting "
+          << built.merge_order.front();
+    }
+  }
+}
+
+TEST_P(EndToEndStarTest, EstimatesStayPositiveAndOrdered) {
+  const CostModel model(catalog_, {});
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+  const MvppBuildResult built =
+      builder.build(queries_, builder.initial_order(queries_));
+  for (const MvppNode& n : built.graph.nodes()) {
+    if (!n.is_operation()) continue;
+    EXPECT_GE(n.rows, 0) << n.name;
+    EXPECT_GE(n.blocks, 0) << n.name;
+    EXPECT_GE(n.op_cost, 0) << n.name;
+    // Ca accumulates at least the node's own operator cost.
+    EXPECT_GE(n.full_cost + 1e-9, n.op_cost) << n.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlainSpj, EndToEndStarTest,
+    ::testing::Values(E2ECase{1, 3, 0.0, "spj"}, E2ECase{2, 4, 0.0, "spj"},
+                      E2ECase{3, 5, 0.0, "spj"}, E2ECase{4, 4, 0.0, "spj"}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    WithAggregation, EndToEndStarTest,
+    ::testing::Values(E2ECase{5, 4, 0.5, "agg"}, E2ECase{6, 4, 1.0, "agg"},
+                      E2ECase{7, 5, 0.4, "agg"}),
+    case_name);
+
+class EndToEndChainTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EndToEndChainTest, SelectionInvariantsOnChains) {
+  ChainSchemaOptions schema;
+  schema.length = 5;
+  const Catalog catalog = make_chain_catalog(schema);
+  ChainQueryOptions qopts;
+  qopts.count = 5;
+  qopts.seed = GetParam();
+  const auto queries = generate_chain_queries(catalog, schema, qopts);
+
+  const CostModel model(catalog, {});
+  const Optimizer optimizer(model);
+  const MvppBuilder builder(optimizer);
+  const MvppBuildResult built =
+      builder.build(queries, builder.initial_order(queries));
+  built.graph.validate();
+  const MvppEvaluator eval(built.graph);
+
+  const double none = eval.total_cost({});
+  const SelectionResult yang = yang_heuristic(eval);
+  const SelectionResult polished = local_search(eval, yang.materialized);
+  EXPECT_LE(yang.costs.total(), none + 1e-6);
+  EXPECT_LE(polished.costs.total(), yang.costs.total() + 1e-6);
+  if (built.graph.operation_ids().size() <= 16) {
+    const SelectionResult optimal = exhaustive_optimal(eval, 16);
+    EXPECT_LE(optimal.costs.total(), polished.costs.total() + 1e-6);
+    EXPECT_NEAR(branch_and_bound_optimal(eval).costs.total(),
+                optimal.costs.total(), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndChainTest,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u, 16u));
+
+}  // namespace
+}  // namespace mvd

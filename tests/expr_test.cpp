@@ -1,0 +1,187 @@
+// Tests for src/algebra/expr: construction, normalization, structural
+// equality, analysis helpers, evaluation.
+#include <gtest/gtest.h>
+
+#include "src/algebra/eval.hpp"
+#include "src/algebra/expr.hpp"
+#include "src/common/error.hpp"
+
+namespace mvd {
+namespace {
+
+TEST(ExprTest, ComparisonToString) {
+  EXPECT_EQ(eq(col("a"), lit_i64(1))->to_string(), "(a = 1)");
+  EXPECT_EQ(gt(col("a"), lit_str("x"))->to_string(), "(a > 'x')");
+  EXPECT_EQ(cmp(CompareOp::kNe, col("a"), col("b"))->to_string(),
+            "(a <> b)");
+}
+
+TEST(ExprTest, BoolOpsToString) {
+  const ExprPtr e = conj({eq(col("a"), lit_i64(1)), gt(col("b"), lit_i64(2))});
+  EXPECT_EQ(e->to_string(), "((a = 1) AND (b > 2))");
+  EXPECT_EQ(neg(eq(col("a"), lit_i64(1)))->to_string(), "(NOT (a = 1))");
+}
+
+TEST(ExprTest, ConjEdgeCases) {
+  EXPECT_EQ(conj({}), nullptr);
+  const ExprPtr single = eq(col("a"), lit_i64(1));
+  EXPECT_EQ(conj({single}), single);
+  EXPECT_EQ(disj({}), nullptr);
+  EXPECT_EQ(disj({single}), single);
+}
+
+TEST(ExprTest, CompareOpHelpers) {
+  EXPECT_EQ(flip(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(flip(CompareOp::kLe), CompareOp::kGe);
+  EXPECT_EQ(flip(CompareOp::kEq), CompareOp::kEq);
+  EXPECT_EQ(negate(CompareOp::kLt), CompareOp::kGe);
+  EXPECT_EQ(negate(CompareOp::kEq), CompareOp::kNe);
+}
+
+TEST(NormalizeTest, FlattensAndSortsConjunctions) {
+  const ExprPtr nested =
+      conj({conj({gt(col("b"), lit_i64(2)), eq(col("a"), lit_i64(1))}),
+            eq(col("c"), lit_i64(3))});
+  EXPECT_EQ(normalize(nested)->to_string(),
+            "((a = 1) AND (b > 2) AND (c = 3))");
+}
+
+TEST(NormalizeTest, DeduplicatesOperands) {
+  const ExprPtr e = conj({eq(col("a"), lit_i64(1)), eq(col("a"), lit_i64(1))});
+  EXPECT_EQ(normalize(e)->to_string(), "(a = 1)");
+}
+
+TEST(NormalizeTest, OrientsLiteralFirstComparisons) {
+  EXPECT_EQ(normalize(lt(lit_i64(5), col("a")))->to_string(), "(a > 5)");
+  EXPECT_EQ(normalize(eq(lit_str("LA"), col("city")))->to_string(),
+            "(city = 'LA')");
+}
+
+TEST(NormalizeTest, OrdersColumnColumnComparisons) {
+  EXPECT_EQ(normalize(eq(col("z"), col("a")))->to_string(), "(a = z)");
+  EXPECT_EQ(normalize(lt(col("z"), col("a")))->to_string(), "(a > z)");
+}
+
+TEST(NormalizeTest, PushesNotIntoComparisons) {
+  EXPECT_EQ(normalize(neg(lt(col("a"), lit_i64(3))))->to_string(), "(a >= 3)");
+  EXPECT_EQ(normalize(neg(neg(eq(col("a"), lit_i64(1)))))->to_string(),
+            "(a = 1)");
+}
+
+TEST(NormalizeTest, Idempotent) {
+  const ExprPtr e = disj({conj({neg(lt(col("b"), col("a"))),
+                                eq(lit_i64(2), col("c"))}),
+                          gt(col("d"), lit_i64(0))});
+  const ExprPtr once = normalize(e);
+  EXPECT_EQ(once->to_string(), normalize(once)->to_string());
+}
+
+TEST(ExprEqualTest, ModuloCommutativityAndOrder) {
+  const ExprPtr a = conj({eq(col("x"), lit_i64(1)), gt(col("y"), lit_i64(2))});
+  const ExprPtr b = conj({gt(col("y"), lit_i64(2)), eq(col("x"), lit_i64(1))});
+  EXPECT_TRUE(expr_equal(a, b));
+  EXPECT_FALSE(expr_equal(a, eq(col("x"), lit_i64(1))));
+  EXPECT_TRUE(expr_equal(nullptr, nullptr));
+  EXPECT_FALSE(expr_equal(a, nullptr));
+}
+
+TEST(AnalysisTest, ColumnsOf) {
+  const ExprPtr e = conj({eq(col("R.a"), col("S.b")), gt(col("R.c"), lit_i64(1))});
+  const auto cols = columns_of(e);
+  EXPECT_EQ(cols, (std::set<std::string>{"R.a", "S.b", "R.c"}));
+  EXPECT_TRUE(columns_of(nullptr).empty());
+}
+
+TEST(AnalysisTest, ConjunctsOfUnfoldsAndOnly) {
+  const ExprPtr e = conj({eq(col("a"), lit_i64(1)),
+                          disj({gt(col("b"), lit_i64(2)),
+                                gt(col("c"), lit_i64(3))})});
+  const auto cs = conjuncts_of(e);
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0]->kind(), ExprKind::kComparison);
+  EXPECT_EQ(cs[1]->kind(), ExprKind::kOr);
+  EXPECT_TRUE(conjuncts_of(nullptr).empty());
+}
+
+TEST(AnalysisTest, AsColumnEquality) {
+  auto pair = as_column_equality(eq(col("R.a"), col("S.b")));
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->left, "R.a");
+  EXPECT_EQ(pair->right, "S.b");
+  EXPECT_FALSE(as_column_equality(eq(col("R.a"), lit_i64(1))).has_value());
+  EXPECT_FALSE(as_column_equality(lt(col("R.a"), col("S.b"))).has_value());
+  EXPECT_FALSE(as_column_equality(nullptr).has_value());
+}
+
+TEST(AnalysisTest, RewriteColumns) {
+  const ExprPtr e = conj({eq(col("a"), lit_i64(1)), gt(col("b"), col("a"))});
+  const ExprPtr r = rewrite_columns(
+      e, [](const std::string& n) { return "T." + n; });
+  EXPECT_EQ(normalize(r)->to_string(),
+            normalize(conj({eq(col("T.a"), lit_i64(1)),
+                            gt(col("T.b"), col("T.a"))}))->to_string());
+}
+
+Schema eval_schema() {
+  return Schema({{"a", ValueType::kInt64, "T"},
+                 {"b", ValueType::kString, "T"},
+                 {"c", ValueType::kDouble, "T"}});
+}
+
+Tuple row(std::int64_t a, std::string b, double c) {
+  return {Value::int64(a), Value::string(std::move(b)), Value::real(c)};
+}
+
+TEST(EvalTest, ComparisonOperators) {
+  const Schema s = eval_schema();
+  EXPECT_TRUE(CompiledExpr(eq(col("a"), lit_i64(1)), s).matches(row(1, "", 0)));
+  EXPECT_FALSE(CompiledExpr(eq(col("a"), lit_i64(1)), s).matches(row(2, "", 0)));
+  EXPECT_TRUE(CompiledExpr(lt(col("a"), lit_i64(5)), s).matches(row(4, "", 0)));
+  EXPECT_TRUE(CompiledExpr(cmp(CompareOp::kGe, col("c"), lit_real(2.5)), s)
+                  .matches(row(0, "", 2.5)));
+  EXPECT_TRUE(CompiledExpr(cmp(CompareOp::kNe, col("b"), lit_str("x")), s)
+                  .matches(row(0, "y", 0)));
+}
+
+TEST(EvalTest, BoolOpsShortCircuitSemantics) {
+  const Schema s = eval_schema();
+  const ExprPtr both = conj({gt(col("a"), lit_i64(0)), lt(col("a"), lit_i64(10))});
+  EXPECT_TRUE(CompiledExpr(both, s).matches(row(5, "", 0)));
+  EXPECT_FALSE(CompiledExpr(both, s).matches(row(11, "", 0)));
+  const ExprPtr either = disj({eq(col("b"), lit_str("x")), gt(col("a"), lit_i64(3))});
+  EXPECT_TRUE(CompiledExpr(either, s).matches(row(0, "x", 0)));
+  EXPECT_TRUE(CompiledExpr(either, s).matches(row(4, "y", 0)));
+  EXPECT_FALSE(CompiledExpr(either, s).matches(row(0, "y", 0)));
+  EXPECT_TRUE(CompiledExpr(neg(eq(col("a"), lit_i64(1))), s).matches(row(2, "", 0)));
+}
+
+TEST(EvalTest, MixedNumericComparison) {
+  const Schema s = eval_schema();
+  // int column vs double literal.
+  EXPECT_TRUE(CompiledExpr(gt(col("a"), lit_real(0.5)), s).matches(row(1, "", 0)));
+}
+
+TEST(EvalTest, QualifiedNamesResolve) {
+  const Schema s = eval_schema();
+  EXPECT_TRUE(CompiledExpr(eq(col("T.a"), lit_i64(7)), s).matches(row(7, "", 0)));
+}
+
+TEST(EvalTest, UnknownColumnThrowsAtCompile) {
+  EXPECT_THROW(CompiledExpr(eq(col("zzz"), lit_i64(1)), eval_schema()),
+               BindError);
+}
+
+TEST(EvalTest, NonBoolPredicateThrowsAtMatch) {
+  CompiledExpr e(col("a"), eval_schema());
+  EXPECT_THROW(e.matches(row(1, "", 0)), ExecError);
+}
+
+TEST(EvalTest, EvaluateReturnsValue) {
+  CompiledExpr e(col("b"), eval_schema());
+  EXPECT_EQ(e.evaluate(row(0, "hello", 0)).as_string(), "hello");
+  CompiledExpr l(lit_i64(9), eval_schema());
+  EXPECT_EQ(l.evaluate(row(0, "", 0)).as_int64(), 9);
+}
+
+}  // namespace
+}  // namespace mvd

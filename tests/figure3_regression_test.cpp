@@ -1,0 +1,115 @@
+// Golden regression values for the paper reproduction: the Figure 3
+// fixture's annotations, the Table 2 strategy costs, and the §4.3
+// heuristic outcome are pinned exactly so any cost-model or algorithm
+// change that silently shifts the reproduction fails loudly here.
+// (EXPERIMENTS.md documents how these relate to the paper's own numbers.)
+#include <gtest/gtest.h>
+
+#include "src/mvpp/selection.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace mvd {
+namespace {
+
+class Figure3Regression : public ::testing::Test {
+ protected:
+  Figure3Regression()
+      : catalog_(make_paper_catalog()),
+        model_(catalog_, paper_cost_config()),
+        graph_(build_figure3_mvpp(model_)),
+        eval_(graph_) {}
+
+  const MvppNode& node(const std::string& name) {
+    return graph_.node(graph_.find_by_name(name));
+  }
+  MaterializedSet set(std::initializer_list<const char*> names) {
+    MaterializedSet m;
+    for (const char* n : names) m.insert(graph_.find_by_name(n));
+    return m;
+  }
+
+  Catalog catalog_;
+  CostModel model_;
+  MvppGraph graph_;
+  MvppEvaluator eval_;
+};
+
+struct NodeGolden {
+  const char* name;
+  double rows;
+  double blocks;
+  double full_cost;
+};
+
+TEST_F(Figure3Regression, NodeAnnotations) {
+  const NodeGolden golden[] = {
+      {"tmp1", 100, 10, 250},
+      {"tmp2", 600, 100, 30'260},
+      {"tmp3", 1'600, 400, 1'030'360},
+      {"tmp4", 25'000, 5'000, 12'002'000},
+      {"tmp5", 12'534.2465753, 2'507, 12'007'000},
+      {"tmp7", 12'562.8140704, 2'513, 12'008'000},
+      {"result1", 600, 4, 30'360},
+      {"result2", 1'600, 10, 1'030'760},
+      {"result4", 12'562.8140704, 99, 12'010'513},
+  };
+  for (const NodeGolden& g : golden) {
+    const MvppNode& n = node(g.name);
+    EXPECT_NEAR(n.rows, g.rows, 0.01) << g.name;
+    EXPECT_NEAR(n.blocks, g.blocks, 1) << g.name;
+    EXPECT_NEAR(n.full_cost, g.full_cost, g.full_cost * 1e-3) << g.name;
+  }
+}
+
+TEST_F(Figure3Regression, Table2StrategyTotals) {
+  EXPECT_NEAR(eval_.total_cost({}), 70.697e6, 0.01e6);
+  EXPECT_NEAR(eval_.total_cost(set({"tmp2", "tmp4", "tmp6"})), 12.827e6,
+              0.01e6);
+  EXPECT_NEAR(eval_.total_cost(set({"tmp2", "tmp6"})), 72.837e6, 0.01e6);
+  EXPECT_NEAR(eval_.total_cost(set({"tmp2", "tmp4"})), 12.776e6, 0.01e6);
+  EXPECT_NEAR(
+      eval_.total_cost(set({"result1", "result2", "result3", "result4"})),
+      25.359e6, 0.01e6);
+}
+
+TEST_F(Figure3Regression, WalkthroughGoldenValues) {
+  // Cs(tmp4) = (5 + 0.8) * Ca - Ca = 4.8 * 12.002m.
+  EXPECT_NEAR(eval_.weight(graph_.find_by_name("tmp4")), 57.6096e6, 1e3);
+  const SelectionResult sel = yang_heuristic(eval_);
+  EXPECT_EQ(to_string(graph_, sel.materialized), "{tmp2, tmp4}");
+  EXPECT_NEAR(sel.costs.query_processing, 743'496, 500);
+  EXPECT_NEAR(sel.costs.maintenance, 12'032'260, 500);
+  // Exhaustive optimum adds the two cheap result views.
+  const SelectionResult opt = exhaustive_optimal(eval_);
+  EXPECT_EQ(to_string(graph_, opt.materialized),
+            "{result1, result4, tmp2, tmp4}");
+  EXPECT_NEAR(opt.costs.total(), 12.745e6, 0.01e6);
+}
+
+TEST_F(Figure3Regression, QueryFromScratchCosts) {
+  // fq x Ca per query (the merge-ordering quantities).
+  const double expected[][2] = {
+      {10.0, 30'360}, {0.5, 1'030'760}, {0.8, 12'288'000}, {5.0, 12'010'513}};
+  std::size_t i = 0;
+  for (NodeId q : graph_.query_ids()) {
+    EXPECT_NEAR(graph_.node(q).frequency, expected[i][0], 1e-9);
+    EXPECT_NEAR(eval_.answer_cost(q, {}), expected[i][1],
+                expected[i][1] * 2e-3)
+        << graph_.node(q).name;
+    ++i;
+  }
+}
+
+TEST_F(Figure3Regression, GraphShapeFrozen) {
+  EXPECT_EQ(graph_.size(), 20u);  // 5 bases + 11 operations + 4 roots
+  EXPECT_EQ(graph_.operation_ids().size(), 11u);
+  // tmp2 and tmp4 are the only shared intermediates (multiple parents).
+  std::set<std::string> shared;
+  for (const MvppNode& n : graph_.nodes()) {
+    if (n.is_operation() && n.parents.size() > 1) shared.insert(n.name);
+  }
+  EXPECT_EQ(shared, (std::set<std::string>{"tmp2", "tmp4"}));
+}
+
+}  // namespace
+}  // namespace mvd

@@ -1,0 +1,125 @@
+// Tests for src/common/json and src/mvpp/serialize.
+#include <gtest/gtest.h>
+
+#include "src/common/json.hpp"
+#include "src/mvpp/serialize.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace mvd {
+namespace {
+
+TEST(JsonTest, Scalars) {
+  EXPECT_EQ(Json::null().dump(), "null");
+  EXPECT_EQ(Json::boolean(true).dump(), "true");
+  EXPECT_EQ(Json::number(42.0).dump(), "42");
+  EXPECT_EQ(Json::number(2.5).dump(), "2.5");
+  EXPECT_EQ(Json::string("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  EXPECT_EQ(Json::string("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonTest, ArraysAndObjectsCompact) {
+  Json a = Json::array();
+  a.push_back(Json::number(1.0));
+  a.push_back(Json::string("x"));
+  EXPECT_EQ(a.dump(), "[1,\"x\"]");
+
+  Json o = Json::object();
+  o.set("b", Json::number(2.0));
+  o.set("a", Json::number(1.0));
+  // Insertion order preserved (stable output), not sorted.
+  EXPECT_EQ(o.dump(), "{\"b\":2,\"a\":1}");
+  EXPECT_EQ(Json::array().dump(), "[]");
+  EXPECT_EQ(Json::object().dump(), "{}");
+}
+
+TEST(JsonTest, SetOverwrites) {
+  Json o = Json::object();
+  o.set("k", Json::number(1.0));
+  o.set("k", Json::number(2.0));
+  EXPECT_EQ(o.size(), 1u);
+  EXPECT_DOUBLE_EQ(o.at("k").as_number(), 2.0);
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  Json o = Json::object();
+  o.set("k", Json::number(1.0));
+  EXPECT_EQ(o.dump(2), "{\n  \"k\": 1\n}");
+}
+
+TEST(JsonTest, Accessors) {
+  Json o = Json::object();
+  o.set("s", Json::string("v"));
+  o.set("b", Json::boolean(false));
+  EXPECT_TRUE(o.contains("s"));
+  EXPECT_FALSE(o.contains("zz"));
+  EXPECT_EQ(o.at("s").as_string(), "v");
+  EXPECT_FALSE(o.at("b").as_bool());
+  Json a = Json::array();
+  a.push_back(Json::number(7.0));
+  EXPECT_DOUBLE_EQ(a.at(0).as_number(), 7.0);
+}
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  SerializeTest()
+      : catalog_(make_paper_catalog()),
+        model_(catalog_, paper_cost_config()),
+        graph_(build_figure3_mvpp(model_)),
+        eval_(graph_) {}
+  Catalog catalog_;
+  CostModel model_;
+  MvppGraph graph_;
+  MvppEvaluator eval_;
+};
+
+TEST_F(SerializeTest, GraphJsonCoversAllNodes) {
+  const Json j = to_json(graph_);
+  EXPECT_TRUE(j.at("annotated").as_bool());
+  EXPECT_EQ(j.at("nodes").size(), graph_.size());
+  // Spot-check tmp1.
+  bool found = false;
+  for (std::size_t i = 0; i < j.at("nodes").size(); ++i) {
+    const Json& n = j.at("nodes").at(i);
+    if (n.at("name").as_string() == "tmp1") {
+      found = true;
+      EXPECT_EQ(n.at("kind").as_string(), "select");
+      EXPECT_EQ(n.at("predicate").as_string(), "(Division.city = 'LA')");
+      EXPECT_DOUBLE_EQ(n.at("full_cost").as_number(), 250.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SerializeTest, SelectionJsonRoundsUpDecision) {
+  const SelectionResult sel = yang_heuristic(eval_);
+  const Json j = to_json(graph_, sel);
+  EXPECT_EQ(j.at("algorithm").as_string(), "yang-heuristic");
+  EXPECT_EQ(j.at("materialized").size(), 2u);
+  EXPECT_DOUBLE_EQ(j.at("costs").at("total").as_number(), sel.costs.total());
+  EXPECT_GT(j.at("trace").size(), 0u);
+}
+
+TEST_F(SerializeTest, DesignReportHasQueriesAndViews) {
+  const SelectionResult sel = yang_heuristic(eval_);
+  const Json j = design_report_json(eval_, sel);
+  EXPECT_EQ(j.at("queries").size(), 4u);
+  EXPECT_EQ(j.at("views").size(), 2u);
+  // The report is valid, parseable-looking JSON (balanced braces as a
+  // cheap sanity check).
+  const std::string text = j.dump(2);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+  EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+            std::count(text.begin(), text.end(), ']'));
+  // Per-view consumers recorded.
+  for (std::size_t i = 0; i < j.at("views").size(); ++i) {
+    EXPECT_GT(j.at("views").at(i).at("serves").size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mvd

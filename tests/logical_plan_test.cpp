@@ -1,0 +1,215 @@
+// Tests for src/algebra/logical_plan and query_spec: construction,
+// binding, signatures, canonical plans.
+#include <gtest/gtest.h>
+
+#include "src/algebra/logical_plan.hpp"
+#include "src/algebra/query_spec.hpp"
+#include "src/common/error.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace mvd {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = make_paper_catalog();
+};
+
+TEST_F(PlanTest, ScanQualifiesSchema) {
+  const PlanPtr scan = make_scan(catalog_, "Product");
+  EXPECT_EQ(scan->kind(), OpKind::kScan);
+  EXPECT_EQ(scan->output_schema().at(0).qualified(), "Product.Pid");
+  EXPECT_THROW(make_scan(catalog_, "Nope"), CatalogError);
+}
+
+TEST_F(PlanTest, SelectBindsAndQualifiesPredicate) {
+  const PlanPtr plan = make_select(make_scan(catalog_, "Division"),
+                                   eq(col("city"), lit_str("LA")));
+  const auto& sel = static_cast<const SelectOp&>(*plan);
+  EXPECT_EQ(sel.predicate()->to_string(), "(Division.city = 'LA')");
+  EXPECT_EQ(plan->output_schema().size(), 3u);
+}
+
+TEST_F(PlanTest, SelectUnknownColumnThrows) {
+  EXPECT_THROW(make_select(make_scan(catalog_, "Division"),
+                           eq(col("bogus"), lit_i64(1))),
+               BindError);
+}
+
+TEST_F(PlanTest, ProjectShapesSchema) {
+  const PlanPtr plan =
+      make_project(make_scan(catalog_, "Product"), {"name", "Product.Did"});
+  EXPECT_EQ(plan->output_schema().size(), 2u);
+  EXPECT_EQ(plan->output_schema().at(0).qualified(), "Product.name");
+  EXPECT_THROW(make_project(make_scan(catalog_, "Product"), {}), PlanError);
+  EXPECT_THROW(
+      make_project(make_scan(catalog_, "Product"), {"name", "name"}),
+      PlanError);
+}
+
+TEST_F(PlanTest, JoinConcatenatesSchemas) {
+  const PlanPtr join = make_join(make_scan(catalog_, "Product"),
+                                 make_scan(catalog_, "Division"),
+                                 eq(col("Product.Did"), col("Division.Did")));
+  EXPECT_EQ(join->output_schema().size(), 6u);
+  EXPECT_TRUE(join->output_schema().contains("Division.city"));
+}
+
+TEST_F(PlanTest, JoinAmbiguousBareColumnThrows) {
+  // "Did" exists on both sides of the join schema.
+  EXPECT_THROW(make_join(make_scan(catalog_, "Product"),
+                         make_scan(catalog_, "Division"),
+                         eq(col("Did"), lit_i64(1))),
+               BindError);
+}
+
+TEST_F(PlanTest, BaseRelationsCollectsScans) {
+  const PlanPtr join = make_join(make_scan(catalog_, "Product"),
+                                 make_scan(catalog_, "Division"),
+                                 eq(col("Product.Did"), col("Division.Did")));
+  EXPECT_EQ(base_relations(join),
+            (std::set<std::string>{"Product", "Division"}));
+}
+
+TEST_F(PlanTest, TreeStringShowsStructure) {
+  const PlanPtr plan = make_project(
+      make_select(make_scan(catalog_, "Division"),
+                  eq(col("city"), lit_str("LA"))),
+      {"name"});
+  const std::string tree = plan_tree_string(plan);
+  EXPECT_NE(tree.find("project"), std::string::npos);
+  EXPECT_NE(tree.find("select"), std::string::npos);
+  EXPECT_NE(tree.find("scan(Division)"), std::string::npos);
+}
+
+TEST_F(PlanTest, SignatureIdentifiesCommonSubexpressions) {
+  // Same operation written in two different orders.
+  const PlanPtr a = make_join(make_scan(catalog_, "Product"),
+                              make_scan(catalog_, "Division"),
+                              eq(col("Product.Did"), col("Division.Did")));
+  const PlanPtr b = make_join(make_scan(catalog_, "Division"),
+                              make_scan(catalog_, "Product"),
+                              eq(col("Division.Did"), col("Product.Did")));
+  EXPECT_EQ(signature(a), signature(b));
+}
+
+TEST_F(PlanTest, SignatureDistinguishesPredicates) {
+  const PlanPtr a = make_select(make_scan(catalog_, "Division"),
+                                eq(col("city"), lit_str("LA")));
+  const PlanPtr b = make_select(make_scan(catalog_, "Division"),
+                                eq(col("city"), lit_str("SF")));
+  EXPECT_NE(signature(a), signature(b));
+}
+
+TEST_F(PlanTest, SignatureProjectionOrderInsensitive) {
+  const PlanPtr a = make_project(make_scan(catalog_, "Product"), {"Pid", "name"});
+  const PlanPtr b = make_project(make_scan(catalog_, "Product"), {"name", "Pid"});
+  EXPECT_EQ(signature(a), signature(b));
+}
+
+class QuerySpecTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = make_paper_catalog();
+
+  QuerySpec q1() {
+    return QuerySpec::bind(
+        catalog_, "Q1", 10.0, {"Product", "Division"},
+        conj({eq(col("Division.city"), lit_str("LA")),
+              eq(col("Product.Did"), col("Division.Did"))}),
+        {"Product.name"});
+  }
+};
+
+TEST_F(QuerySpecTest, SplitsJoinsFromSelections) {
+  const QuerySpec q = q1();
+  ASSERT_EQ(q.joins().size(), 1u);
+  EXPECT_EQ(q.joins()[0].canonical(), "Division.Did = Product.Did");
+  ASSERT_EQ(q.selections().size(), 1u);
+  EXPECT_EQ(q.selections()[0]->to_string(), "(Division.city = 'LA')");
+  EXPECT_EQ(q.projection(), std::vector<std::string>{"Product.name"});
+  EXPECT_DOUBLE_EQ(q.frequency(), 10.0);
+}
+
+TEST_F(QuerySpecTest, SelectionsOnFiltersByRelation) {
+  const QuerySpec q = q1();
+  EXPECT_EQ(q.selections_on("Division").size(), 1u);
+  EXPECT_TRUE(q.selections_on("Product").empty());
+}
+
+TEST_F(QuerySpecTest, UsedColumnsIncludesJoinAttributes) {
+  const QuerySpec q = q1();
+  EXPECT_EQ(q.used_columns("Product"),
+            (std::set<std::string>{"Product.name", "Product.Did"}));
+  EXPECT_EQ(q.used_columns("Division"),
+            (std::set<std::string>{"Division.city", "Division.Did"}));
+}
+
+TEST_F(QuerySpecTest, JoinsBetweenEitherOrientation) {
+  const QuerySpec q = q1();
+  EXPECT_EQ(q.joins_between("Division", "Product").size(), 1u);
+  EXPECT_EQ(q.joins_between("Product", "Division").size(), 1u);
+  EXPECT_TRUE(q.joins_between("Product", "Part").empty());
+}
+
+TEST_F(QuerySpecTest, JoinGraphConnectivity) {
+  EXPECT_TRUE(q1().join_graph_connected());
+  const QuerySpec cross = QuerySpec::bind(
+      catalog_, "X", 1.0, {"Product", "Customer"}, nullptr, {"Product.name"});
+  EXPECT_FALSE(cross.join_graph_connected());
+}
+
+TEST_F(QuerySpecTest, ValidationErrors) {
+  EXPECT_THROW(QuerySpec::bind(catalog_, "B", 1.0, {}, nullptr, {"x"}),
+               BindError);
+  EXPECT_THROW(QuerySpec::bind(catalog_, "B", 1.0, {"Nope"}, nullptr, {"x"}),
+               CatalogError);
+  EXPECT_THROW(QuerySpec::bind(catalog_, "B", 1.0, {"Product", "Product"},
+                               nullptr, {"name"}),
+               BindError);
+  EXPECT_THROW(QuerySpec::bind(catalog_, "B", -1.0, {"Product"}, nullptr,
+                               {"name"}),
+               BindError);
+  EXPECT_THROW(QuerySpec::bind(catalog_, "B", 1.0, {"Product"}, nullptr, {}),
+               BindError);
+  EXPECT_THROW(QuerySpec::bind(catalog_, "B", 1.0, {"Product"}, nullptr,
+                               {"name", "Product.name"}),
+               BindError);
+  EXPECT_THROW(QuerySpec::bind(catalog_, "B", 1.0, {"Product"},
+                               lit(Value::boolean(true)), {"name"}),
+               BindError);
+}
+
+TEST_F(QuerySpecTest, MultiRelationSelections) {
+  const QuerySpec q = QuerySpec::bind(
+      catalog_, "Theta", 1.0, {"Product", "Division"},
+      conj({eq(col("Product.Did"), col("Division.Did")),
+            cmp(CompareOp::kNe, col("Product.name"), col("Division.name"))}),
+      {"Product.name"});
+  ASSERT_EQ(q.multi_relation_selections().size(), 1u);
+  EXPECT_EQ(q.joins().size(), 1u);  // the non-eq comparison is not a join
+}
+
+TEST_F(QuerySpecTest, ToStringMentionsEverything) {
+  const std::string s = q1().to_string();
+  EXPECT_NE(s.find("Q1"), std::string::npos);
+  EXPECT_NE(s.find("FROM Product, Division"), std::string::npos);
+  EXPECT_NE(s.find("city"), std::string::npos);
+}
+
+TEST_F(QuerySpecTest, CanonicalPlanCoversAllPieces) {
+  const PlanPtr plan = canonical_plan(catalog_, q1());
+  EXPECT_EQ(plan->kind(), OpKind::kProject);
+  EXPECT_EQ(base_relations(plan),
+            (std::set<std::string>{"Product", "Division"}));
+  EXPECT_EQ(plan->output_schema().size(), 1u);
+}
+
+TEST_F(QuerySpecTest, CanonicalPlanHandlesCrossJoin) {
+  const QuerySpec cross = QuerySpec::bind(
+      catalog_, "X", 1.0, {"Product", "Customer"}, nullptr, {"Product.name"});
+  const PlanPtr plan = canonical_plan(catalog_, cross);
+  EXPECT_EQ(base_relations(plan).size(), 2u);
+}
+
+}  // namespace
+}  // namespace mvd

@@ -1,0 +1,236 @@
+// Tests for src/mvpp/evaluation: the Section 4.1 cost model under chosen
+// materialized sets, maintenance policies, and weights.
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/mvpp/evaluation.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace mvd {
+namespace {
+
+class MvppEvaluationTest : public ::testing::Test {
+ protected:
+  MvppEvaluationTest()
+      : catalog_(make_paper_catalog()),
+        model_(catalog_, paper_cost_config()),
+        graph_(build_figure3_mvpp(model_)),
+        eval_(graph_) {}
+
+  NodeId id(const std::string& name) const {
+    const NodeId n = graph_.find_by_name(name);
+    EXPECT_GE(n, 0) << name;
+    return n;
+  }
+  MaterializedSet set(std::initializer_list<const char*> names) const {
+    MaterializedSet m;
+    for (const char* n : names) m.insert(id(n));
+    return m;
+  }
+
+  Catalog catalog_;
+  CostModel model_;
+  MvppGraph graph_;
+  MvppEvaluator eval_;
+};
+
+TEST_F(MvppEvaluationTest, ProduceCostEqualsFullCostWhenNothingStored) {
+  for (NodeId v : graph_.operation_ids()) {
+    EXPECT_DOUBLE_EQ(eval_.produce_cost(v, {}), graph_.node(v).full_cost)
+        << graph_.node(v).name;
+  }
+}
+
+TEST_F(MvppEvaluationTest, MaterializedChildCutsRecomputation) {
+  // With tmp4 stored, tmp7 costs only its own selection scan over tmp4.
+  const MaterializedSet m = set({"tmp4"});
+  const MvppNode& tmp7 = graph_.node(id("tmp7"));
+  EXPECT_DOUBLE_EQ(eval_.produce_cost(id("tmp7"), m), tmp7.op_cost);
+  EXPECT_LT(tmp7.op_cost, tmp7.full_cost);
+}
+
+TEST_F(MvppEvaluationTest, ProduceCostIgnoresOwnMembership) {
+  // produce_cost(v) with v in M still recomputes v (refresh semantics).
+  const MaterializedSet m = set({"tmp4"});
+  EXPECT_DOUBLE_EQ(eval_.produce_cost(id("tmp4"), m),
+                   graph_.node(id("tmp4")).full_cost);
+}
+
+TEST_F(MvppEvaluationTest, AnswerCostReadsStoredResult) {
+  const NodeId q4 = graph_.find_by_name("Q4");
+  const MaterializedSet m = set({"result4"});
+  EXPECT_DOUBLE_EQ(eval_.answer_cost(q4, m),
+                   graph_.node(id("result4")).blocks);
+  // Without it, the full derivation is paid.
+  EXPECT_DOUBLE_EQ(eval_.answer_cost(q4, {}),
+                   graph_.node(id("result4")).full_cost);
+}
+
+TEST_F(MvppEvaluationTest, QueryProcessingCostWeightsByFrequency) {
+  // All-virtual: Σ fq · Ca(result_i).
+  double expected = 0;
+  for (NodeId q : graph_.query_ids()) {
+    expected += graph_.node(q).frequency *
+                graph_.node(graph_.node(q).children[0]).full_cost;
+  }
+  EXPECT_DOUBLE_EQ(eval_.query_processing_cost({}), expected);
+}
+
+TEST_F(MvppEvaluationTest, EmptySetHasZeroMaintenance) {
+  EXPECT_DOUBLE_EQ(eval_.total_maintenance_cost({}), 0);
+  const MvppCosts c = eval_.evaluate({});
+  EXPECT_DOUBLE_EQ(c.maintenance, 0);
+  EXPECT_GT(c.query_processing, 0);
+  EXPECT_DOUBLE_EQ(c.total(), c.query_processing);
+}
+
+TEST_F(MvppEvaluationTest, BatchUpdateFactorIsMaxOfBaseFrequencies) {
+  // All fu = 1 in the fixture.
+  EXPECT_DOUBLE_EQ(eval_.update_factor(id("tmp4")), 1.0);
+  // Per-update mode sums over the involved bases.
+  const MvppEvaluator per_update(
+      graph_, MaintenancePolicy{MaintenancePolicy::Mode::kPerUpdate, true});
+  EXPECT_DOUBLE_EQ(per_update.update_factor(id("tmp4")), 2.0);
+  EXPECT_DOUBLE_EQ(per_update.update_factor(id("tmp6")), 4.0);
+}
+
+TEST_F(MvppEvaluationTest, MaintenanceReusesStoredDescendants) {
+  // Maintaining result4 on top of stored tmp4 costs far less than from
+  // scratch — the reading of Table 2 that reconciles its rows.
+  const MaterializedSet both = set({"tmp4", "result4"});
+  const double with_reuse = eval_.maintenance_cost(id("result4"), both);
+  const MvppEvaluator no_reuse(
+      graph_,
+      MaintenancePolicy{MaintenancePolicy::Mode::kBatchRecompute, false});
+  const double without = no_reuse.maintenance_cost(id("result4"), both);
+  EXPECT_LT(with_reuse, without / 100);
+  EXPECT_DOUBLE_EQ(without, graph_.node(id("result4")).full_cost);
+}
+
+TEST_F(MvppEvaluationTest, Table2ShapeInvariants) {
+  const double none = eval_.total_cost({});
+  const double best = eval_.total_cost(set({"tmp2", "tmp4"}));
+  const MvppCosts all_queries =
+      eval_.evaluate(set({"result1", "result2", "result3", "result4"}));
+  // {tmp2, tmp4} wins against both extremes (the paper's Table 2 shape).
+  EXPECT_LT(best, none);
+  EXPECT_LT(best, all_queries.total());
+  // Materializing every query result minimizes query cost.
+  EXPECT_LT(all_queries.query_processing, eval_.evaluate({}).query_processing);
+  EXPECT_LT(all_queries.query_processing,
+            eval_.evaluate(set({"tmp2", "tmp4"})).query_processing);
+}
+
+TEST_F(MvppEvaluationTest, MonotoneQueryCost) {
+  // Adding a view never increases query processing cost.
+  const MaterializedSet smaller = set({"tmp2"});
+  const MaterializedSet larger = set({"tmp2", "tmp4"});
+  EXPECT_LE(eval_.query_processing_cost(larger),
+            eval_.query_processing_cost(smaller) + 1e-9);
+  EXPECT_LE(eval_.query_processing_cost(smaller),
+            eval_.query_processing_cost({}) + 1e-9);
+}
+
+TEST_F(MvppEvaluationTest, WeightMatchesPaperFormula) {
+  // w(tmp4) = (fq3 + fq4) * Ca - 1 * Ca = 4.8 * Ca.
+  const double ca = graph_.node(id("tmp4")).full_cost;
+  EXPECT_NEAR(eval_.weight(id("tmp4")), 4.8 * ca, 1e-6);
+  // w(tmp2) = (10 + 0.5 + 0.8 - 1) * Ca(tmp2).
+  EXPECT_NEAR(eval_.weight(id("tmp2")),
+              10.3 * graph_.node(id("tmp2")).full_cost, 1e-6);
+}
+
+TEST_F(MvppEvaluationTest, NonOperationNodesRejected) {
+  MaterializedSet bad{graph_.base_ids().front()};
+  EXPECT_THROW(eval_.evaluate(bad), PlanError);
+  MaterializedSet query_root{graph_.query_ids().front()};
+  EXPECT_THROW(eval_.evaluate(query_root), PlanError);
+}
+
+TEST_F(MvppEvaluationTest, IndexedStoredViewCheapensJoinProbes) {
+  // tmp6 = tmp2 |x| tmp5; with tmp5 stored + indexed, the join runs as an
+  // index nested loop probing once per tmp2 row.
+  const IndexPolicy index{true, 1.2};
+  const MvppEvaluator indexed(graph_, {}, index);
+  const MaterializedSet m = set({"tmp5"});
+  const NodeId tmp6 = id("tmp6");
+  EXPECT_LT(indexed.produce_cost(tmp6, m), eval_.produce_cost(tmp6, m));
+  // Expected: tmp2 production + tmp2 blocks + tmp2 rows * probe cost.
+  const MvppNode& tmp2 = graph_.node(id("tmp2"));
+  EXPECT_DOUBLE_EQ(indexed.produce_cost(tmp6, m),
+                   tmp2.full_cost + tmp2.blocks + tmp2.rows * 1.2);
+}
+
+TEST_F(MvppEvaluationTest, IndexedEqualitySelectReadsMatchingBlocks) {
+  // Build a tiny graph: equality select over a stored join view.
+  MvppGraph g;
+  const Schema os = make_scan(catalog_, "Order")->output_schema();
+  const Schema cs = make_scan(catalog_, "Customer")->output_schema();
+  const NodeId order = g.add_base("Order", os, 1.0);
+  const NodeId cust = g.add_base("Customer", cs, 1.0);
+  const NodeId join =
+      g.add_join(order, cust, eq(col("Order.Cid"), col("Customer.Cid")));
+  const NodeId sel =
+      g.add_select(join, eq(col("Customer.city"), lit_str("LA")));
+  const NodeId proj = g.add_project(sel, {"Order.date"});
+  g.add_query("Q", 1.0, proj);
+  g.annotate(model_);
+
+  const MvppEvaluator plain(g);
+  const MvppEvaluator indexed(g, {}, IndexPolicy{true, 1.2});
+  const MaterializedSet m{join};
+  // Indexed: fetch only the ~1% matching blocks instead of scanning the
+  // stored 5k-block view.
+  EXPECT_LT(indexed.produce_cost(sel, m), plain.produce_cost(sel, m) / 10);
+  // Range selections cannot use the equality index path.
+  EXPECT_DOUBLE_EQ(indexed.produce_cost(proj, m) - indexed.produce_cost(sel, m),
+                   g.node(sel).blocks);  // the project still scans
+}
+
+TEST_F(MvppEvaluationTest, IndexPolicyDisabledMatchesPlainEvaluation) {
+  const MvppEvaluator indexed_off(graph_, {}, IndexPolicy{false, 1.2});
+  for (NodeId v : graph_.operation_ids()) {
+    EXPECT_DOUBLE_EQ(indexed_off.produce_cost(v, set({"tmp2", "tmp4"})),
+                     eval_.produce_cost(v, set({"tmp2", "tmp4"})));
+  }
+}
+
+TEST_F(MvppEvaluationTest, IndexingOnlyHelpsNeverHurts) {
+  const MvppEvaluator indexed(graph_, {}, IndexPolicy{true, 1.2});
+  for (NodeId v : graph_.operation_ids()) {
+    for (const MaterializedSet& m :
+         {set({"tmp4"}), set({"tmp2", "tmp4"}), set({"tmp1", "tmp5"})}) {
+      EXPECT_LE(indexed.produce_cost(v, m), eval_.produce_cost(v, m) + 1e-9)
+          << graph_.node(v).name;
+    }
+  }
+}
+
+TEST_F(MvppEvaluationTest, ToStringSortsNames) {
+  EXPECT_EQ(to_string(graph_, set({"tmp4", "tmp2"})), "{tmp2, tmp4}");
+  EXPECT_EQ(to_string(graph_, {}), "{}");
+}
+
+TEST_F(MvppEvaluationTest, UpdateFrequencyScalesMaintenance) {
+  // Doubling Order's fu doubles the (batch) maintenance of tmp4.
+  Catalog catalog = make_paper_catalog();
+  catalog.set_update_frequency("Order", 2.0);
+  const CostModel model(catalog, paper_cost_config());
+  MvppGraph g2;
+  const Schema order_schema = make_scan(catalog, "Order")->output_schema();
+  const Schema cust_schema = make_scan(catalog, "Customer")->output_schema();
+  const NodeId order = g2.add_base("Order", order_schema, 2.0);
+  const NodeId cust = g2.add_base("Customer", cust_schema, 1.0);
+  const NodeId join =
+      g2.add_join(order, cust, eq(col("Order.Cid"), col("Customer.Cid")));
+  const NodeId proj = g2.add_project(join, {"Customer.city"});
+  g2.add_query("Q", 1.0, proj);
+  g2.annotate(model);
+  const MvppEvaluator e2(g2);
+  EXPECT_DOUBLE_EQ(e2.update_factor(join), 2.0);  // max(2, 1)
+  EXPECT_DOUBLE_EQ(e2.maintenance_cost(join, {join}),
+                   2.0 * g2.node(join).full_cost);
+}
+
+}  // namespace
+}  // namespace mvd

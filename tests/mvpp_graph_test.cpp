@@ -1,0 +1,190 @@
+// Tests for src/mvpp/graph: construction, dedup-by-signature (common
+// subexpression merging), ancestry queries, annotation, rendering.
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/mvpp/graph.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace mvd {
+namespace {
+
+class MvppGraphTest : public ::testing::Test {
+ protected:
+  MvppGraphTest()
+      : catalog_(make_paper_catalog()),
+        model_(catalog_, paper_cost_config()) {}
+
+  Schema schema(const std::string& rel) {
+    return make_scan(catalog_, rel)->output_schema();
+  }
+
+  Catalog catalog_;
+  CostModel model_;
+};
+
+TEST_F(MvppGraphTest, BaseNodesDeduplicate) {
+  MvppGraph g;
+  const NodeId a = g.add_base("Product", schema("Product"), 1.0);
+  const NodeId b = g.add_base("Product", schema("Product"), 1.0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST_F(MvppGraphTest, CommonSubexpressionsMerge) {
+  MvppGraph g;
+  const NodeId div = g.add_base("Division", schema("Division"), 1.0);
+  const NodeId s1 = g.add_select(div, eq(col("Division.city"), lit_str("LA")));
+  // Same predicate written with the literal first: still one node.
+  const NodeId s2 = g.add_select(
+      div, eq(lit_str("LA"), col("Division.city")));
+  EXPECT_EQ(s1, s2);
+  // A different predicate is a different node.
+  const NodeId s3 = g.add_select(div, eq(col("Division.city"), lit_str("SF")));
+  EXPECT_NE(s1, s3);
+}
+
+TEST_F(MvppGraphTest, JoinDedupIsCommutative) {
+  MvppGraph g;
+  const NodeId p = g.add_base("Product", schema("Product"), 1.0);
+  const NodeId d = g.add_base("Division", schema("Division"), 1.0);
+  const ExprPtr pred = eq(col("Product.Did"), col("Division.Did"));
+  const NodeId j1 = g.add_join(p, d, pred);
+  const NodeId j2 = g.add_join(d, p, eq(col("Division.Did"), col("Product.Did")));
+  EXPECT_EQ(j1, j2);
+}
+
+TEST_F(MvppGraphTest, ProjectDedupIsOrderInsensitive) {
+  MvppGraph g;
+  const NodeId p = g.add_base("Product", schema("Product"), 1.0);
+  const NodeId a = g.add_project(p, {"Product.name", "Product.Did"});
+  const NodeId b = g.add_project(p, {"Product.Did", "Product.name"});
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(MvppGraphTest, QueriesNeverMerge) {
+  MvppGraph g;
+  const NodeId p = g.add_base("Product", schema("Product"), 1.0);
+  const NodeId pr = g.add_project(p, {"Product.name"});
+  g.add_query("Q1", 1.0, pr);
+  g.add_query("Q2", 2.0, pr);
+  EXPECT_EQ(g.query_ids().size(), 2u);
+  EXPECT_THROW(g.add_query("Q1", 1.0, pr), PlanError);
+}
+
+TEST_F(MvppGraphTest, AncestryAndReachability) {
+  const MvppGraph g = build_figure3_mvpp(model_);
+  const NodeId tmp2 = g.find_by_name("tmp2");
+  const NodeId tmp4 = g.find_by_name("tmp4");
+  ASSERT_GE(tmp2, 0);
+  ASSERT_GE(tmp4, 0);
+
+  // Ov: tmp2 serves Q1, Q2, Q3; tmp4 serves Q3, Q4 (the paper's sets).
+  auto names_of = [&](const std::vector<NodeId>& ids) {
+    std::set<std::string> names;
+    for (NodeId id : ids) names.insert(g.node(id).name);
+    return names;
+  };
+  EXPECT_EQ(names_of(g.queries_using(tmp2)),
+            (std::set<std::string>{"Q1", "Q2", "Q3"}));
+  EXPECT_EQ(names_of(g.queries_using(tmp4)),
+            (std::set<std::string>{"Q3", "Q4"}));
+
+  // Iv: tmp4 is built from Order and Customer.
+  EXPECT_EQ(names_of(g.bases_under(tmp4)),
+            (std::set<std::string>{"Order", "Customer"}));
+  EXPECT_EQ(names_of(g.bases_under(tmp2)),
+            (std::set<std::string>{"Product", "Division"}));
+
+  // Descendants of tmp2 include tmp1 and both bases.
+  const std::set<NodeId> desc = g.descendants(tmp2);
+  EXPECT_TRUE(desc.contains(g.find_by_name("tmp1")));
+  // Ancestors of tmp1 include tmp2, tmp3, tmp6 and the results.
+  const std::set<NodeId> anc = g.ancestors(g.find_by_name("tmp1"));
+  EXPECT_TRUE(anc.contains(tmp2));
+  EXPECT_TRUE(anc.contains(g.find_by_name("tmp6")));
+}
+
+TEST_F(MvppGraphTest, Figure3HasElevenOperations) {
+  const MvppGraph g = build_figure3_mvpp(model_);
+  EXPECT_EQ(g.operation_ids().size(), 11u);  // tmp1..7 + result1..4
+  EXPECT_EQ(g.base_ids().size(), 5u);
+  EXPECT_EQ(g.query_ids().size(), 4u);
+  g.validate();
+}
+
+TEST_F(MvppGraphTest, AnnotationFillsCostsAndSizes) {
+  const MvppGraph g = build_figure3_mvpp(model_);
+  ASSERT_TRUE(g.annotated());
+  const MvppNode& tmp1 = g.node(g.find_by_name("tmp1"));
+  EXPECT_DOUBLE_EQ(tmp1.rows, 100);
+  EXPECT_DOUBLE_EQ(tmp1.full_cost, 250);  // the paper's 0.25k
+  const MvppNode& tmp4 = g.node(g.find_by_name("tmp4"));
+  EXPECT_DOUBLE_EQ(tmp4.rows, 25'000);    // Table 1's pinned size
+  EXPECT_DOUBLE_EQ(tmp4.blocks, 5'000);
+  EXPECT_NEAR(tmp4.full_cost, 12.03e6, 0.05e6);  // paper: 12.03m
+  // Leaves have zero cost by definition.
+  for (NodeId b : g.base_ids()) {
+    EXPECT_DOUBLE_EQ(g.node(b).full_cost, 0);
+    EXPECT_DOUBLE_EQ(g.node(b).op_cost, 0);
+  }
+  // Query roots inherit their child's cost.
+  for (NodeId q : g.query_ids()) {
+    EXPECT_DOUBLE_EQ(g.node(q).full_cost,
+                     g.node(g.node(q).children[0]).full_cost);
+  }
+}
+
+TEST_F(MvppGraphTest, AutomaticTmpNamesAreUniqueAndTopological) {
+  MvppGraph g;
+  const NodeId div = g.add_base("Division", schema("Division"), 1.0);
+  const NodeId s = g.add_select(div, eq(col("Division.city"), lit_str("LA")));
+  const NodeId pr = g.add_project(s, {"Division.name"});
+  g.add_query("Q", 1.0, pr);
+  g.annotate(model_);
+  EXPECT_EQ(g.node(s).name, "tmp1");
+  EXPECT_EQ(g.node(pr).name, "tmp2");
+}
+
+TEST_F(MvppGraphTest, SetNameValidation) {
+  MvppGraph g;
+  const NodeId div = g.add_base("Division", schema("Division"), 1.0);
+  const NodeId s = g.add_select(div, eq(col("Division.city"), lit_str("LA")));
+  g.set_name(s, "mine");
+  EXPECT_EQ(g.find_by_name("mine"), s);
+  EXPECT_THROW(g.set_name(div, "x"), PlanError);  // bases not renamable
+  EXPECT_THROW(g.set_name(s, ""), PlanError);
+  const NodeId s2 = g.add_select(div, eq(col("Division.city"), lit_str("SF")));
+  EXPECT_THROW(g.set_name(s2, "mine"), PlanError);
+  g.set_name(s, "mine");  // renaming to its own name is fine
+}
+
+TEST_F(MvppGraphTest, RenderingsMentionEveryNode) {
+  const MvppGraph g = build_figure3_mvpp(model_);
+  const std::string text = g.to_text();
+  const std::string dot = g.to_dot();
+  for (const MvppNode& n : g.nodes()) {
+    EXPECT_NE(text.find(n.name), std::string::npos) << n.name;
+  }
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  // One dot edge per parent-child arc.
+  std::size_t arcs = 0;
+  for (const MvppNode& n : g.nodes()) arcs += n.children.size();
+  std::size_t count = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, arcs);
+}
+
+TEST_F(MvppGraphTest, NodeLookupBoundsChecked) {
+  MvppGraph g;
+  EXPECT_THROW(g.node(0), AssertionError);
+  EXPECT_THROW(g.node(-1), AssertionError);
+  EXPECT_EQ(g.find_by_name("nope"), -1);
+}
+
+}  // namespace
+}  // namespace mvd

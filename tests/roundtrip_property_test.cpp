@@ -1,0 +1,148 @@
+// Property sweeps: SQL round-tripping (spec -> to_sql -> parse ->
+// identical spec) and cost-model selectivity laws, parameterized across
+// generated workloads and predicates.
+#include <gtest/gtest.h>
+
+#include "src/cost/cost_model.hpp"
+#include "src/sql/parser.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace mvd {
+namespace {
+
+// ---- SQL round-trip ---------------------------------------------------
+
+void expect_roundtrip(const Catalog& catalog, const QuerySpec& original) {
+  const std::string sql = original.to_sql();
+  const QuerySpec reparsed =
+      parse_and_bind(catalog, original.name(), original.frequency(), sql);
+  EXPECT_EQ(reparsed.relations(), original.relations()) << sql;
+  EXPECT_EQ(reparsed.projection(), original.projection()) << sql;
+  EXPECT_EQ(reparsed.group_by(), original.group_by()) << sql;
+  EXPECT_EQ(reparsed.aggregates().size(), original.aggregates().size()) << sql;
+  // Join sets match as canonical strings.
+  auto canon = [](const QuerySpec& q) {
+    std::multiset<std::string> out;
+    for (const JoinPredicate& j : q.joins()) out.insert(j.canonical());
+    return out;
+  };
+  EXPECT_EQ(canon(reparsed), canon(original)) << sql;
+  // Selection conjunct sets match up to normalization.
+  auto sels = [](const QuerySpec& q) {
+    std::multiset<std::string> out;
+    for (const ExprPtr& s : q.selections()) {
+      out.insert(normalize(s)->to_string());
+    }
+    return out;
+  };
+  EXPECT_EQ(sels(reparsed), sels(original)) << sql;
+}
+
+TEST(SqlRoundTripTest, PaperQueries) {
+  const PaperExample ex = make_paper_example();
+  for (const QuerySpec& q : ex.queries) expect_roundtrip(ex.catalog, q);
+  for (const QuerySpec& q : make_pushdown_variant_queries(ex.catalog)) {
+    expect_roundtrip(ex.catalog, q);
+  }
+}
+
+TEST(SqlRoundTripTest, AggregationQueries) {
+  const Catalog catalog = make_paper_catalog();
+  const QuerySpec q = parse_and_bind(
+      catalog, "A", 2.0,
+      "SELECT city, SUM(quantity) AS total, COUNT(*) AS n, MIN(date) AS d "
+      "FROM Order, Customer WHERE Order.Cid = Customer.Cid AND "
+      "quantity > 100 GROUP BY city");
+  expect_roundtrip(catalog, q);
+  // Date literals must come back out in parseable DATE '...' form.
+  const QuerySpec dated = parse_and_bind(
+      catalog, "D", 1.0,
+      "SELECT date FROM Order WHERE date > DATE '1996-07-01'");
+  EXPECT_NE(dated.to_sql().find("DATE '1996-07-01'"), std::string::npos);
+  expect_roundtrip(catalog, dated);
+}
+
+class RoundTripSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripSweepTest, GeneratedStarQueries) {
+  StarSchemaOptions schema;
+  const Catalog catalog = make_star_catalog(schema);
+  StarQueryOptions qopts;
+  qopts.count = 8;
+  qopts.seed = GetParam();
+  qopts.aggregation_probability = 0.3;
+  for (const QuerySpec& q : generate_star_queries(catalog, schema, qopts)) {
+    expect_roundtrip(catalog, q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripSweepTest,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u));
+
+// ---- Selectivity laws ---------------------------------------------------
+
+class SelectivityLawTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  SelectivityLawTest()
+      : catalog_(make_paper_catalog()),
+        model_(catalog_, paper_cost_config()) {}
+
+  double sel(const std::string& relation, const ExprPtr& pred) {
+    const PlanPtr s = make_scan(catalog_, relation);
+    return model_.selectivity(bind_expr(pred, s->output_schema()),
+                              model_.estimate(s));
+  }
+
+  Catalog catalog_;
+  CostModel model_;
+};
+
+TEST_P(SelectivityLawTest, LawsHoldForEveryPredicate) {
+  const std::string relation = "Order";
+  const ExprPtr p = parse_predicate(GetParam());
+  const ExprPtr q = parse_predicate("quantity > 150");
+  const double sp = sel(relation, p);
+  const double sq = sel(relation, q);
+
+  // Bounds.
+  EXPECT_GE(sp, 0.0);
+  EXPECT_LE(sp, 1.0);
+  // Complement.
+  EXPECT_NEAR(sel(relation, neg(p)), 1.0 - sp, 1e-9);
+  // Conjunction no more selective than either conjunct (independence).
+  const double s_and = sel(relation, conj({p, q}));
+  EXPECT_LE(s_and, sp + 1e-9);
+  EXPECT_LE(s_and, sq + 1e-9);
+  // Disjunction at least as permissive as either disjunct.
+  const double s_or = sel(relation, disj({p, q}));
+  EXPECT_GE(s_or, sp - 1e-9);
+  EXPECT_GE(s_or, sq - 1e-9);
+  // Inclusion-exclusion under independence.
+  EXPECT_NEAR(s_or, sp + sq - sp * sq, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Predicates, SelectivityLawTest,
+    ::testing::Values("quantity > 100", "quantity <= 50", "quantity = 7",
+                      "quantity <> 7", "date > DATE '1996-03-01'",
+                      "Cid = 42", "quantity > 100 AND Cid = 1",
+                      "quantity > 180 OR quantity < 20",
+                      "NOT quantity > 100"));
+
+TEST(SelectivityMonotoneTest, RangeCutsMoveMonotonically) {
+  const Catalog catalog = make_paper_catalog();
+  const CostModel model(catalog, paper_cost_config());
+  const PlanPtr s = make_scan(catalog, "Order");
+  const NodeEstimate in = model.estimate(s);
+  double previous = 1.0;
+  for (int cut = 0; cut <= 220; cut += 20) {
+    const double sel = model.selectivity(
+        bind_expr(gt(col("quantity"), lit_i64(cut)), s->output_schema()), in);
+    EXPECT_LE(sel, previous + 1e-9) << cut;
+    previous = sel;
+  }
+}
+
+}  // namespace
+}  // namespace mvd

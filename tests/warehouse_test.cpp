@@ -1,0 +1,199 @@
+// Integration tests for the WarehouseDesigner facade and the MVPP-to-plan
+// rewrite: design, deploy, answer, refresh — checked end-to-end against
+// from-scratch canonical evaluation on populated data.
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/random.hpp"
+#include "src/maintenance/update_stream.hpp"
+#include "src/warehouse/designer.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace mvd {
+namespace {
+
+WarehouseDesigner paper_designer(DesignerOptions options = {}) {
+  options.cost = paper_cost_config();
+  WarehouseDesigner designer(make_paper_catalog(), options);
+  for (const QuerySpec& q : make_paper_example().queries) {
+    designer.add_query(q);
+  }
+  return designer;
+}
+
+TEST(DesignerTest, RequiresQueries) {
+  WarehouseDesigner d(make_paper_catalog());
+  EXPECT_THROW(d.design(), PlanError);
+}
+
+TEST(DesignerTest, RejectsDuplicateQueryNames) {
+  WarehouseDesigner d(make_paper_catalog());
+  d.add_query("Q", 1.0, "SELECT name FROM Product");
+  EXPECT_THROW(d.add_query("Q", 2.0, "SELECT name FROM Division"), PlanError);
+}
+
+TEST(DesignerTest, DesignProducesCandidatesAndSelection) {
+  WarehouseDesigner d = paper_designer();
+  const DesignResult r = d.design();
+  EXPECT_EQ(r.candidates.size(), 4u);
+  EXPECT_LT(r.mvpp_index, r.candidates.size());
+  EXPECT_FALSE(r.selection.materialized.empty());
+  EXPECT_GT(r.selection.costs.total(), 0);
+}
+
+TEST(DesignerTest, AlgorithmsAreConfigurable) {
+  for (const auto algorithm :
+       {DesignerOptions::Algorithm::kYang, DesignerOptions::Algorithm::kGreedy,
+        DesignerOptions::Algorithm::kExhaustive,
+        DesignerOptions::Algorithm::kAnnealing}) {
+    DesignerOptions options;
+    options.algorithm = algorithm;
+    WarehouseDesigner d = paper_designer(options);
+    const DesignResult r = d.design();
+    EXPECT_GT(r.selection.costs.total(), 0);
+  }
+}
+
+TEST(DesignerTest, ExhaustiveNeverWorseThanYangOnChosenGraphs) {
+  DesignerOptions yang_options;
+  DesignerOptions opt_options;
+  opt_options.algorithm = DesignerOptions::Algorithm::kExhaustive;
+  const DesignResult yang = paper_designer(yang_options).design();
+  const DesignResult optimal = paper_designer(opt_options).design();
+  EXPECT_LE(optimal.selection.costs.total(),
+            yang.selection.costs.total() + 1e-6);
+}
+
+TEST(DesignerTest, ReportMentionsStrategiesAndViews) {
+  WarehouseDesigner d = paper_designer();
+  const DesignResult r = d.design();
+  const std::string report = d.report(r);
+  EXPECT_NE(report.find("materialize-nothing"), std::string::npos);
+  EXPECT_NE(report.find("materialize-all-queries"), std::string::npos);
+  EXPECT_NE(report.find("yang-heuristic"), std::string::npos);
+  EXPECT_NE(report.find("Q1"), std::string::npos);
+}
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  DeploymentTest() : designer_(paper_designer()) {
+    db_ = populate_paper_database(0.02, 23);
+    design_ = designer_.design();
+  }
+
+  WarehouseDesigner designer_;
+  Database db_;
+  DesignResult design_;
+};
+
+TEST_F(DeploymentTest, DeployStoresEveryChosenView) {
+  designer_.deploy(design_, db_);
+  for (NodeId v : design_.selection.materialized) {
+    const std::string& name = design_.graph().node(v).name;
+    EXPECT_TRUE(db_.has_table(name)) << name;
+  }
+}
+
+TEST_F(DeploymentTest, AnswersFromViewsMatchFromScratch) {
+  // Ground truth: canonical plans over base tables only.
+  const Executor exec(db_);
+  std::map<std::string, Table> expected;
+  for (const QuerySpec& q : designer_.queries()) {
+    expected.emplace(q.name(),
+                     exec.run(canonical_plan(designer_.catalog(), q)));
+  }
+  designer_.deploy(design_, db_);
+  for (const QuerySpec& q : designer_.queries()) {
+    const Table got = designer_.answer(design_, q.name(), db_);
+    EXPECT_TRUE(same_bag(expected.at(q.name()), got)) << q.name();
+  }
+}
+
+TEST_F(DeploymentTest, AnswerUnknownQueryThrows) {
+  designer_.deploy(design_, db_);
+  EXPECT_THROW(designer_.answer(design_, "nope", db_), PlanError);
+}
+
+TEST_F(DeploymentTest, RefreshAfterUpdatesRestoresConsistency) {
+  designer_.deploy(design_, db_);
+  // Mutate two base tables.
+  Rng rng(7);
+  UpdateStreamOptions updates;
+  updates.modify_fraction = 0.05;
+  updates.insert_fraction = 0.05;
+  updates.delete_fraction = 0.02;
+  EXPECT_GT(apply_update_batch(db_, "Order", updates, rng), 0u);
+  EXPECT_GT(apply_update_batch(db_, "Division", updates, rng), 0u);
+
+  // Stale views may now disagree; refresh must restore consistency.
+  designer_.refresh(design_, db_);
+  const Executor exec(db_);
+  for (const QuerySpec& q : designer_.queries()) {
+    const Table expected = exec.run(canonical_plan(designer_.catalog(), q));
+    const Table got = designer_.answer(design_, q.name(), db_);
+    EXPECT_TRUE(same_bag(expected, got)) << q.name();
+  }
+}
+
+TEST_F(DeploymentTest, AnswerPlanReadsStoredResultWhenMaterialized) {
+  // Force-materialize Q1's result node and check the answer plan is a
+  // bare scan of it.
+  const MvppGraph& g = design_.graph();
+  const NodeId q1 = g.find_by_name("Q1");
+  const NodeId result = g.node(q1).children[0];
+  const PlanPtr plan = answer_plan(g, q1, {result});
+  EXPECT_EQ(plan->kind(), OpKind::kScan);
+}
+
+TEST_F(DeploymentTest, RefreshPlanRebuildsSelfEvenWhenStored) {
+  const MvppGraph& g = design_.graph();
+  ASSERT_FALSE(design_.selection.materialized.empty());
+  const NodeId v = *design_.selection.materialized.begin();
+  const PlanPtr plan = refresh_plan(g, v, design_.selection.materialized);
+  // The refresh plan of v must not be a scan of v itself.
+  if (plan->kind() == OpKind::kScan) {
+    EXPECT_NE(static_cast<const ScanOp&>(*plan).relation(), g.node(v).name);
+  }
+}
+
+TEST(RewriteTest, EveryFrontierChoicePreservesSemantics) {
+  // Property: for the Figure 3 MVPP and random materialized subsets, all
+  // queries answer identically with and without the views.
+  const Catalog catalog = make_paper_catalog();
+  const CostModel model(catalog, paper_cost_config());
+  const MvppGraph g = build_figure3_mvpp(model);
+  Database base_db = populate_paper_database(0.01, 41);
+  const Executor exec(base_db);
+
+  std::map<std::string, Table> expected;
+  for (NodeId q : g.query_ids()) {
+    expected.emplace(g.node(q).name, exec.run(answer_plan(g, q, {})));
+  }
+
+  Rng rng(99);
+  const std::vector<NodeId> candidates = g.operation_ids();
+  for (int trial = 0; trial < 8; ++trial) {
+    MaterializedSet m;
+    for (NodeId v : candidates) {
+      if (rng.chance(0.4)) m.insert(v);
+    }
+    Database db = base_db;  // fresh copy with base tables only
+    // Deploy the views in dependency (id) order.
+    for (NodeId v : m) {
+      MaterializedSet deps = m;
+      deps.erase(v);
+      const Executor e(db);
+      db.put_table(g.node(v).name, e.run(refresh_plan(g, v, deps)));
+    }
+    const Executor e(db);
+    for (NodeId q : g.query_ids()) {
+      const Table got = e.run(answer_plan(g, q, m));
+      EXPECT_TRUE(same_bag(expected.at(g.node(q).name), got))
+          << g.node(q).name << " with M = " << to_string(g, m);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mvd

@@ -1,0 +1,186 @@
+// Tests for src/workload: star/chain generators, paper fixtures, data
+// population consistency with statistics.
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/exec/executor.hpp"
+#include "src/workload/generator.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace mvd {
+namespace {
+
+TEST(StarCatalogTest, ShapesAndStats) {
+  StarSchemaOptions options;
+  options.dimensions = 3;
+  const Catalog c = make_star_catalog(options);
+  EXPECT_EQ(c.relation_names().size(), 4u);  // 3 dims + fact
+  EXPECT_TRUE(c.has_relation("Fact"));
+  EXPECT_TRUE(c.has_relation("Dim2"));
+  EXPECT_DOUBLE_EQ(c.stats("Fact").rows, 50'000);
+  EXPECT_DOUBLE_EQ(*c.stats("Dim0").column("category")->distinct, 20);
+  EXPECT_EQ(c.schema("Fact").size(), 3u + 3u);  // fid + d0..d2 + measure + amount
+}
+
+TEST(StarCatalogTest, RejectsZeroDimensions) {
+  StarSchemaOptions options;
+  options.dimensions = 0;
+  EXPECT_THROW(make_star_catalog(options), CatalogError);
+}
+
+TEST(StarQueriesTest, DeterministicAndBounded) {
+  StarSchemaOptions schema;
+  const Catalog c = make_star_catalog(schema);
+  StarQueryOptions qopts;
+  qopts.count = 10;
+  const auto a = generate_star_queries(c, schema, qopts);
+  const auto b = generate_star_queries(c, schema, qopts);
+  ASSERT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].to_string(), b[i].to_string());
+  }
+  for (const QuerySpec& q : a) {
+    EXPECT_GE(q.relations().size(), 2u);  // fact + >= 1 dim
+    EXPECT_LE(q.relations().size(),
+              1u + qopts.max_dimensions);
+    EXPECT_TRUE(q.join_graph_connected());
+    EXPECT_GT(q.frequency(), 0);
+  }
+}
+
+TEST(StarQueriesTest, FrequenciesFollowZipf) {
+  StarSchemaOptions schema;
+  const Catalog c = make_star_catalog(schema);
+  StarQueryOptions qopts;
+  qopts.count = 6;
+  qopts.top_frequency = 12.0;
+  const auto queries = generate_star_queries(c, schema, qopts);
+  EXPECT_DOUBLE_EQ(queries[0].frequency(), 12.0);
+  for (std::size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_LE(queries[i].frequency(), queries[i - 1].frequency() + 1e-9);
+  }
+}
+
+TEST(StarQueriesTest, InvalidSpansRejected) {
+  StarSchemaOptions schema;
+  const Catalog c = make_star_catalog(schema);
+  StarQueryOptions qopts;
+  qopts.min_dimensions = 0;
+  EXPECT_THROW(generate_star_queries(c, schema, qopts), PlanError);
+  qopts.min_dimensions = 3;
+  qopts.max_dimensions = 2;
+  EXPECT_THROW(generate_star_queries(c, schema, qopts), PlanError);
+  qopts.max_dimensions = 99;
+  EXPECT_THROW(generate_star_queries(c, schema, qopts), PlanError);
+}
+
+TEST(StarPopulationTest, MatchesCatalogShapes) {
+  StarSchemaOptions options;
+  options.dimensions = 2;
+  options.fact_rows = 1'000;
+  options.dimension_rows = 80;
+  const Database db = populate_star_database(options, 7);
+  EXPECT_EQ(db.table("Fact").row_count(), 1'000u);
+  EXPECT_EQ(db.table("Dim1").row_count(), 80u);
+  // Foreign keys land within the dimension.
+  for (const Tuple& t : db.table("Fact").rows()) {
+    EXPECT_GE(t[1].as_int64(), 0);
+    EXPECT_LT(t[1].as_int64(), 80);
+  }
+}
+
+TEST(StarPopulationTest, CatalogFromDatabaseUsesTruthfulStats) {
+  StarSchemaOptions options;
+  options.dimensions = 2;
+  options.fact_rows = 1'000;
+  options.dimension_rows = 80;
+  options.categories = 4;
+  const Database db = populate_star_database(options, 7);
+  const Catalog c = catalog_from_database(db, 10.0);
+  EXPECT_DOUBLE_EQ(c.stats("Fact").rows, 1'000);
+  EXPECT_DOUBLE_EQ(*c.stats("Dim0").column("category")->distinct, 4);
+  EXPECT_DOUBLE_EQ(*c.stats("Fact").column("measure")->min_value, 1);
+}
+
+TEST(ChainTest, CatalogAndQueries) {
+  ChainSchemaOptions schema;
+  schema.length = 6;
+  const Catalog c = make_chain_catalog(schema);
+  EXPECT_EQ(c.relation_names().size(), 6u);
+  EXPECT_TRUE(c.has_relation("R5"));
+
+  ChainQueryOptions qopts;
+  qopts.count = 5;
+  const auto queries = generate_chain_queries(c, schema, qopts);
+  ASSERT_EQ(queries.size(), 5u);
+  for (const QuerySpec& q : queries) {
+    EXPECT_GE(q.relations().size(), 2u);
+    EXPECT_TRUE(q.join_graph_connected());
+    EXPECT_EQ(q.joins().size(), q.relations().size() - 1);
+  }
+}
+
+TEST(ChainTest, Validation) {
+  ChainSchemaOptions schema;
+  schema.length = 1;
+  EXPECT_THROW(make_chain_catalog(schema), CatalogError);
+  schema.length = 4;
+  const Catalog c = make_chain_catalog(schema);
+  ChainQueryOptions qopts;
+  qopts.max_span = 9;
+  EXPECT_THROW(generate_chain_queries(c, schema, qopts), PlanError);
+}
+
+TEST(PaperDataTest, PopulationMatchesStatisticsShape) {
+  const Database db = populate_paper_database(0.05, 11);
+  const Catalog reference = make_paper_catalog();
+  for (const std::string& rel : reference.relation_names()) {
+    ASSERT_TRUE(db.has_table(rel)) << rel;
+    EXPECT_NEAR(static_cast<double>(db.table(rel).row_count()),
+                reference.stats(rel).rows * 0.05, 1.0)
+        << rel;
+  }
+  // The executed selectivity of city='LA' sits near the catalog's 2%.
+  const Catalog truthful = catalog_from_database(db, 10.0);
+  const Executor exec(db);
+  const Table la = exec.run(make_select(
+      make_scan(truthful, "Division"), eq(col("city"), lit_str("LA"))));
+  const double fraction = static_cast<double>(la.row_count()) /
+                          static_cast<double>(db.table("Division").row_count());
+  EXPECT_NEAR(fraction, 0.02, 0.03);
+  // quantity > 100 close to one half.
+  const Table big = exec.run(make_select(make_scan(truthful, "Order"),
+                                         gt(col("quantity"), lit_i64(100))));
+  EXPECT_NEAR(static_cast<double>(big.row_count()) /
+                  static_cast<double>(db.table("Order").row_count()),
+              0.5, 0.05);
+}
+
+TEST(PaperDataTest, ForeignKeysResolve) {
+  const Database db = populate_paper_database(0.02, 13);
+  const std::size_t divisions = db.table("Division").row_count();
+  for (const Tuple& t : db.table("Product").rows()) {
+    EXPECT_GE(t[2].as_int64(), 0);
+    EXPECT_LT(t[2].as_int64(), static_cast<std::int64_t>(divisions));
+  }
+}
+
+TEST(PushdownVariantTest, QueriesDifferOnlyInSelections) {
+  const Catalog c = make_paper_catalog();
+  const auto variant = make_pushdown_variant_queries(c);
+  const auto original = make_paper_example().queries;
+  ASSERT_EQ(variant.size(), original.size());
+  for (std::size_t i = 0; i < variant.size(); ++i) {
+    EXPECT_EQ(variant[i].relations(), original[i].relations());
+    EXPECT_EQ(variant[i].joins().size(), original[i].joins().size());
+    EXPECT_DOUBLE_EQ(variant[i].frequency(), original[i].frequency());
+  }
+  // Q2's selection is on Division.name in the variant.
+  EXPECT_EQ(variant[1].selections_on("Division").size(), 1u);
+  EXPECT_NE(variant[1].selections_on("Division")[0]->to_string()
+                .find("Division.name"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mvd
