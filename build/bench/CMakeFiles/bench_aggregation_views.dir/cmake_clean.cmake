@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aggregation_views.dir/bench_aggregation_views.cpp.o"
+  "CMakeFiles/bench_aggregation_views.dir/bench_aggregation_views.cpp.o.d"
+  "bench_aggregation_views"
+  "bench_aggregation_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregation_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exec_validation.dir/bench_exec_validation.cpp.o"
+  "CMakeFiles/bench_exec_validation.dir/bench_exec_validation.cpp.o.d"
+  "bench_exec_validation"
+  "bench_exec_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exec_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

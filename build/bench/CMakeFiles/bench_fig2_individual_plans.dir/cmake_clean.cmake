@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_individual_plans.dir/bench_fig2_individual_plans.cpp.o"
+  "CMakeFiles/bench_fig2_individual_plans.dir/bench_fig2_individual_plans.cpp.o.d"
+  "bench_fig2_individual_plans"
+  "bench_fig2_individual_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_individual_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

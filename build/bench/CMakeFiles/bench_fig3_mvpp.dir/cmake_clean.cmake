@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mvpp.dir/bench_fig3_mvpp.cpp.o"
+  "CMakeFiles/bench_fig3_mvpp.dir/bench_fig3_mvpp.cpp.o.d"
+  "bench_fig3_mvpp"
+  "bench_fig3_mvpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mvpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_multiple_mvpps.dir/bench_fig6_multiple_mvpps.cpp.o"
+  "CMakeFiles/bench_fig6_multiple_mvpps.dir/bench_fig6_multiple_mvpps.cpp.o.d"
+  "bench_fig6_multiple_mvpps"
+  "bench_fig6_multiple_mvpps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multiple_mvpps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fig8_pushdown.dir/bench_fig7_fig8_pushdown.cpp.o"
+  "CMakeFiles/bench_fig7_fig8_pushdown.dir/bench_fig7_fig8_pushdown.cpp.o.d"
+  "bench_fig7_fig8_pushdown"
+  "bench_fig7_fig8_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fig8_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

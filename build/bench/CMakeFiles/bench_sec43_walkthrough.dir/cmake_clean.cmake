@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_walkthrough.dir/bench_sec43_walkthrough.cpp.o"
+  "CMakeFiles/bench_sec43_walkthrough.dir/bench_sec43_walkthrough.cpp.o.d"
+  "bench_sec43_walkthrough"
+  "bench_sec43_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

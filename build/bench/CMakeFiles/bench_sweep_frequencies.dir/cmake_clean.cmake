@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_frequencies.dir/bench_sweep_frequencies.cpp.o"
+  "CMakeFiles/bench_sweep_frequencies.dir/bench_sweep_frequencies.cpp.o.d"
+  "bench_sweep_frequencies"
+  "bench_sweep_frequencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_frequencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

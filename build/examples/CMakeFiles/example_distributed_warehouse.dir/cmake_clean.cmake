@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_warehouse.dir/distributed_warehouse.cpp.o"
+  "CMakeFiles/example_distributed_warehouse.dir/distributed_warehouse.cpp.o.d"
+  "example_distributed_warehouse"
+  "example_distributed_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

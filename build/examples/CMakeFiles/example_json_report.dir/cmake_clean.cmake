@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_json_report.dir/json_report.cpp.o"
+  "CMakeFiles/example_json_report.dir/json_report.cpp.o.d"
+  "example_json_report"
+  "example_json_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_json_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

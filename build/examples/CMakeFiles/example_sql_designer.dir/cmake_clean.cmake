@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sql_designer.dir/sql_designer.cpp.o"
+  "CMakeFiles/example_sql_designer.dir/sql_designer.cpp.o.d"
+  "example_sql_designer"
+  "example_sql_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sql_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

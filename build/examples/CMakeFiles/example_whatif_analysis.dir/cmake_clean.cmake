@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_whatif_analysis.dir/whatif_analysis.cpp.o"
+  "CMakeFiles/example_whatif_analysis.dir/whatif_analysis.cpp.o.d"
+  "example_whatif_analysis"
+  "example_whatif_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_whatif_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/aggregate.cpp" "src/CMakeFiles/mvdesign.dir/algebra/aggregate.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/algebra/aggregate.cpp.o.d"
+  "/root/repo/src/algebra/eval.cpp" "src/CMakeFiles/mvdesign.dir/algebra/eval.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/algebra/eval.cpp.o.d"
+  "/root/repo/src/algebra/expr.cpp" "src/CMakeFiles/mvdesign.dir/algebra/expr.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/algebra/expr.cpp.o.d"
+  "/root/repo/src/algebra/logical_plan.cpp" "src/CMakeFiles/mvdesign.dir/algebra/logical_plan.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/algebra/logical_plan.cpp.o.d"
+  "/root/repo/src/algebra/query_spec.cpp" "src/CMakeFiles/mvdesign.dir/algebra/query_spec.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/algebra/query_spec.cpp.o.d"
+  "/root/repo/src/catalog/catalog.cpp" "src/CMakeFiles/mvdesign.dir/catalog/catalog.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/catalog/catalog.cpp.o.d"
+  "/root/repo/src/catalog/schema.cpp" "src/CMakeFiles/mvdesign.dir/catalog/schema.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/catalog/schema.cpp.o.d"
+  "/root/repo/src/catalog/value_type.cpp" "src/CMakeFiles/mvdesign.dir/catalog/value_type.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/catalog/value_type.cpp.o.d"
+  "/root/repo/src/common/assert.cpp" "src/CMakeFiles/mvdesign.dir/common/assert.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/common/assert.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/CMakeFiles/mvdesign.dir/common/json.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/common/json.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/mvdesign.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/mvdesign.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/text_table.cpp" "src/CMakeFiles/mvdesign.dir/common/text_table.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/common/text_table.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/mvdesign.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/common/units.cpp.o.d"
+  "/root/repo/src/cost/cost_model.cpp" "src/CMakeFiles/mvdesign.dir/cost/cost_model.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/cost/cost_model.cpp.o.d"
+  "/root/repo/src/distributed/distributed_evaluator.cpp" "src/CMakeFiles/mvdesign.dir/distributed/distributed_evaluator.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/distributed/distributed_evaluator.cpp.o.d"
+  "/root/repo/src/distributed/topology.cpp" "src/CMakeFiles/mvdesign.dir/distributed/topology.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/distributed/topology.cpp.o.d"
+  "/root/repo/src/exec/executor.cpp" "src/CMakeFiles/mvdesign.dir/exec/executor.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/exec/executor.cpp.o.d"
+  "/root/repo/src/maintenance/incremental.cpp" "src/CMakeFiles/mvdesign.dir/maintenance/incremental.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/maintenance/incremental.cpp.o.d"
+  "/root/repo/src/maintenance/update_stream.cpp" "src/CMakeFiles/mvdesign.dir/maintenance/update_stream.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/maintenance/update_stream.cpp.o.d"
+  "/root/repo/src/mvpp/builder.cpp" "src/CMakeFiles/mvdesign.dir/mvpp/builder.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/mvpp/builder.cpp.o.d"
+  "/root/repo/src/mvpp/evaluation.cpp" "src/CMakeFiles/mvdesign.dir/mvpp/evaluation.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/mvpp/evaluation.cpp.o.d"
+  "/root/repo/src/mvpp/graph.cpp" "src/CMakeFiles/mvdesign.dir/mvpp/graph.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/mvpp/graph.cpp.o.d"
+  "/root/repo/src/mvpp/rewrite.cpp" "src/CMakeFiles/mvdesign.dir/mvpp/rewrite.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/mvpp/rewrite.cpp.o.d"
+  "/root/repo/src/mvpp/selection.cpp" "src/CMakeFiles/mvdesign.dir/mvpp/selection.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/mvpp/selection.cpp.o.d"
+  "/root/repo/src/mvpp/serialize.cpp" "src/CMakeFiles/mvdesign.dir/mvpp/serialize.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/mvpp/serialize.cpp.o.d"
+  "/root/repo/src/optimizer/optimizer.cpp" "src/CMakeFiles/mvdesign.dir/optimizer/optimizer.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/optimizer/optimizer.cpp.o.d"
+  "/root/repo/src/sql/lexer.cpp" "src/CMakeFiles/mvdesign.dir/sql/lexer.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/sql/lexer.cpp.o.d"
+  "/root/repo/src/sql/parser.cpp" "src/CMakeFiles/mvdesign.dir/sql/parser.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/sql/parser.cpp.o.d"
+  "/root/repo/src/storage/database.cpp" "src/CMakeFiles/mvdesign.dir/storage/database.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/storage/database.cpp.o.d"
+  "/root/repo/src/storage/table.cpp" "src/CMakeFiles/mvdesign.dir/storage/table.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/storage/table.cpp.o.d"
+  "/root/repo/src/storage/value.cpp" "src/CMakeFiles/mvdesign.dir/storage/value.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/storage/value.cpp.o.d"
+  "/root/repo/src/warehouse/designer.cpp" "src/CMakeFiles/mvdesign.dir/warehouse/designer.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/warehouse/designer.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/mvdesign.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/paper_example.cpp" "src/CMakeFiles/mvdesign.dir/workload/paper_example.cpp.o" "gcc" "src/CMakeFiles/mvdesign.dir/workload/paper_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregate_test.cpp" "tests/CMakeFiles/mvd_tests.dir/aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/aggregate_test.cpp.o.d"
+  "/root/repo/tests/budgeted_selection_test.cpp" "tests/CMakeFiles/mvd_tests.dir/budgeted_selection_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/budgeted_selection_test.cpp.o.d"
+  "/root/repo/tests/catalog_test.cpp" "tests/CMakeFiles/mvd_tests.dir/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/catalog_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/mvd_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/cost_model_test.cpp" "tests/CMakeFiles/mvd_tests.dir/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/cost_model_test.cpp.o.d"
+  "/root/repo/tests/coverage_gap_test.cpp" "tests/CMakeFiles/mvd_tests.dir/coverage_gap_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/coverage_gap_test.cpp.o.d"
+  "/root/repo/tests/distributed_test.cpp" "tests/CMakeFiles/mvd_tests.dir/distributed_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/distributed_test.cpp.o.d"
+  "/root/repo/tests/end_to_end_property_test.cpp" "tests/CMakeFiles/mvd_tests.dir/end_to_end_property_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/end_to_end_property_test.cpp.o.d"
+  "/root/repo/tests/executor_test.cpp" "tests/CMakeFiles/mvd_tests.dir/executor_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/executor_test.cpp.o.d"
+  "/root/repo/tests/expr_test.cpp" "tests/CMakeFiles/mvd_tests.dir/expr_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/expr_test.cpp.o.d"
+  "/root/repo/tests/figure3_regression_test.cpp" "tests/CMakeFiles/mvd_tests.dir/figure3_regression_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/figure3_regression_test.cpp.o.d"
+  "/root/repo/tests/json_test.cpp" "tests/CMakeFiles/mvd_tests.dir/json_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/json_test.cpp.o.d"
+  "/root/repo/tests/logical_plan_test.cpp" "tests/CMakeFiles/mvd_tests.dir/logical_plan_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/logical_plan_test.cpp.o.d"
+  "/root/repo/tests/maintenance_test.cpp" "tests/CMakeFiles/mvd_tests.dir/maintenance_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/maintenance_test.cpp.o.d"
+  "/root/repo/tests/mvpp_builder_test.cpp" "tests/CMakeFiles/mvd_tests.dir/mvpp_builder_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/mvpp_builder_test.cpp.o.d"
+  "/root/repo/tests/mvpp_evaluation_test.cpp" "tests/CMakeFiles/mvd_tests.dir/mvpp_evaluation_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/mvpp_evaluation_test.cpp.o.d"
+  "/root/repo/tests/mvpp_graph_test.cpp" "tests/CMakeFiles/mvd_tests.dir/mvpp_graph_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/mvpp_graph_test.cpp.o.d"
+  "/root/repo/tests/mvpp_selection_test.cpp" "tests/CMakeFiles/mvd_tests.dir/mvpp_selection_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/mvpp_selection_test.cpp.o.d"
+  "/root/repo/tests/optimizer_test.cpp" "tests/CMakeFiles/mvd_tests.dir/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/optimizer_test.cpp.o.d"
+  "/root/repo/tests/roundtrip_property_test.cpp" "tests/CMakeFiles/mvd_tests.dir/roundtrip_property_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/roundtrip_property_test.cpp.o.d"
+  "/root/repo/tests/sql_test.cpp" "tests/CMakeFiles/mvd_tests.dir/sql_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/sql_test.cpp.o.d"
+  "/root/repo/tests/storage_test.cpp" "tests/CMakeFiles/mvd_tests.dir/storage_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/storage_test.cpp.o.d"
+  "/root/repo/tests/warehouse_test.cpp" "tests/CMakeFiles/mvd_tests.dir/warehouse_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/warehouse_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/mvd_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/mvd_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mvdesign.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
