@@ -1,0 +1,69 @@
+// Minimal deterministic fork-join helpers over std::thread.
+//
+// Used by the search drivers (exhaustive/budgeted mask sharding, k-MVPP
+// candidate generation). Work is split into contiguous shards decided
+// purely by (n, threads), results are written into caller-owned slots,
+// and reductions happen on the calling thread — so the outcome never
+// depends on scheduling. Exceptions thrown by workers are captured and
+// the first one (lowest shard index) is rethrown after join, keeping
+// error behavior deterministic too.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace mvd {
+
+/// Worker count for `work` items: min(hardware threads, work), at least 1.
+inline std::size_t recommended_threads(std::size_t work) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::size_t threads = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  if (work < threads) threads = work;
+  return threads == 0 ? 1 : threads;
+}
+
+/// Run fn(shard, begin, end) over `threads` contiguous shards of [0, n).
+/// threads == 1 (or n == 0) runs inline on the calling thread.
+template <typename Fn>
+void parallel_shards(std::size_t n, std::size_t threads, Fn&& fn) {
+  if (threads == 0) threads = recommended_threads(n);
+  if (threads > n) threads = n == 0 ? 1 : n;
+  if (threads <= 1) {
+    if (n > 0) fn(std::size_t{0}, std::size_t{0}, n);
+    return;
+  }
+  const std::size_t chunk = n / threads;
+  const std::size_t extra = n % threads;
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t end = begin + chunk + (t < extra ? 1 : 0);
+    workers.emplace_back([&, t, begin, end] {
+      try {
+        fn(t, begin, end);
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+    begin = end;
+  }
+  for (std::thread& w : workers) w.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+/// Run fn(i) for every i in [0, n), sharded across threads.
+template <typename Fn>
+void parallel_for_each_index(std::size_t n, std::size_t threads, Fn&& fn) {
+  parallel_shards(n, threads, [&](std::size_t, std::size_t begin,
+                                  std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace mvd

@@ -6,6 +6,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
 #include "src/common/strings.hpp"
 
 namespace mvd {
@@ -383,14 +384,21 @@ MvppBuildResult MvppBuilder::build(const std::vector<QuerySpec>& queries,
 }
 
 std::vector<MvppBuildResult> MvppBuilder::build_all_rotations(
-    const std::vector<QuerySpec>& queries) const {
+    const std::vector<QuerySpec>& queries, std::size_t threads) const {
   std::vector<std::size_t> order = initial_order(queries);
-  std::vector<MvppBuildResult> out;
-  out.reserve(queries.size());
+  std::vector<std::vector<std::size_t>> orders;
+  orders.reserve(queries.size());
   for (std::size_t k = 0; k < queries.size(); ++k) {
-    out.push_back(build(queries, order));
+    orders.push_back(order);
     std::rotate(order.begin(), order.begin() + 1, order.end());
   }
+  // Each rotation is an independent merge over const state (optimizer,
+  // cost model, catalog), so the k builds run concurrently and land in
+  // their rotation's slot — identical output to the serial loop.
+  std::vector<MvppBuildResult> out(orders.size());
+  parallel_for_each_index(orders.size(), threads, [&](std::size_t i) {
+    out[i] = build(queries, orders[i]);
+  });
   return out;
 }
 

@@ -49,8 +49,11 @@ class MvppBuilder {
       const std::vector<QuerySpec>& queries) const;
 
   /// All k rotations of the initial order (the paper's k candidate MVPPs).
+  /// Rotations are built on `threads` workers (0 = auto, 1 = serial);
+  /// each rotation is an independent merge, so the results are identical
+  /// to the serial order.
   std::vector<MvppBuildResult> build_all_rotations(
-      const std::vector<QuerySpec>& queries) const;
+      const std::vector<QuerySpec>& queries, std::size_t threads = 0) const;
 
   const Optimizer& optimizer() const { return *optimizer_; }
 

@@ -1,0 +1,44 @@
+#include "src/mvpp/closures.hpp"
+
+namespace mvd {
+
+GraphClosures::GraphClosures(const MvppGraph& graph) {
+  const std::size_t n = graph.size();
+  ancestors_.assign(n, NodeBitset(n));
+  descendants_.assign(n, NodeBitset(n));
+  queries_using_.assign(n, {});
+  bases_under_.assign(n, {});
+  query_ids_ = graph.query_ids();
+  base_ids_ = graph.base_ids();
+  operation_ids_ = graph.operation_ids();
+
+  // Insertion order is topological (children precede parents), so one
+  // forward sweep closes descendants and one backward sweep ancestors.
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v = static_cast<NodeId>(i);
+    NodeBitset& d = descendants_[i];
+    for (NodeId c : graph.node(v).children) {
+      d.set(c);
+      d |= descendants_[static_cast<std::size_t>(c)];
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    const NodeId v = static_cast<NodeId>(i);
+    NodeBitset& a = ancestors_[i];
+    for (NodeId p : graph.node(v).parents) {
+      a.set(p);
+      a |= ancestors_[static_cast<std::size_t>(p)];
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (NodeId q : query_ids_) {
+      if (ancestors_[i].test(q)) queries_using_[i].push_back(q);
+    }
+    for (NodeId b : base_ids_) {
+      if (descendants_[i].test(b)) bases_under_[i].push_back(b);
+    }
+  }
+}
+
+}  // namespace mvd

@@ -1,0 +1,67 @@
+// Precomputed transitive closures of an MvppGraph.
+//
+// graph.cpp's ancestors()/descendants() re-walk the DAG into a fresh
+// std::set on every call, and queries_using()/bases_under() each pay a
+// full closure walk plus a filtered scan. Every selection algorithm asks
+// these questions thousands of times for the same immutable structure, so
+// this pass computes them once, in one topological sweep each direction:
+//   descendants[v] = ∪_{c ∈ children(v)} ({c} ∪ descendants[c])
+//   ancestors[v]   = ∪_{p ∈ parents(v)}  ({p} ∪ ancestors[p])
+// stored as NodeBitsets (V²/64 bits total), with queries_using (Ov) and
+// bases_under (Iv) additionally flattened to ascending id vectors in
+// exactly the order the legacy accessors produce — cost sums built from
+// them are bit-identical to sums built from the std::set walks.
+//
+// Closures are structural only: node frequencies are read live from the
+// graph, so the set_frequency() what-if API keeps working against a
+// cached closure.
+#pragma once
+
+#include <vector>
+
+#include "src/mvpp/graph.hpp"
+#include "src/mvpp/node_bitset.hpp"
+
+namespace mvd {
+
+class GraphClosures {
+ public:
+  explicit GraphClosures(const MvppGraph& graph);
+
+  std::size_t size() const { return ancestors_.size(); }
+
+  /// Strict ancestors D*{v} as a bitset.
+  const NodeBitset& ancestors(NodeId v) const { return at(ancestors_, v); }
+  /// Strict descendants S*{v} as a bitset.
+  const NodeBitset& descendants(NodeId v) const { return at(descendants_, v); }
+
+  /// R ∩ D*{v} (the paper's Ov), ascending.
+  const std::vector<NodeId>& queries_using(NodeId v) const {
+    return at(queries_using_, v);
+  }
+  /// L ∩ S*{v} (the paper's Iv), ascending.
+  const std::vector<NodeId>& bases_under(NodeId v) const {
+    return at(bases_under_, v);
+  }
+
+  const std::vector<NodeId>& query_ids() const { return query_ids_; }
+  const std::vector<NodeId>& base_ids() const { return base_ids_; }
+  const std::vector<NodeId>& operation_ids() const { return operation_ids_; }
+
+ private:
+  template <typename T>
+  static const T& at(const std::vector<T>& v, NodeId id) {
+    MVD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < v.size());
+    return v[static_cast<std::size_t>(id)];
+  }
+
+  std::vector<NodeBitset> ancestors_;
+  std::vector<NodeBitset> descendants_;
+  std::vector<std::vector<NodeId>> queries_using_;
+  std::vector<std::vector<NodeId>> bases_under_;
+  std::vector<NodeId> query_ids_;
+  std::vector<NodeId> base_ids_;
+  std::vector<NodeId> operation_ids_;
+};
+
+}  // namespace mvd

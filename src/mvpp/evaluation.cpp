@@ -11,7 +11,10 @@ namespace mvd {
 
 MvppEvaluator::MvppEvaluator(const MvppGraph& graph, MaintenancePolicy policy,
                              IndexPolicy index)
-    : graph_(&graph), policy_(policy), index_(index) {
+    : graph_(&graph),
+      policy_(policy),
+      index_(index),
+      closures_(std::make_shared<const GraphClosures>(graph)) {
   MVD_ASSERT_MSG(graph.annotated(),
                  "MvppGraph must be annotate()d before evaluation");
 }
@@ -49,10 +52,21 @@ double MvppEvaluator::op_contribution(const MvppNode& n,
   }
 }
 
+namespace {
+
+// Flat-array memo for one produce_cost call: values indexed by NodeId,
+// validity tracked separately. Stack-free of std::map rebalancing; a
+// fresh instance per call keeps the method const and thread-safe.
+struct ProduceMemo {
+  explicit ProduceMemo(std::size_t n) : value(n, 0.0), known(n, 0) {}
+  std::vector<double> value;
+  std::vector<char> known;
+};
+
 double produce_walk(const MvppEvaluator& eval, NodeId v,
-                    const MaterializedSet& m,
-                    std::map<NodeId, double>& memo) {
-  if (auto it = memo.find(v); it != memo.end()) return it->second;
+                    const MaterializedSet& m, ProduceMemo& memo) {
+  const std::size_t i = static_cast<std::size_t>(v);
+  if (memo.known[i]) return memo.value[i];
   const MvppGraph& g = eval.graph();
   const MvppNode& n = g.node(v);
   MVD_ASSERT_MSG(n.kind != MvppNodeKind::kQuery,
@@ -66,12 +80,15 @@ double produce_walk(const MvppEvaluator& eval, NodeId v,
       if (!stored) cost += produce_walk(eval, c, m, memo);
     }
   }
-  memo.emplace(v, cost);
+  memo.known[i] = 1;
+  memo.value[i] = cost;
   return cost;
 }
 
+}  // namespace
+
 double MvppEvaluator::produce_cost(NodeId v, const MaterializedSet& m) const {
-  std::map<NodeId, double> memo;
+  ProduceMemo memo(graph_->size());
   return produce_walk(*this, v, m, memo);
 }
 
@@ -85,15 +102,18 @@ double MvppEvaluator::answer_cost(NodeId query, const MaterializedSet& m) const 
 
 double MvppEvaluator::query_processing_cost(const MaterializedSet& m) const {
   double total = 0;
-  for (NodeId q : graph_->query_ids()) {
+  for (NodeId q : closures_->query_ids()) {
     total += graph_->node(q).frequency * answer_cost(q, m);
   }
   return total;
 }
 
 double MvppEvaluator::update_factor(NodeId v) const {
+  // Frequencies are read live (set_frequency what-ifs stay valid); only
+  // the Iv membership comes from the precomputed closure, in the same
+  // ascending order as the legacy bases_under() walk.
   double factor = 0;
-  for (NodeId b : graph_->bases_under(v)) {
+  for (NodeId b : closures_->bases_under(v)) {
     const double fu = graph_->node(b).frequency;
     if (policy_.mode == MaintenancePolicy::Mode::kBatchRecompute) {
       factor = std::max(factor, fu);
@@ -131,7 +151,7 @@ double MvppEvaluator::weight(NodeId v) const {
   const MvppNode& n = graph_->node(v);
   MVD_ASSERT(n.is_operation());
   double access_saving = 0;
-  for (NodeId q : graph_->queries_using(v)) {
+  for (NodeId q : closures_->queries_using(v)) {
     access_saving += graph_->node(q).frequency * n.full_cost;
   }
   return access_saving - update_factor(v) * n.full_cost;

@@ -18,9 +18,11 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
+#include "src/mvpp/closures.hpp"
 #include "src/mvpp/graph.hpp"
 
 namespace mvd {
@@ -74,6 +76,11 @@ class MvppEvaluator {
   const MaintenancePolicy& policy() const { return policy_; }
   const IndexPolicy& index_policy() const { return index_; }
 
+  /// Precomputed structural closures of the graph (ancestors/descendants
+  /// bitsets, Ov and Iv lists), built once at construction and shared by
+  /// the selection algorithms and the fast evaluation path.
+  const GraphClosures& closures() const { return *closures_; }
+
   /// Cost of producing v's result given M, *not* counting v itself as
   /// stored: materialized or base children are read at their block
   /// counts (charged in the consuming op_cost), virtual children are
@@ -81,6 +88,10 @@ class MvppEvaluator {
   /// communication-aware distributed evaluator) plug into the selection
   /// algorithms unchanged.
   virtual double produce_cost(NodeId v, const MaterializedSet& m) const;
+
+  /// One node's operator cost given M (index-aware when enabled);
+  /// excludes child production.
+  double op_contribution(const MvppNode& n, const MaterializedSet& m) const;
 
   /// Cost of answering `query` (a kQuery root): a scan of its result node
   /// when that node is materialized, else produce_cost of it.
@@ -111,17 +122,10 @@ class MvppEvaluator {
   void check_materializable(const MaterializedSet& m) const;
 
  private:
-  /// This node's operator cost given M (index-aware when enabled);
-  /// excludes child production.
-  double op_contribution(const MvppNode& n, const MaterializedSet& m) const;
-
-  friend double produce_walk(const MvppEvaluator&, NodeId,
-                             const MaterializedSet&,
-                             std::map<NodeId, double>&);
-
   const MvppGraph* graph_;
   MaintenancePolicy policy_;
   IndexPolicy index_;
+  std::shared_ptr<const GraphClosures> closures_;
 };
 
 /// Render a materialized set as "{tmp2, tmp4}" using node names.

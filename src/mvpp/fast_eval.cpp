@@ -1,0 +1,250 @@
+#include "src/mvpp/fast_eval.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+#include "src/cost/cost_model.hpp"
+
+namespace mvd {
+
+FastMaterializedSet to_fast_set(const MaterializedSet& m,
+                                std::size_t universe) {
+  FastMaterializedSet out(universe);
+  for (NodeId v : m) out.set(v);
+  return out;
+}
+
+MaterializedSet to_materialized_set(const FastMaterializedSet& m) {
+  MaterializedSet out;
+  m.for_each([&](NodeId v) { out.insert(v); });
+  return out;
+}
+
+FastMvppEvaluator::FastMvppEvaluator(const MvppEvaluator& eval,
+                                     const GraphClosures& closures)
+    : closures_(&closures),
+      policy_(eval.policy()),
+      index_(eval.index_policy()) {
+  const MvppGraph& g = eval.graph();
+  MVD_ASSERT_MSG(g.annotated(), "graph must be annotate()d");
+  MVD_ASSERT_MSG(closures.size() == g.size(),
+                 "closures describe a different graph");
+  node_count_ = g.size();
+
+  kind_.resize(node_count_);
+  op_cost_.resize(node_count_);
+  blocks_.resize(node_count_);
+  rows_.resize(node_count_);
+  full_cost_.resize(node_count_);
+  update_factor_.assign(node_count_, 0.0);
+  pure_equality_.assign(node_count_, 0);
+  child_begin_.assign(node_count_ + 1, 0);
+
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    const MvppNode& n = g.node(static_cast<NodeId>(i));
+    kind_[i] = n.kind;
+    op_cost_[i] = n.op_cost;
+    blocks_[i] = n.blocks;
+    rows_[i] = n.rows;
+    full_cost_[i] = n.full_cost;
+    if (n.kind == MvppNodeKind::kSelect) {
+      pure_equality_[i] = is_pure_equality(n.predicate) ? 1 : 0;
+    }
+    child_begin_[i + 1] =
+        child_begin_[i] + static_cast<std::uint32_t>(n.children.size());
+  }
+  child_ids_.reserve(child_begin_[node_count_]);
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    const MvppNode& n = g.node(static_cast<NodeId>(i));
+    child_ids_.insert(child_ids_.end(), n.children.begin(), n.children.end());
+  }
+
+  // Update factors, folded over bases_under in ascending order — the same
+  // order (and therefore the same floating-point result) as the legacy
+  // MvppEvaluator::update_factor.
+  for (NodeId v : closures.operation_ids()) {
+    double factor = 0;
+    for (NodeId b : closures.bases_under(v)) {
+      const double fu = g.node(b).frequency;
+      if (policy_.mode == MaintenancePolicy::Mode::kBatchRecompute) {
+        factor = std::max(factor, fu);
+      } else {
+        factor += fu;
+      }
+    }
+    update_factor_[static_cast<std::size_t>(v)] = factor;
+  }
+
+  for (NodeId q : closures.query_ids()) {
+    const MvppNode& n = g.node(q);
+    query_terms_.push_back(QueryTerm{q, n.children[0], n.frequency});
+  }
+
+  memo_.assign(node_count_, 0.0);
+  memo_epoch_.assign(node_count_, 0);
+  query_term_value_.assign(query_terms_.size(), 0.0);
+  maint_term_value_.assign(node_count_, 0.0);
+  current_ = FastMaterializedSet(node_count_);
+  scratch_ = FastMaterializedSet(node_count_);
+}
+
+double FastMvppEvaluator::op_contribution(NodeId v,
+                                          const FastMaterializedSet& m) const {
+  const std::size_t i = static_cast<std::size_t>(v);
+  if (!index_.enabled) return op_cost_[i];
+  switch (kind_[i]) {
+    case MvppNodeKind::kSelect: {
+      const NodeId c = child_ids_[child_begin_[i]];
+      if (m.test(c) && pure_equality_[i]) {
+        return std::max(1.0, blocks_[i]);
+      }
+      return op_cost_[i];
+    }
+    case MvppNodeKind::kJoin: {
+      double best = op_cost_[i];
+      for (int side = 0; side < 2; ++side) {
+        const NodeId inner =
+            child_ids_[child_begin_[i] + static_cast<std::uint32_t>(side)];
+        const NodeId outer =
+            child_ids_[child_begin_[i] + static_cast<std::uint32_t>(1 - side)];
+        if (!m.test(inner)) continue;
+        const double probes = rows_[static_cast<std::size_t>(outer)] *
+                              index_.probe_cost_blocks;
+        best = std::min(best, blocks_[static_cast<std::size_t>(outer)] + probes);
+      }
+      return best;
+    }
+    default:
+      return op_cost_[i];
+  }
+}
+
+double FastMvppEvaluator::produce(NodeId v, const FastMaterializedSet& m) {
+  const std::size_t i = static_cast<std::size_t>(v);
+  if (memo_epoch_[i] == epoch_) return memo_[i];
+  double cost = 0;
+  if (kind_[i] != MvppNodeKind::kBase) {
+    cost = op_contribution(v, m);
+    for (std::uint32_t ci = child_begin_[i]; ci < child_begin_[i + 1]; ++ci) {
+      const NodeId c = child_ids_[ci];
+      const bool stored =
+          kind_[static_cast<std::size_t>(c)] == MvppNodeKind::kBase ||
+          m.test(c);
+      if (!stored) cost += produce(c, m);
+    }
+  }
+  memo_epoch_[i] = epoch_;
+  memo_[i] = cost;
+  return cost;
+}
+
+double FastMvppEvaluator::answer(NodeId result, const FastMaterializedSet& m) {
+  if (m.test(result)) return blocks_[static_cast<std::size_t>(result)];
+  return produce(result, m);
+}
+
+double FastMvppEvaluator::maintenance_term(NodeId v,
+                                           const FastMaterializedSet& m) {
+  const std::size_t i = static_cast<std::size_t>(v);
+  const double recompute =
+      policy_.reuse_materialized ? produce(v, m) : full_cost_[i];
+  return update_factor_[i] * recompute;
+}
+
+MvppCosts FastMvppEvaluator::evaluate(const FastMaterializedSet& m) {
+  ++epoch_;
+  ++evaluations_;
+  MvppCosts costs;
+  for (const QueryTerm& q : query_terms_) {
+    costs.query_processing += q.frequency * answer(q.result, m);
+  }
+  m.for_each([&](NodeId v) { costs.maintenance += maintenance_term(v, m); });
+  return costs;
+}
+
+void FastMvppEvaluator::load(const FastMaterializedSet& m) {
+  MVD_ASSERT(m.universe() == node_count_);
+  current_ = m;
+  ++epoch_;
+  ++evaluations_;
+  double qp = 0;
+  for (std::size_t qi = 0; qi < query_terms_.size(); ++qi) {
+    const QueryTerm& q = query_terms_[qi];
+    query_term_value_[qi] = q.frequency * answer(q.result, current_);
+    qp += query_term_value_[qi];
+  }
+  double maint = 0;
+  current_.for_each([&](NodeId v) {
+    maint_term_value_[static_cast<std::size_t>(v)] =
+        maintenance_term(v, current_);
+    maint += maint_term_value_[static_cast<std::size_t>(v)];
+  });
+  total_ = qp + maint;
+  loaded_ = true;
+}
+
+bool FastMvppEvaluator::term_affected(NodeId owner, const NodeId* toggles,
+                                      std::size_t count) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (owner == toggles[i] || closures_->ancestors(toggles[i]).test(owner)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FastMvppEvaluator::eval_toggled(const NodeId* toggles,
+                                       std::size_t count, bool commit) {
+  MVD_ASSERT_MSG(loaded_, "load() a set before probing");
+  scratch_ = current_;
+  for (std::size_t i = 0; i < count; ++i) scratch_.toggle(toggles[i]);
+  ++epoch_;
+  ++evaluations_;
+
+  // Unchanged terms reuse their cached value; affected terms — owners in
+  // a toggled node's ancestor cone, plus the toggled members themselves —
+  // fall back to a fresh walk under the toggled set. Re-summing every
+  // term in the legacy order keeps the result bit-identical to a full
+  // evaluation.
+  double qp = 0;
+  for (std::size_t qi = 0; qi < query_terms_.size(); ++qi) {
+    const QueryTerm& q = query_terms_[qi];
+    double term = query_term_value_[qi];
+    if (term_affected(q.query, toggles, count)) {
+      term = q.frequency * answer(q.result, scratch_);
+    }
+    if (commit) query_term_value_[qi] = term;
+    qp += term;
+  }
+  double maint = 0;
+  scratch_.for_each([&](NodeId v) {
+    double term = maint_term_value_[static_cast<std::size_t>(v)];
+    if (term_affected(v, toggles, count)) {
+      term = maintenance_term(v, scratch_);
+    }
+    if (commit) maint_term_value_[static_cast<std::size_t>(v)] = term;
+    maint += term;
+  });
+  const double total = qp + maint;
+  if (commit) {
+    current_ = scratch_;
+    total_ = total;
+  }
+  return total;
+}
+
+double FastMvppEvaluator::probe_toggle(NodeId v) {
+  return eval_toggled(&v, 1, /*commit=*/false);
+}
+
+double FastMvppEvaluator::probe_swap(NodeId out, NodeId in) {
+  MVD_ASSERT(out != in);
+  const NodeId toggles[2] = {out, in};
+  return eval_toggled(toggles, 2, /*commit=*/false);
+}
+
+void FastMvppEvaluator::commit_toggle(NodeId v) {
+  eval_toggled(&v, 1, /*commit=*/true);
+}
+
+}  // namespace mvd

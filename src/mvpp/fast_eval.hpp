@@ -1,0 +1,136 @@
+// Fast-path cost evaluation (same semantics as MvppEvaluator, different
+// machinery).
+//
+// MvppEvaluator::total_cost re-walks the DAG with a std::map memo and
+// re-derives bases_under()/queries_using() per call; the selection
+// algorithms additionally copy whole std::set candidate sets per probe.
+// This engine removes all of that for the plain (non-derived) evaluator:
+//
+//   - FastMaterializedSet is a dense NodeBitset: O(1) membership, copies
+//     that are a few words.
+//   - Node payloads (op_cost, blocks, rows, Ca, children CSR, pure-
+//     equality flags, update factors) live in flat arrays indexed by
+//     NodeId, built once from the annotated graph + GraphClosures.
+//   - produce-cost memoization is a flat double array invalidated by
+//     bumping an epoch counter — no clearing, no allocation per probe.
+//   - load()/probe/commit keep the per-query answer terms and per-member
+//     maintenance terms of the current set cached. Toggling v can only
+//     change the terms whose owner lies in v's strict-ancestor cone (a
+//     node's production cost depends on exactly the membership of its
+//     descendants), so a probe recomputes just those terms and re-sums.
+//     When the cone spans the whole graph the probe degrades gracefully
+//     into a full evaluation — that is the fallback, not an error.
+//
+// Every sum is accumulated in the same order as the legacy evaluator
+// (queries ascending, members ascending, children in declaration order),
+// so full evaluations, probes, and committed totals are bit-identical to
+// MvppEvaluator::total_cost — searches driven by this engine pick the
+// same sets, not just similarly-priced ones.
+//
+// Instances are cheap to build (one pass over the graph) and are NOT
+// thread-safe: the parallel search drivers build one per worker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mvpp/closures.hpp"
+#include "src/mvpp/evaluation.hpp"
+
+namespace mvd {
+
+using FastMaterializedSet = NodeBitset;
+
+/// Dense representation of a MaterializedSet for `universe` graph nodes.
+FastMaterializedSet to_fast_set(const MaterializedSet& m, std::size_t universe);
+
+/// Back to the std::set representation used by the public API.
+MaterializedSet to_materialized_set(const FastMaterializedSet& m);
+
+class FastMvppEvaluator {
+ public:
+  /// Snapshot of `eval`'s graph/policy/index. `closures` must describe
+  /// the same graph and outlive the evaluator.
+  FastMvppEvaluator(const MvppEvaluator& eval, const GraphClosures& closures);
+
+  std::size_t universe() const { return node_count_; }
+  const GraphClosures& closures() const { return *closures_; }
+
+  // ---- Stateless full evaluation (epoch-memoized) ----
+
+  MvppCosts evaluate(const FastMaterializedSet& m);
+  double total_cost(const FastMaterializedSet& m) { return evaluate(m).total(); }
+
+  // ---- Incremental session over one evolving set ----
+
+  /// Full evaluation of `m`, caching every per-query and per-member term.
+  void load(const FastMaterializedSet& m);
+
+  const FastMaterializedSet& current() const { return current_; }
+  double current_total() const { return total_; }
+
+  /// Total cost of current() with v toggled; cached state unchanged.
+  double probe_toggle(NodeId v);
+  /// Total cost of current() with `out` dropped and `in` added.
+  double probe_swap(NodeId out, NodeId in);
+  /// Signed cost change of toggling v: probe_toggle(v) − current_total().
+  double delta_cost(NodeId v) { return probe_toggle(v) - total_; }
+
+  /// Apply a toggle and update the cached terms.
+  void commit_toggle(NodeId v);
+
+  /// Cost evaluations answered so far (full + probes); bench telemetry.
+  std::size_t evaluations() const { return evaluations_; }
+
+ private:
+  struct QueryTerm {
+    NodeId query = -1;
+    NodeId result = -1;
+    double frequency = 0;
+  };
+
+  double produce(NodeId v, const FastMaterializedSet& m);
+  double op_contribution(NodeId v, const FastMaterializedSet& m) const;
+  double answer(NodeId result, const FastMaterializedSet& m);
+  double maintenance_term(NodeId v, const FastMaterializedSet& m);
+  /// Shared probe/commit body over one or two toggled nodes.
+  double eval_toggled(const NodeId* toggles, std::size_t count, bool commit);
+  bool term_affected(NodeId owner, const NodeId* toggles,
+                     std::size_t count) const;
+
+  const GraphClosures* closures_;
+  MaintenancePolicy policy_;
+  IndexPolicy index_;
+  std::size_t node_count_ = 0;
+
+  // Flat per-node payloads (indexed by NodeId).
+  std::vector<MvppNodeKind> kind_;
+  std::vector<double> op_cost_;
+  std::vector<double> blocks_;
+  std::vector<double> rows_;
+  std::vector<double> full_cost_;
+  std::vector<double> update_factor_;
+  std::vector<char> pure_equality_;  // kSelect: predicate is pure equality
+  // Children in CSR layout (declaration order preserved).
+  std::vector<std::uint32_t> child_begin_;
+  std::vector<NodeId> child_ids_;
+
+  std::vector<QueryTerm> query_terms_;  // queries ascending
+
+  // Epoch-invalidated produce memo.
+  std::uint32_t epoch_ = 0;
+  std::vector<double> memo_;
+  std::vector<std::uint32_t> memo_epoch_;
+
+  // Incremental session state.
+  FastMaterializedSet current_;
+  FastMaterializedSet scratch_;
+  double total_ = 0;
+  std::vector<double> query_term_value_;  // aligned with query_terms_
+  std::vector<double> maint_term_value_;  // by NodeId, valid for members
+  bool loaded_ = false;
+
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace mvd

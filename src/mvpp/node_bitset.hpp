@@ -1,0 +1,150 @@
+// Dense bitset over NodeId. MVPP node ids are small dense ints assigned
+// by insertion order, so set membership packs into one machine word per
+// 64 nodes: O(1) test/insert, word-wise union/intersection, and copies
+// that are a handful of uint64 moves instead of a red-black-tree clone.
+// This is the representation behind FastMaterializedSet and the
+// precomputed graph closures (see fast_eval.hpp).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/assert.hpp"
+
+namespace mvd {
+
+class NodeBitset {
+ public:
+  NodeBitset() = default;
+  /// A bitset able to hold ids in [0, universe).
+  explicit NodeBitset(std::size_t universe)
+      : universe_(universe), words_((universe + 63) / 64, 0) {}
+
+  std::size_t universe() const { return universe_; }
+
+  bool test(int id) const {
+    MVD_ASSERT(in_range(id));
+    return (words_[word(id)] >> bit(id)) & 1u;
+  }
+
+  void set(int id) {
+    MVD_ASSERT(in_range(id));
+    words_[word(id)] |= mask(id);
+  }
+
+  void reset(int id) {
+    MVD_ASSERT(in_range(id));
+    words_[word(id)] &= ~mask(id);
+  }
+
+  void toggle(int id) {
+    MVD_ASSERT(in_range(id));
+    words_[word(id)] ^= mask(id);
+  }
+
+  void clear() {
+    for (std::uint64_t& w : words_) w = 0;
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  bool empty() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// True when the intersection with `other` is non-empty.
+  bool intersects(const NodeBitset& other) const {
+    const std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
+  NodeBitset& operator|=(const NodeBitset& other) {
+    MVD_ASSERT(universe_ == other.universe_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  NodeBitset& operator&=(const NodeBitset& other) {
+    MVD_ASSERT(universe_ == other.universe_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  bool operator==(const NodeBitset& other) const {
+    return universe_ == other.universe_ && words_ == other.words_;
+  }
+
+  /// Visit members in ascending id order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        fn(static_cast<int>(wi * 64) + b);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Members as a sorted vector.
+  std::vector<int> to_vector() const {
+    std::vector<int> out;
+    out.reserve(count());
+    for_each([&](int id) { out.push_back(id); });
+    return out;
+  }
+
+  /// Lexicographic order over the ascending id sequences — the
+  /// deterministic tie-break used by the parallel search reductions.
+  /// E.g. {1,3,5} < {1,5} (3 < 5 at the first difference) and
+  /// {1} < {1,5} (proper prefix).
+  static bool lex_less(const NodeBitset& a, const NodeBitset& b) {
+    MVD_ASSERT(a.universe_ == b.universe_);
+    for (std::size_t i = 0; i < a.words_.size(); ++i) {
+      const std::uint64_t wa = a.words_[i];
+      const std::uint64_t wb = b.words_[i];
+      if (wa == wb) continue;
+      // d: the lowest id present in exactly one of the two sets. Below d
+      // the sequences agree. The set holding d compares smaller when the
+      // other still has members beyond d; otherwise the other is a
+      // proper prefix and compares smaller.
+      const int d = std::countr_zero(wa ^ wb);
+      const bool in_a = (wa >> d) & 1u;
+      const NodeBitset& other = in_a ? b : a;
+      const std::uint64_t other_high =
+          (in_a ? wb : wa) & ~((std::uint64_t{2} << d) - 1);
+      bool other_nonempty_beyond = other_high != 0;
+      for (std::size_t j = i + 1; !other_nonempty_beyond && j < a.words_.size();
+           ++j) {
+        other_nonempty_beyond = other.words_[j] != 0;
+      }
+      return in_a == other_nonempty_beyond;
+    }
+    return false;  // equal
+  }
+
+ private:
+  bool in_range(int id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < universe_;
+  }
+  static std::size_t word(int id) { return static_cast<std::size_t>(id) / 64; }
+  static int bit(int id) { return id % 64; }
+  static std::uint64_t mask(int id) { return std::uint64_t{1} << bit(id); }
+
+  std::size_t universe_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mvd

@@ -3,13 +3,120 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <optional>
+#include <typeinfo>
 
 #include "src/common/assert.hpp"
 #include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
 #include "src/common/strings.hpp"
 #include "src/common/units.hpp"
+#include "src/mvpp/fast_eval.hpp"
 
 namespace mvd {
+
+namespace {
+
+/// True when `eval` is exactly the base block-access evaluator, whose
+/// semantics the bitset fast path reproduces bit-for-bit. Derived
+/// evaluators (e.g. the communication-aware distributed one) override
+/// the virtual cost hooks, so they keep the generic std::set path.
+bool has_fast_path(const MvppEvaluator& eval) {
+  return typeid(eval) == typeid(MvppEvaluator);
+}
+
+// ---- Toggle probing ---------------------------------------------------
+//
+// Every local algorithm (greedy, local search, annealing, budgeted
+// greedy) explores neighbors of a current set by toggling one or two
+// nodes. The Prober interface hides how a probe is priced: the fast
+// implementation asks the incremental bitset engine (cached terms +
+// ancestor-cone recomputation), the legacy one copies the std::set and
+// calls MvppEvaluator::total_cost exactly like the original code — so
+// custom evaluator subclasses see the same calls as before. Both
+// implementations return bit-identical totals for the base evaluator,
+// so algorithm decisions do not depend on the path taken.
+
+class Prober {
+ public:
+  virtual ~Prober() = default;
+  virtual double total() const = 0;
+  virtual bool contains(NodeId v) const = 0;
+  /// Cost of current with v toggled; state unchanged.
+  virtual double probe_toggle(NodeId v) = 0;
+  /// Cost of current with `out` dropped and `in` added; state unchanged.
+  virtual double probe_swap(NodeId out, NodeId in) = 0;
+  /// Apply a toggle whose probed cost was `new_total`.
+  virtual void commit_toggle(NodeId v, double new_total) = 0;
+  virtual MaterializedSet snapshot() const = 0;
+};
+
+class LegacyProber final : public Prober {
+ public:
+  LegacyProber(const MvppEvaluator& eval, MaterializedSet start)
+      : eval_(&eval), m_(std::move(start)), total_(eval.total_cost(m_)) {}
+
+  double total() const override { return total_; }
+  bool contains(NodeId v) const override { return m_.contains(v); }
+
+  double probe_toggle(NodeId v) override {
+    MaterializedSet next = m_;
+    if (!next.erase(v)) next.insert(v);
+    return eval_->total_cost(next);
+  }
+
+  double probe_swap(NodeId out, NodeId in) override {
+    MaterializedSet next = m_;
+    next.erase(out);
+    next.insert(in);
+    return eval_->total_cost(next);
+  }
+
+  void commit_toggle(NodeId v, double new_total) override {
+    if (!m_.erase(v)) m_.insert(v);
+    total_ = new_total;
+  }
+
+  MaterializedSet snapshot() const override { return m_; }
+
+ private:
+  const MvppEvaluator* eval_;
+  MaterializedSet m_;
+  double total_;
+};
+
+class FastProber final : public Prober {
+ public:
+  FastProber(const MvppEvaluator& eval, const MaterializedSet& start)
+      : fast_(eval, eval.closures()) {
+    fast_.load(to_fast_set(start, fast_.universe()));
+  }
+
+  double total() const override { return fast_.current_total(); }
+  bool contains(NodeId v) const override { return fast_.current().test(v); }
+  double probe_toggle(NodeId v) override { return fast_.probe_toggle(v); }
+  double probe_swap(NodeId out, NodeId in) override {
+    return fast_.probe_swap(out, in);
+  }
+  void commit_toggle(NodeId v, double) override { fast_.commit_toggle(v); }
+  MaterializedSet snapshot() const override {
+    return to_materialized_set(fast_.current());
+  }
+
+ private:
+  FastMvppEvaluator fast_;
+};
+
+std::unique_ptr<Prober> make_prober(const MvppEvaluator& eval,
+                                    MaterializedSet start) {
+  if (has_fast_path(eval)) {
+    return std::make_unique<FastProber>(eval, start);
+  }
+  return std::make_unique<LegacyProber>(eval, std::move(start));
+}
+
+}  // namespace
 
 SelectionResult evaluate_strategy(const MvppEvaluator& eval, std::string name,
                                   MaterializedSet m) {
@@ -40,33 +147,43 @@ SelectionResult select_all_operations(const MvppEvaluator& eval) {
 
 SelectionResult yang_heuristic(const MvppEvaluator& eval, YangOptions options) {
   const MvppGraph& g = eval.graph();
+  const GraphClosures& closures = eval.closures();
   SelectionResult r;
   r.algorithm = "yang-heuristic";
 
-  // Step 2: candidates with positive weight, by descending weight.
+  // Step 2: candidates with positive weight, by descending weight. Each
+  // node's weight is computed once (the sort comparator used to pay two
+  // queries_using + bases_under walks per comparison).
+  std::vector<double> weight_of(g.size(), 0.0);
   std::vector<NodeId> lv;
-  for (NodeId v : g.operation_ids()) {
-    if (eval.weight(v) > 0) lv.push_back(v);
+  for (NodeId v : closures.operation_ids()) {
+    weight_of[static_cast<std::size_t>(v)] = eval.weight(v);
+    if (weight_of[static_cast<std::size_t>(v)] > 0) lv.push_back(v);
   }
   std::sort(lv.begin(), lv.end(), [&](NodeId a, NodeId b) {
-    const double wa = eval.weight(a);
-    const double wb = eval.weight(b);
+    const double wa = weight_of[static_cast<std::size_t>(a)];
+    const double wb = weight_of[static_cast<std::size_t>(b)];
     if (wa != wb) return wa > wb;
     return a < b;  // deterministic tie-break
   });
   {
     std::vector<std::string> names;
     for (NodeId v : lv) {
-      names.push_back(g.node(v).name + "(w=" + format_blocks(eval.weight(v)) +
+      names.push_back(g.node(v).name + "(w=" +
+                      format_blocks(weight_of[static_cast<std::size_t>(v)]) +
                       ")");
     }
     r.trace.push_back("LV = <" + join(names, ", ") + ">");
   }
 
+  // Walk LV by index with a pruned-flag mask — the old code popped the
+  // front of the vector (O(n) per step) and erased pruned entries with
+  // remove_if (another O(n) sweep per rejection).
   MaterializedSet m;
-  while (!lv.empty()) {
-    const NodeId v = lv.front();
-    lv.erase(lv.begin());
+  std::vector<char> pruned(lv.size(), 0);
+  for (std::size_t i = 0; i < lv.size(); ++i) {
+    if (pruned[i]) continue;
+    const NodeId v = lv[i];
     const MvppNode& n = g.node(v);
 
     if (options.skip_when_parents_materialized && !n.parents.empty()) {
@@ -82,12 +199,16 @@ SelectionResult yang_heuristic(const MvppEvaluator& eval, YangOptions options) {
 
     // Step 5: Cs = Σ_{q∈Ov} fq(q)·(Ca(v) − Σ_{u∈S{v}∩M} Ca(u))
     //             − fu-factor(v)·(recompute cost of v under M).
+    // S{v}∩M via the precomputed descendant bitset: iterate the (small)
+    // materialized set instead of walking the closure — same ascending
+    // order, so the same floating-point sum.
+    const NodeBitset& desc = closures.descendants(v);
     double replicated = 0;
-    for (NodeId u : g.descendants(v)) {
-      if (m.contains(u)) replicated += g.node(u).full_cost;
+    for (NodeId u : m) {
+      if (desc.test(u)) replicated += g.node(u).full_cost;
     }
     double access_saving = 0;
-    for (NodeId q : g.queries_using(v)) {
+    for (NodeId q : closures.queries_using(v)) {
       access_saving += g.node(q).frequency * (n.full_cost - replicated);
     }
     const double recompute = options.reuse_aware_maintenance_gain
@@ -103,18 +224,17 @@ SelectionResult yang_heuristic(const MvppEvaluator& eval, YangOptions options) {
     } else {
       r.trace.push_back(n.name + ": Cs=" + format_blocks(cs) + " <= 0, reject");
       if (options.branch_pruning) {
-        const std::set<NodeId> branch = [&] {
-          std::set<NodeId> b = g.ancestors(v);
-          const std::set<NodeId> d = g.descendants(v);
-          b.insert(d.begin(), d.end());
-          return b;
-        }();
-        const auto before = lv.size();
-        lv.erase(std::remove_if(lv.begin(), lv.end(),
-                                [&](NodeId u) { return branch.contains(u); }),
-                 lv.end());
-        if (lv.size() != before) {
-          r.trace.push_back("  pruned " + std::to_string(before - lv.size()) +
+        const NodeBitset& anc = closures.ancestors(v);
+        std::size_t dropped = 0;
+        for (std::size_t j = i + 1; j < lv.size(); ++j) {
+          if (pruned[j]) continue;
+          if (anc.test(lv[j]) || desc.test(lv[j])) {
+            pruned[j] = 1;
+            ++dropped;
+          }
+        }
+        if (dropped > 0) {
+          r.trace.push_back("  pruned " + std::to_string(dropped) +
                             " node(s) on the same branch");
         }
       }
@@ -154,8 +274,75 @@ SelectionResult yang_heuristic(const MvppEvaluator& eval, YangOptions options) {
   return r;
 }
 
+namespace {
+
+// Shared driver for the two 2^n enumerations. Shards the mask range
+// across threads, each worker pricing subsets with its own fast engine;
+// the reduction (lowest cost, then lowest mask — masks assign bit i to
+// candidates[i], ids ascending) is exactly the winner the serial
+// first-strict-improvement loop keeps, so the parallel result is
+// bit-identical to the serial one. `admit(mask)` filters subsets (the
+// space budget); return false to skip pricing.
+struct MaskSearchBest {
+  double cost = std::numeric_limits<double>::infinity();
+  std::size_t mask = 0;
+  bool valid = false;
+};
+
+template <typename Admit>
+MaskSearchBest fast_mask_search(const MvppEvaluator& eval,
+                                const std::vector<NodeId>& candidates,
+                                std::size_t threads, const Admit& admit) {
+  const std::size_t combos = std::size_t{1} << candidates.size();
+  if (threads == 0) threads = recommended_threads(combos);
+  // Below ~4k subsets the thread spawn outweighs the work.
+  if (combos < 4096) threads = 1;
+  std::vector<MaskSearchBest> bests(threads);
+  parallel_shards(
+      combos, threads,
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        FastMvppEvaluator fast(eval, eval.closures());
+        FastMaterializedSet m(fast.universe());
+        MaskSearchBest& best = bests[shard];
+        for (std::size_t mask = begin; mask < end; ++mask) {
+          if (!admit(mask)) continue;
+          m.clear();
+          for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (mask & (std::size_t{1} << i)) m.set(candidates[i]);
+          }
+          const double cost = fast.total_cost(m);
+          if (!best.valid || cost < best.cost) {
+            best.cost = cost;
+            best.mask = mask;
+            best.valid = true;
+          }
+        }
+      });
+  MaskSearchBest overall;
+  for (const MaskSearchBest& b : bests) {
+    if (!b.valid) continue;
+    if (!overall.valid || b.cost < overall.cost ||
+        (b.cost == overall.cost && b.mask < overall.mask)) {
+      overall = b;
+    }
+  }
+  return overall;
+}
+
+MaterializedSet mask_to_set(const std::vector<NodeId>& candidates,
+                            std::size_t mask) {
+  MaterializedSet m;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (mask & (std::size_t{1} << i)) m.insert(candidates[i]);
+  }
+  return m;
+}
+
+}  // namespace
+
 SelectionResult exhaustive_optimal(const MvppEvaluator& eval,
-                                   std::size_t max_candidates) {
+                                   std::size_t max_candidates,
+                                   std::size_t threads) {
   const std::vector<NodeId> candidates = eval.graph().operation_ids();
   if (candidates.size() > max_candidates) {
     throw PlanError(str_cat("exhaustive search over ", candidates.size(),
@@ -164,18 +351,23 @@ SelectionResult exhaustive_optimal(const MvppEvaluator& eval,
   }
   SelectionResult r;
   r.algorithm = "exhaustive-optimal";
-  double best = std::numeric_limits<double>::infinity();
   MaterializedSet best_set;
-  const std::size_t combos = std::size_t{1} << candidates.size();
-  for (std::size_t mask = 0; mask < combos; ++mask) {
-    MaterializedSet m;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (mask & (std::size_t{1} << i)) m.insert(candidates[i]);
-    }
-    const double cost = eval.total_cost(m);
-    if (cost < best) {
-      best = cost;
-      best_set = std::move(m);
+  if (has_fast_path(eval)) {
+    const MaskSearchBest best =
+        fast_mask_search(eval, candidates, threads, [](std::size_t) {
+          return true;
+        });
+    best_set = mask_to_set(candidates, best.mask);
+  } else {
+    double best = std::numeric_limits<double>::infinity();
+    const std::size_t combos = std::size_t{1} << candidates.size();
+    for (std::size_t mask = 0; mask < combos; ++mask) {
+      MaterializedSet m = mask_to_set(candidates, mask);
+      const double cost = eval.total_cost(m);
+      if (cost < best) {
+        best = cost;
+        best_set = std::move(m);
+      }
     }
   }
   r.costs = eval.evaluate(best_set);
@@ -271,28 +463,27 @@ SelectionResult greedy_incremental(const MvppEvaluator& eval) {
   SelectionResult r;
   r.algorithm = "greedy-incremental";
   const std::vector<NodeId> candidates = eval.graph().operation_ids();
-  MaterializedSet m;
-  double current = eval.total_cost(m);
+  std::unique_ptr<Prober> prober = make_prober(eval, {});
+  double current = prober->total();
   while (true) {
-    NodeId best_v = -1;
+    std::optional<NodeId> best_v;
     double best_cost = current;
     for (NodeId v : candidates) {
-      if (m.contains(v)) continue;
-      MaterializedSet next = m;
-      next.insert(v);
-      const double cost = eval.total_cost(next);
+      if (prober->contains(v)) continue;
+      const double cost = prober->probe_toggle(v);
       if (cost < best_cost) {
         best_cost = cost;
         best_v = v;
       }
     }
-    if (best_v < 0) break;
-    m.insert(best_v);
-    r.trace.push_back(eval.graph().node(best_v).name + ": total " +
+    if (!best_v.has_value()) break;
+    prober->commit_toggle(*best_v, best_cost);
+    r.trace.push_back(eval.graph().node(*best_v).name + ": total " +
                       format_blocks(current) + " -> " +
                       format_blocks(best_cost));
     current = best_cost;
   }
+  MaterializedSet m = prober->snapshot();
   r.costs = eval.evaluate(m);
   r.materialized = std::move(m);
   return r;
@@ -305,51 +496,58 @@ SelectionResult local_search(const MvppEvaluator& eval, MaterializedSet start,
   eval.check_materializable(start);
   const std::vector<NodeId> candidates = eval.graph().operation_ids();
 
-  MaterializedSet current = std::move(start);
-  double current_cost = eval.total_cost(current);
+  std::unique_ptr<Prober> prober = make_prober(eval, std::move(start));
+  double current_cost = prober->total();
   for (std::size_t round = 0; round < max_rounds; ++round) {
-    MaterializedSet best_move;
+    enum class Move { kNone, kToggle, kSwap };
+    Move best_move = Move::kNone;
+    NodeId move_a = -1;
+    NodeId move_b = -1;
     double best_cost = current_cost;
     std::string best_desc;
 
-    auto consider = [&](MaterializedSet next, std::string desc) {
-      const double cost = eval.total_cost(next);
+    auto consider = [&](Move move, NodeId a, NodeId b, double cost,
+                        std::string desc) {
       if (cost < best_cost - 1e-9) {
         best_cost = cost;
-        best_move = std::move(next);
+        best_move = move;
+        move_a = a;
+        move_b = b;
         best_desc = std::move(desc);
       }
     };
 
     for (NodeId v : candidates) {
-      MaterializedSet toggled = current;
-      if (toggled.erase(v) == 0) {
-        toggled.insert(v);
-        consider(std::move(toggled), "add " + eval.graph().node(v).name);
-      } else {
-        consider(std::move(toggled), "drop " + eval.graph().node(v).name);
-      }
+      const bool member = prober->contains(v);
+      const double cost = prober->probe_toggle(v);
+      consider(Move::kToggle, v, -1, cost,
+               (member ? "drop " : "add ") + eval.graph().node(v).name);
     }
     // Swaps: replace one member with one non-member.
+    const MaterializedSet current = prober->snapshot();
     for (NodeId out : current) {
       for (NodeId in : candidates) {
         if (current.contains(in)) continue;
-        MaterializedSet swapped = current;
-        swapped.erase(out);
-        swapped.insert(in);
-        consider(std::move(swapped),
+        const double cost = prober->probe_swap(out, in);
+        consider(Move::kSwap, out, in, cost,
                  "swap " + eval.graph().node(out).name + " -> " +
                      eval.graph().node(in).name);
       }
     }
 
-    if (best_desc.empty()) break;  // local optimum
-    current = std::move(best_move);
+    if (best_move == Move::kNone) break;  // local optimum
+    if (best_move == Move::kToggle) {
+      prober->commit_toggle(move_a, best_cost);
+    } else {
+      prober->commit_toggle(move_a, best_cost);
+      prober->commit_toggle(move_b, best_cost);
+    }
     current_cost = best_cost;
     r.trace.push_back(best_desc + " -> " + format_blocks(best_cost));
   }
-  r.costs = eval.evaluate(current);
-  r.materialized = std::move(current);
+  MaterializedSet m = prober->snapshot();
+  r.costs = eval.evaluate(m);
+  r.materialized = std::move(m);
   return r;
 }
 
@@ -366,20 +564,18 @@ SelectionResult budgeted_greedy(const MvppEvaluator& eval,
   r.algorithm = "budgeted-greedy";
   const std::vector<NodeId> candidates = eval.graph().operation_ids();
 
-  MaterializedSet m;
+  std::unique_ptr<Prober> prober = make_prober(eval, {});
   double used = 0;
-  double current = eval.total_cost(m);
+  double current = prober->total();
   while (true) {
-    NodeId best_v = -1;
+    std::optional<NodeId> best_v;
     double best_density = 0;
     double best_cost = current;
     for (NodeId v : candidates) {
-      if (m.contains(v)) continue;
+      if (prober->contains(v)) continue;
       const double blocks = std::max(eval.graph().node(v).blocks, 1e-9);
       if (used + blocks > budget_blocks) continue;
-      MaterializedSet next = m;
-      next.insert(v);
-      const double cost = eval.total_cost(next);
+      const double cost = prober->probe_toggle(v);
       const double density = (current - cost) / blocks;
       if (cost < current && density > best_density) {
         best_density = density;
@@ -387,16 +583,17 @@ SelectionResult budgeted_greedy(const MvppEvaluator& eval,
         best_cost = cost;
       }
     }
-    if (best_v < 0) break;
-    m.insert(best_v);
-    used += eval.graph().node(best_v).blocks;
-    r.trace.push_back(eval.graph().node(best_v).name + ": total " +
+    if (!best_v.has_value()) break;
+    prober->commit_toggle(*best_v, best_cost);
+    used += eval.graph().node(*best_v).blocks;
+    r.trace.push_back(eval.graph().node(*best_v).name + ": total " +
                       format_blocks(current) + " -> " +
                       format_blocks(best_cost) + ", space " +
                       format_blocks(used) + "/" +
                       format_blocks(budget_blocks));
     current = best_cost;
   }
+  MaterializedSet m = prober->snapshot();
   r.costs = eval.evaluate(m);
   r.materialized = std::move(m);
   return r;
@@ -404,7 +601,8 @@ SelectionResult budgeted_greedy(const MvppEvaluator& eval,
 
 SelectionResult budgeted_optimal(const MvppEvaluator& eval,
                                  double budget_blocks,
-                                 std::size_t max_candidates) {
+                                 std::size_t max_candidates,
+                                 std::size_t threads) {
   if (!(budget_blocks >= 0)) throw PlanError("negative space budget");
   const std::vector<NodeId> candidates = eval.graph().operation_ids();
   if (candidates.size() > max_candidates) {
@@ -414,25 +612,47 @@ SelectionResult budgeted_optimal(const MvppEvaluator& eval,
   }
   SelectionResult r;
   r.algorithm = "budgeted-optimal";
-  double best = std::numeric_limits<double>::infinity();
   MaterializedSet best_set;
-  const std::size_t combos = std::size_t{1} << candidates.size();
-  for (std::size_t mask = 0; mask < combos; ++mask) {
-    MaterializedSet m;
-    double blocks = 0;
-    bool fits = true;
-    for (std::size_t i = 0; i < candidates.size() && fits; ++i) {
-      if (mask & (std::size_t{1} << i)) {
-        m.insert(candidates[i]);
-        blocks += eval.graph().node(candidates[i]).blocks;
-        fits = blocks <= budget_blocks;
-      }
+  if (has_fast_path(eval)) {
+    // Per-candidate block sizes, so the budget filter is a running sum
+    // over mask bits instead of a set rebuild.
+    std::vector<double> blocks_of(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      blocks_of[i] = eval.graph().node(candidates[i]).blocks;
     }
-    if (!fits) continue;
-    const double cost = eval.total_cost(m);
-    if (cost < best) {
-      best = cost;
-      best_set = std::move(m);
+    const auto fits = [&](std::size_t mask) {
+      double blocks = 0;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (mask & (std::size_t{1} << i)) {
+          blocks += blocks_of[i];
+          if (blocks > budget_blocks) return false;
+        }
+      }
+      return true;
+    };
+    const MaskSearchBest best =
+        fast_mask_search(eval, candidates, threads, fits);
+    if (best.valid) best_set = mask_to_set(candidates, best.mask);
+  } else {
+    double best = std::numeric_limits<double>::infinity();
+    const std::size_t combos = std::size_t{1} << candidates.size();
+    for (std::size_t mask = 0; mask < combos; ++mask) {
+      MaterializedSet m;
+      double blocks = 0;
+      bool fits = true;
+      for (std::size_t i = 0; i < candidates.size() && fits; ++i) {
+        if (mask & (std::size_t{1} << i)) {
+          m.insert(candidates[i]);
+          blocks += eval.graph().node(candidates[i]).blocks;
+          fits = blocks <= budget_blocks;
+        }
+      }
+      if (!fits) continue;
+      const double cost = eval.total_cost(m);
+      if (cost < best) {
+        best = cost;
+        best_set = std::move(m);
+      }
     }
   }
   r.costs = eval.evaluate(best_set);
@@ -450,9 +670,10 @@ SelectionResult simulated_annealing(const MvppEvaluator& eval,
     return r;
   }
 
-  MaterializedSet current = greedy_incremental(eval).materialized;
-  double current_cost = eval.total_cost(current);
-  MaterializedSet best = current;
+  std::unique_ptr<Prober> prober =
+      make_prober(eval, greedy_incremental(eval).materialized);
+  double current_cost = prober->total();
+  MaterializedSet best = prober->snapshot();
   double best_cost = current_cost;
 
   Rng rng(options.seed);
@@ -460,15 +681,13 @@ SelectionResult simulated_annealing(const MvppEvaluator& eval,
       std::max(options.initial_temperature * eval.total_cost({}), 1e-9);
   for (std::size_t it = 0; it < options.iterations; ++it) {
     const NodeId v = candidates[rng.index(candidates.size())];
-    MaterializedSet next = current;
-    if (!next.erase(v)) next.insert(v);
-    const double next_cost = eval.total_cost(next);
+    const double next_cost = prober->probe_toggle(v);
     const double delta = next_cost - current_cost;
     if (delta <= 0 || rng.uniform01() < std::exp(-delta / temperature)) {
-      current = std::move(next);
+      prober->commit_toggle(v, next_cost);
       current_cost = next_cost;
       if (current_cost < best_cost) {
-        best = current;
+        best = prober->snapshot();
         best_cost = current_cost;
       }
     }

@@ -62,8 +62,12 @@ SelectionResult yang_heuristic(const MvppEvaluator& eval, YangOptions options = 
 
 /// Exact optimum by enumerating all 2^n subsets of operation nodes.
 /// Throws PlanError when there are more than `max_candidates` candidates.
+/// The mask range is priced on `threads` workers (0 = auto, 1 = serial)
+/// with a deterministic lowest-cost/lowest-mask reduction, so the result
+/// is bit-identical regardless of the thread count.
 SelectionResult exhaustive_optimal(const MvppEvaluator& eval,
-                                   std::size_t max_candidates = 24);
+                                   std::size_t max_candidates = 24,
+                                   std::size_t threads = 0);
 
 /// Exact optimum by best-first branch and bound (in the spirit of the
 /// authors' follow-up 0-1 integer-programming formulation). Sound lower
@@ -116,8 +120,11 @@ SelectionResult budgeted_greedy(const MvppEvaluator& eval,
                                 double budget_blocks);
 
 /// Exact optimum under the budget by exhaustive enumeration (small n).
+/// Parallel over `threads` workers like exhaustive_optimal (0 = auto,
+/// 1 = serial); the reduction is deterministic.
 SelectionResult budgeted_optimal(const MvppEvaluator& eval,
                                  double budget_blocks,
-                                 std::size_t max_candidates = 22);
+                                 std::size_t max_candidates = 22,
+                                 std::size_t threads = 0);
 
 }  // namespace mvd
