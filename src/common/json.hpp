@@ -1,7 +1,7 @@
-// A minimal JSON document builder and serializer (output only — the
-// library emits machine-readable design reports; it never parses JSON).
-// Objects preserve insertion order so emitted reports are stable and
-// diffable.
+// A minimal JSON document builder, serializer and parser. Objects
+// preserve insertion order so emitted reports are stable and diffable;
+// parse(dump(j)) reproduces j exactly (numbers round-trip via
+// shortest-representation formatting).
 #pragma once
 
 #include <map>
@@ -43,6 +43,11 @@ class Json {
 
   /// Serialize; `indent` > 0 pretty-prints with that many spaces.
   std::string dump(int indent = 0) const;
+
+  /// Parse a JSON document (the subset this class emits: null, booleans,
+  /// finite numbers, strings with \uXXXX escapes, arrays, objects).
+  /// Throws ParseError with offset context on malformed input.
+  static Json parse(const std::string& text);
 
  private:
   void write(std::string& out, int indent, int depth) const;

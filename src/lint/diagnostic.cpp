@@ -1,0 +1,89 @@
+#include "src/lint/diagnostic.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+#include "src/common/text_table.hpp"
+
+namespace mvd {
+
+std::string to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  MVD_ASSERT(false);
+  return {};
+}
+
+Severity severity_from_string(const std::string& text) {
+  const std::string lower = to_lower(text);
+  if (lower == "info") return Severity::kInfo;
+  if (lower == "warn" || lower == "warning") return Severity::kWarn;
+  if (lower == "error") return Severity::kError;
+  throw PlanError("unknown lint severity '" + text +
+                  "' (expected error, warn or info)");
+}
+
+void LintReport::merge(LintReport other) {
+  for (Diagnostic& d : other.diagnostics_) {
+    diagnostics_.push_back(std::move(d));
+  }
+}
+
+std::size_t LintReport::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [&](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+std::set<std::string> LintReport::fired_rules() const {
+  std::set<std::string> rules;
+  for (const Diagnostic& d : diagnostics_) rules.insert(d.rule);
+  return rules;
+}
+
+LintReport LintReport::filtered(Severity min_severity) const {
+  LintReport out;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity >= min_severity) out.add(d);
+  }
+  return out;
+}
+
+std::string LintReport::render_text() const {
+  if (diagnostics_.empty()) return "mvlint: clean (0 diagnostics)\n";
+  TextTable table({"severity", "rule", "subject", "message", "hint"});
+  for (const Diagnostic& d : diagnostics_) {
+    table.add_row({to_string(d.severity), d.rule, d.subject, d.message, d.hint});
+  }
+  return table.render() +
+         str_cat("mvlint: ", count(Severity::kError), " error(s), ",
+                 count(Severity::kWarn), " warning(s), ",
+                 count(Severity::kInfo), " info(s)\n");
+}
+
+Json LintReport::to_json() const {
+  Json items = Json::array();
+  for (const Diagnostic& d : diagnostics_) {
+    Json j = Json::object();
+    j.set("rule", Json::string(d.rule));
+    j.set("severity", Json::string(to_string(d.severity)));
+    j.set("node", Json::number(static_cast<double>(d.node)));
+    j.set("subject", Json::string(d.subject));
+    j.set("message", Json::string(d.message));
+    j.set("hint", Json::string(d.hint));
+    items.push_back(std::move(j));
+  }
+  Json out = Json::object();
+  out.set("diagnostics", std::move(items));
+  out.set("errors", Json::number(count(Severity::kError)));
+  out.set("warnings", Json::number(count(Severity::kWarn)));
+  out.set("infos", Json::number(count(Severity::kInfo)));
+  return out;
+}
+
+}  // namespace mvd

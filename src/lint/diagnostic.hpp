@@ -1,0 +1,67 @@
+// Structured findings of the mvlint static-analysis pass.
+//
+// A Diagnostic pins one violated invariant to one rule id and (usually)
+// one node: rule id, severity, node/query name, human message and a fix
+// hint. A LintReport aggregates the diagnostics of one pass over one
+// MVPP (plus optional selection results) and renders them as an aligned
+// text table or as stable JSON for dashboards and CI artifacts.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/json.hpp"
+#include "src/mvpp/graph.hpp"
+
+namespace mvd {
+
+enum class Severity { kInfo = 0, kWarn = 1, kError = 2 };
+
+std::string to_string(Severity severity);
+
+/// Parse "error" / "warn" / "info" (case-insensitive). Throws PlanError
+/// on anything else.
+Severity severity_from_string(const std::string& text);
+
+struct Diagnostic {
+  /// Rule id, e.g. "structure/arc-symmetry".
+  std::string rule;
+  Severity severity = Severity::kError;
+  /// Offending node, -1 for graph-wide findings.
+  NodeId node = -1;
+  /// Node / query name (or algorithm name for selection findings).
+  std::string subject;
+  std::string message;
+  /// How to repair the graph (may be empty).
+  std::string hint;
+};
+
+class LintReport {
+ public:
+  void add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+  void merge(LintReport other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool clean() const { return diagnostics_.empty(); }
+  std::size_t count(Severity severity) const;
+  bool has_errors() const { return count(Severity::kError) > 0; }
+
+  /// Distinct rule ids with at least one diagnostic.
+  std::set<std::string> fired_rules() const;
+
+  /// Copy holding only diagnostics at `min_severity` or above.
+  LintReport filtered(Severity min_severity) const;
+
+  /// Aligned table (rule, severity, subject, message, hint); a one-line
+  /// "clean" note when empty.
+  std::string render_text() const;
+
+  /// {"diagnostics": [...], "errors": n, "warnings": n, "infos": n}.
+  Json to_json() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace mvd

@@ -1,0 +1,351 @@
+#include "src/lint/mutate.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/algebra/expr.hpp"
+#include "src/common/error.hpp"
+
+namespace mvd {
+
+LintContext MutationOutcome::context() const {
+  LintContext ctx;
+  ctx.graph = graph.get();
+  ctx.closures = closures.get();
+  ctx.cost_model = cost_model;
+  if (evaluator != nullptr) {
+    ctx.evaluator = evaluator.get();
+    if (ctx.closures == nullptr) ctx.closures = &evaluator->closures();
+  }
+  if (selection != nullptr) {
+    ctx.selections.push_back({selection.get(), budget_blocks});
+  }
+  return ctx;
+}
+
+namespace {
+
+[[noreturn]] void unsuitable(const std::string& mutation,
+                             const std::string& need) {
+  throw PlanError("mutation '" + mutation + "' needs " + need +
+                  " in the clean graph");
+}
+
+/// Base outcome: a private copy of the clean graph plus the cost model.
+MutationOutcome copy_of(const MvppGraph& clean, const CostModel& cost_model) {
+  MutationOutcome out;
+  out.graph = std::make_unique<MvppGraph>(clean);
+  out.cost_model = &cost_model;
+  return out;
+}
+
+void with_closures(MutationOutcome& out) {
+  out.closures = std::make_unique<GraphClosures>(*out.graph);
+}
+
+void erase_one(std::vector<NodeId>& ids, NodeId v) {
+  auto it = std::find(ids.begin(), ids.end(), v);
+  if (it != ids.end()) ids.erase(it);
+}
+
+NodeId first_op_of_kind(const MvppGraph& g, MvppNodeKind kind,
+                        const std::string& mutation) {
+  for (const MvppNode& n : g.nodes()) {
+    if (n.kind == kind) return n.id;
+  }
+  unsuitable(mutation, "a " + to_string(kind) + " node");
+}
+
+Schema some_base_schema(const MvppGraph& g, const std::string& mutation) {
+  for (NodeId b : g.base_ids()) {
+    if (g.node(b).expr != nullptr) return g.node(b).expr->output_schema();
+  }
+  unsuitable(mutation, "an annotated base relation");
+}
+
+// ---- Structure-phase mutations ---------------------------------------
+
+/// Rewire one child arc of an operation to one of its own operation
+/// ancestors, keeping parent/child links symmetric so only the cycle is
+/// wrong. The child slot must have another parent so nothing is
+/// orphaned. No closures: a cyclic graph cannot be traversed safely.
+MutationOutcome rewire_arc_to_ancestor(const MvppGraph& clean,
+                                       const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  MvppGraph& g = *out.graph;
+  MvppGraphMutator mut(g);
+  for (NodeId v : g.operation_ids()) {
+    NodeId shared_child = -1;
+    for (NodeId c : g.node(v).children) {
+      if (g.node(c).parents.size() >= 2) {
+        shared_child = c;
+        break;
+      }
+    }
+    if (shared_child < 0) continue;
+    for (NodeId a : g.ancestors(v)) {
+      if (!g.node(a).is_operation()) continue;
+      MvppNode& nv = mut.node(v);
+      *std::find(nv.children.begin(), nv.children.end(), shared_child) = a;
+      erase_one(mut.node(shared_child).parents, v);
+      mut.node(a).parents.push_back(v);
+      return out;
+    }
+  }
+  unsuitable("rewire-arc-to-ancestor",
+             "an operation with a shared child and an operation ancestor");
+}
+
+/// Remove the parent back-link of one arc, leaving the child link in
+/// place: v still lists c as a child, c no longer lists v as a parent.
+MutationOutcome drop_parent_backlink(const MvppGraph& clean,
+                                     const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  MvppGraphMutator mut(*out.graph);
+  for (NodeId v : out.graph->operation_ids()) {
+    const MvppNode& n = out.graph->node(v);
+    if (n.children.empty()) continue;
+    erase_one(mut.node(n.children.front()).parents, v);
+    return out;
+  }
+  unsuitable("drop-parent-backlink", "an operation with a child");
+}
+
+/// Copy one operation's structural signature onto another, violating the
+/// common-subexpression merge guarantee.
+MutationOutcome clone_signature(const MvppGraph& clean, const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  const std::vector<NodeId> ops = out.graph->operation_ids();
+  if (ops.size() < 2) unsuitable("clone-signature", "two operation nodes");
+  MvppGraphMutator mut(*out.graph);
+  mut.node(ops[0]).sig = out.graph->node(ops[1]).sig;
+  with_closures(out);
+  return out;
+}
+
+/// Give a select node a second child (an unrelated base with a smaller
+/// id, so acyclicity and link symmetry stay intact).
+MutationOutcome extra_select_child(const MvppGraph& clean,
+                                   const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  MvppGraph& g = *out.graph;
+  MvppGraphMutator mut(g);
+  for (const MvppNode& n : g.nodes()) {
+    if (n.kind != MvppNodeKind::kSelect) continue;
+    for (NodeId b : g.base_ids()) {
+      if (b >= n.id) continue;
+      if (std::find(n.children.begin(), n.children.end(), b) !=
+          n.children.end()) {
+        continue;
+      }
+      mut.node(n.id).children.push_back(b);
+      mut.node(b).parents.push_back(n.id);
+      return out;
+    }
+  }
+  unsuitable("extra-select-child", "a select and a spare base below it");
+}
+
+/// Stamp a query/update frequency onto an operation node.
+MutationOutcome op_frequency(const MvppGraph& clean, const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  const std::vector<NodeId> ops = out.graph->operation_ids();
+  if (ops.empty()) unsuitable("op-frequency", "an operation node");
+  MvppGraphMutator(*out.graph).node(ops.front()).frequency = 3;
+  with_closures(out);
+  return out;
+}
+
+/// Grow a select nobody consumes, via the public API (which resets the
+/// annotated flag, so only the reachability warning applies).
+MutationOutcome orphan_op(const MvppGraph& clean, const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  MvppGraph& g = *out.graph;
+  for (NodeId b : g.base_ids()) {
+    if (g.node(b).expr == nullptr) continue;
+    const Schema& schema = g.node(b).expr->output_schema();
+    if (schema.attributes().empty()) continue;
+    g.add_select(b, eq(col(schema.at(0).qualified()), lit_i64(777)));
+    with_closures(out);
+    return out;
+  }
+  unsuitable("orphan-op", "an annotated base relation with a column");
+}
+
+/// Add a base relation no query reaches.
+MutationOutcome unused_base(const MvppGraph& clean, const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  out.graph->add_base("LintUnusedBase",
+                      some_base_schema(*out.graph, "unused-base"), 1.0);
+  with_closures(out);
+  return out;
+}
+
+/// Build closures, then grow the graph: the precomputed closures no
+/// longer match a fresh traversal.
+MutationOutcome stale_closures(const MvppGraph& clean, const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  const std::vector<NodeId> ops = out.graph->operation_ids();
+  if (ops.empty()) unsuitable("stale-closures", "an operation node");
+  with_closures(out);
+  out.graph->add_query("__lint_extra_query", 1.0, ops.back());
+  return out;
+}
+
+// ---- Annotation-phase mutations --------------------------------------
+
+MutationOutcome negate_rows(const MvppGraph& clean, const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  const std::vector<NodeId> ops = out.graph->operation_ids();
+  if (ops.empty()) unsuitable("negate-rows", "an operation node");
+  MvppGraphMutator(*out.graph).node(ops.front()).rows = -5;
+  with_closures(out);
+  return out;
+}
+
+/// Shrink an op's cumulative cost below its own operator cost. Picking a
+/// node whose children are all bases (Ca = 0) keeps the monotonicity
+/// rule quiet, isolating the bound violation.
+MutationOutcome shrink_full_cost(const MvppGraph& clean, const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  MvppGraph& g = *out.graph;
+  for (NodeId v : g.operation_ids()) {
+    const MvppNode& n = g.node(v);
+    if (!(n.op_cost > 0)) continue;
+    const bool bases_only =
+        std::all_of(n.children.begin(), n.children.end(), [&](NodeId c) {
+          return g.node(c).kind == MvppNodeKind::kBase;
+        });
+    if (!bases_only) continue;
+    MvppGraphMutator(g).node(v).full_cost = n.op_cost / 2;
+    with_closures(out);
+    return out;
+  }
+  unsuitable("shrink-full-cost",
+             "a positive-cost operation over base relations only");
+}
+
+/// Set Ca(v) below a child's Ca while keeping full_cost >= op_cost, so
+/// only the monotonicity rule can object.
+MutationOutcome break_monotone(const MvppGraph& clean, const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  MvppGraph& g = *out.graph;
+  for (NodeId v : g.operation_ids()) {
+    const MvppNode& n = g.node(v);
+    for (NodeId c : n.children) {
+      const MvppNode& child = g.node(c);
+      if (!child.is_operation() || !(child.full_cost > n.op_cost)) continue;
+      MvppGraphMutator(g).node(v).full_cost =
+          std::max(n.op_cost, 0.9 * child.full_cost);
+      with_closures(out);
+      return out;
+    }
+  }
+  unsuitable("break-monotone",
+             "an operation whose child out-costs its own operator cost");
+}
+
+/// Double a cardinality estimate so it disagrees with the cost model.
+MutationOutcome inflate_rows(const MvppGraph& clean, const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  for (NodeId v : out.graph->operation_ids()) {
+    const MvppNode& n = out.graph->node(v);
+    if (n.expr == nullptr) continue;
+    MvppGraphMutator(*out.graph).node(v).rows = 2 * n.rows + 1;
+    with_closures(out);
+    return out;
+  }
+  unsuitable("inflate-rows", "an annotated operation node");
+}
+
+// ---- Schema-phase mutations ------------------------------------------
+
+MutationOutcome bogus_predicate_column(const MvppGraph& clean,
+                                       const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  const NodeId s =
+      first_op_of_kind(*out.graph, MvppNodeKind::kSelect, "bogus-predicate");
+  MvppGraphMutator(*out.graph).node(s).predicate =
+      eq(col("mvlint_no_such_column"), lit_i64(1));
+  with_closures(out);
+  return out;
+}
+
+MutationOutcome bogus_project_column(const MvppGraph& clean,
+                                     const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  const NodeId p =
+      first_op_of_kind(*out.graph, MvppNodeKind::kProject, "bogus-project");
+  MvppGraphMutator(*out.graph).node(p).columns.push_back(
+      "mvlint_no_such_column");
+  with_closures(out);
+  return out;
+}
+
+// ---- Selection-phase mutations ---------------------------------------
+
+/// Copy + evaluator + a genuinely clean selection result to corrupt.
+MutationOutcome with_selection(const MvppGraph& clean, const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  out.evaluator = std::make_unique<MvppEvaluator>(*out.graph);
+  out.selection = std::make_unique<SelectionResult>(
+      select_all_query_results(*out.evaluator));
+  return out;
+}
+
+MutationOutcome foreign_materialized_node(const MvppGraph& clean,
+                                          const CostModel& cm) {
+  MutationOutcome out = with_selection(clean, cm);
+  const std::vector<NodeId> bases = out.graph->base_ids();
+  if (bases.empty()) unsuitable("foreign-materialized-node", "a base leaf");
+  out.selection->materialized.insert(bases.front());
+  return out;
+}
+
+MutationOutcome perturb_reported_cost(const MvppGraph& clean,
+                                      const CostModel& cm) {
+  MutationOutcome out = with_selection(clean, cm);
+  out.selection->costs.query_processing += 1234;
+  return out;
+}
+
+MutationOutcome impossible_budget(const MvppGraph& clean,
+                                  const CostModel& cm) {
+  MutationOutcome out = with_selection(clean, cm);
+  const double used =
+      total_view_blocks(*out.graph, out.selection->materialized);
+  if (!(used > 0)) unsuitable("impossible-budget", "a non-empty selection");
+  out.budget_blocks = used / 2;
+  return out;
+}
+
+}  // namespace
+
+const std::vector<GraphMutation>& builtin_mutations() {
+  static const std::vector<GraphMutation> mutations = {
+      {"rewire-arc-to-ancestor", "structure/acyclic", rewire_arc_to_ancestor},
+      {"drop-parent-backlink", "structure/arc-symmetry", drop_parent_backlink},
+      {"clone-signature", "structure/signature-dedup", clone_signature},
+      {"extra-select-child", "structure/arity", extra_select_child},
+      {"op-frequency", "structure/frequency-placement", op_frequency},
+      {"orphan-op", "structure/orphan-op", orphan_op},
+      {"unused-base", "structure/unused-base", unused_base},
+      {"stale-closures", "structure/closure-sync", stale_closures},
+      {"negate-rows", "annotation/non-negative", negate_rows},
+      {"shrink-full-cost", "annotation/full-cost-bound", shrink_full_cost},
+      {"break-monotone", "annotation/ca-monotone", break_monotone},
+      {"inflate-rows", "annotation/estimate-consistent", inflate_rows},
+      {"bogus-predicate-column", "schema/predicate-columns",
+       bogus_predicate_column},
+      {"bogus-project-column", "schema/projection-columns",
+       bogus_project_column},
+      {"foreign-materialized-node", "selection/materialized-set",
+       foreign_materialized_node},
+      {"perturb-reported-cost", "selection/cost-reproducible",
+       perturb_reported_cost},
+      {"impossible-budget", "selection/within-budget", impossible_budget},
+  };
+  return mutations;
+}
+
+}  // namespace mvd

@@ -1,0 +1,58 @@
+// Mutation catalog for the mvlint self-test.
+//
+// Each GraphMutation takes a clean, annotated MVPP, plants exactly one
+// corruption (through the MvppGraphMutator backdoor or by abusing the
+// public API), and names the rule that must catch it. The self-test in
+// tests/lint_mutation_test.cpp — and `mvlint --selftest` — runs every
+// mutation and asserts that precisely the expected rule fires, which
+// keeps every shipped rule demonstrably non-vacuous.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/lint/registry.hpp"
+#include "src/mvpp/closures.hpp"
+#include "src/mvpp/evaluation.hpp"
+#include "src/mvpp/graph.hpp"
+#include "src/mvpp/selection.hpp"
+
+namespace mvd {
+
+/// Everything a mutation produces, with ownership so the LintContext's
+/// raw pointers stay valid for the caller's lifetime. `graph` is always
+/// set; `closures` only when the mutated graph is safe to traverse (a
+/// cyclic graph is not); `evaluator`/`selection` only for the
+/// selection-phase mutations.
+struct MutationOutcome {
+  std::unique_ptr<MvppGraph> graph;
+  std::unique_ptr<GraphClosures> closures;
+  std::unique_ptr<MvppEvaluator> evaluator;
+  std::unique_ptr<SelectionResult> selection;
+  std::optional<double> budget_blocks;
+  const CostModel* cost_model = nullptr;
+
+  /// LintContext over the owned pieces. Valid while *this lives.
+  LintContext context() const;
+};
+
+struct GraphMutation {
+  std::string name;
+  /// The single rule id expected to fire on the mutated artifacts.
+  std::string expected_rule;
+  /// Builds the corrupted copy. Throws PlanError when `clean` lacks the
+  /// shape the recipe needs (the paper example satisfies all of them).
+  std::function<MutationOutcome(const MvppGraph& clean,
+                                const CostModel& cost_model)>
+      apply;
+};
+
+/// One mutation per built-in rule (17 total). Requires `clean` to be
+/// annotated, acyclic, with at least one query, one shared child, and
+/// one select / project node — the Figure 3 MVPP qualifies.
+const std::vector<GraphMutation>& builtin_mutations();
+
+}  // namespace mvd

@@ -1,0 +1,119 @@
+// The mvlint rule registry: pluggable static-analysis checks over MVPPs,
+// their annotations, their plans and their selection results.
+//
+// A rule is a named check with a fixed severity that inspects a
+// LintContext and emits Diagnostics through a RuleEmitter. Rules are
+// grouped into phases that run in order:
+//
+//   kStructure  — DAG shape: acyclicity, arc symmetry, dedup, arity,
+//                 frequency placement, reachability, closure freshness.
+//   kAnnotation — cost/size consistency of annotate() results.
+//   kSchema     — predicates/projections only reference columns the
+//                 children actually produce.
+//   kSelection  — selection results: membership, cost reproducibility,
+//                 budget compliance.
+//
+// Error-severity findings in kStructure gate the later phases: on a
+// structurally broken graph the downstream invariants are meaningless
+// and re-reporting them would bury the root cause.
+//
+// A rule silently skips when its inputs are absent from the context
+// (e.g. annotation rules on an un-annotated graph, selection rules with
+// no selections attached) — lint never demands more context than the
+// call site has.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/lint/diagnostic.hpp"
+#include "src/mvpp/closures.hpp"
+#include "src/mvpp/evaluation.hpp"
+#include "src/mvpp/selection.hpp"
+
+namespace mvd {
+
+/// Everything a lint pass may inspect. Only `graph` is mandatory; rules
+/// needing an absent optional input skip silently.
+struct LintContext {
+  const MvppGraph* graph = nullptr;
+
+  /// When set, checked against a fresh traversal of `graph` (catches
+  /// stale caches after graph edits).
+  const GraphClosures* closures = nullptr;
+
+  /// Enables re-deriving rows/blocks/op_cost from scratch.
+  const CostModel* cost_model = nullptr;
+
+  /// Enables reproducing reported selection costs.
+  const MvppEvaluator* evaluator = nullptr;
+
+  struct SelectionCheck {
+    const SelectionResult* result = nullptr;
+    /// Budget the selection was required to respect, if any.
+    std::optional<double> budget_blocks;
+  };
+  std::vector<SelectionCheck> selections;
+};
+
+enum class LintPhase { kStructure, kAnnotation, kSchema, kSelection };
+
+/// Sink for one rule's findings; binds the rule id and severity so checks
+/// only supply the location and the message.
+class RuleEmitter {
+ public:
+  RuleEmitter(const std::string& rule, Severity severity, LintReport& report)
+      : rule_(&rule), severity_(severity), report_(&report) {}
+
+  /// Finding at a node (subject defaults to the node's name).
+  void emit(const MvppGraph& graph, NodeId node, std::string message,
+            std::string hint = {});
+  /// Graph-wide finding.
+  void emit_graph(std::string message, std::string hint = {});
+  /// Finding about one selection result.
+  void emit_selection(const SelectionResult& selection, std::string message,
+                      std::string hint = {});
+
+ private:
+  const std::string* rule_;
+  Severity severity_;
+  LintReport* report_;
+};
+
+struct LintRule {
+  std::string id;          // "structure/arc-symmetry"
+  LintPhase phase = LintPhase::kStructure;
+  Severity severity = Severity::kError;
+  std::string summary;     // one line, for --list-rules and docs
+  std::function<void(const LintContext&, RuleEmitter&)> check;
+};
+
+class LintRegistry {
+ public:
+  /// Register a rule. Ids must be unique; throws PlanError on duplicates.
+  void add(LintRule rule);
+
+  const std::vector<LintRule>& rules() const { return rules_; }
+
+  /// Run every applicable rule over `ctx`, phases in order, with
+  /// structure-error gating (see file comment). `max_phase` stops after
+  /// the given phase (validate() runs structure only).
+  LintReport run(const LintContext& ctx,
+                 LintPhase max_phase = LintPhase::kSelection) const;
+
+  /// The built-in rule set (constructed once, immutable).
+  static const LintRegistry& builtin();
+
+ private:
+  std::vector<LintRule> rules_;
+};
+
+// Per-phase registration hooks, implemented in rules_*.cpp.
+void register_structure_rules(LintRegistry& registry);
+void register_annotation_rules(LintRegistry& registry);
+void register_schema_rules(LintRegistry& registry);
+void register_selection_rules(LintRegistry& registry);
+
+}  // namespace mvd

@@ -1,0 +1,133 @@
+// Annotation rules: the rows/blocks/op_cost/full_cost filled in by
+// MvppGraph::annotate() must be non-negative, mutually consistent
+// (full_cost bounds op_cost, Ca is monotone non-decreasing toward the
+// roots) and — when a cost model is supplied — reproducible from the
+// node's plan tree.
+#include <cmath>
+
+#include "src/common/strings.hpp"
+#include "src/lint/registry.hpp"
+
+namespace mvd {
+
+namespace {
+
+bool annotations_usable(const MvppNode& n) {
+  return std::isfinite(n.rows) && n.rows >= 0 && std::isfinite(n.blocks) &&
+         n.blocks >= 0 && std::isfinite(n.op_cost) && n.op_cost >= 0 &&
+         std::isfinite(n.full_cost) && n.full_cost >= 0;
+}
+
+void check_non_negative(const LintContext& ctx, RuleEmitter& out) {
+  const MvppGraph& g = *ctx.graph;
+  if (!g.annotated()) return;
+  for (const MvppNode& n : g.nodes()) {
+    auto field = [&](const char* name, double value) {
+      if (!std::isfinite(value) || value < 0) {
+        out.emit(g, n.id, str_cat(name, " = ", value, " is negative or non-finite"),
+                 "re-run annotate(); sizes and costs are never negative");
+      }
+    };
+    field("rows", n.rows);
+    field("blocks", n.blocks);
+    field("op_cost", n.op_cost);
+    field("full_cost", n.full_cost);
+  }
+}
+
+void check_full_cost_bound(const LintContext& ctx, RuleEmitter& out) {
+  // Ca(v) re-derives every virtual intermediate beneath v, so it can
+  // never undercut producing v from its direct inputs alone.
+  const MvppGraph& g = *ctx.graph;
+  if (!g.annotated()) return;
+  for (const MvppNode& n : g.nodes()) {
+    if (!n.is_operation() || !annotations_usable(n)) continue;
+    if (n.full_cost < n.op_cost) {
+      out.emit(g, n.id,
+               str_cat("full_cost ", n.full_cost, " < op_cost ", n.op_cost),
+               "Ca(v) includes the direct op_cost; re-run annotate()");
+    }
+  }
+}
+
+void check_ca_monotone(const LintContext& ctx, RuleEmitter& out) {
+  // full_cost = op_cost + sum of children's full_cost with op_cost >= 0,
+  // so Ca never decreases along an arc toward the roots; query roots
+  // inherit their child's Ca exactly.
+  const MvppGraph& g = *ctx.graph;
+  if (!g.annotated()) return;
+  for (const MvppNode& n : g.nodes()) {
+    if (!annotations_usable(n)) continue;
+    if (n.kind == MvppNodeKind::kQuery) {
+      const MvppNode& child = g.node(n.children[0]);
+      if (annotations_usable(child) && n.full_cost != child.full_cost) {
+        out.emit(g, n.id,
+                 str_cat("query root full_cost ", n.full_cost,
+                         " != result node full_cost ", child.full_cost),
+                 "query roots inherit Ca from their result node");
+      }
+      continue;
+    }
+    if (!n.is_operation()) continue;
+    for (NodeId c : n.children) {
+      const MvppNode& child = g.node(c);
+      if (!annotations_usable(child)) continue;
+      if (n.full_cost < child.full_cost) {
+        out.emit(g, n.id,
+                 str_cat("full_cost ", n.full_cost, " < child '", child.name,
+                         "' full_cost ", child.full_cost,
+                         " — Ca must be monotone non-decreasing toward roots"),
+                 "re-run annotate(); Ca(v) sums the whole subtree");
+        break;
+      }
+    }
+  }
+}
+
+void check_estimate_consistent(const LintContext& ctx, RuleEmitter& out) {
+  // With the cost model at hand, the recorded sizes and direct costs
+  // must match a from-scratch estimate of the node's plan tree exactly
+  // (annotate() uses the same deterministic code path).
+  if (ctx.cost_model == nullptr) return;
+  const MvppGraph& g = *ctx.graph;
+  if (!g.annotated()) return;
+  for (const MvppNode& n : g.nodes()) {
+    if (n.expr == nullptr || !annotations_usable(n)) continue;
+    const NodeEstimate est = ctx.cost_model->estimate(n.expr);
+    auto field = [&](const char* name, double recorded, double fresh) {
+      if (recorded != fresh) {
+        out.emit(g, n.id,
+                 str_cat(name, " = ", recorded,
+                         " but the cost model reproduces ", fresh),
+                 "re-run annotate() against the same cost model");
+      }
+    };
+    field("rows", n.rows, est.rows);
+    field("blocks", n.blocks, est.blocks);
+    if (n.is_operation()) {
+      field("op_cost", n.op_cost, ctx.cost_model->op_cost(n.expr));
+    }
+  }
+}
+
+}  // namespace
+
+void register_annotation_rules(LintRegistry& registry) {
+  registry.add({"annotation/non-negative", LintPhase::kAnnotation,
+                Severity::kError,
+                "rows, blocks and costs are finite and non-negative",
+                check_non_negative});
+  registry.add({"annotation/full-cost-bound", LintPhase::kAnnotation,
+                Severity::kError, "full_cost (Ca) is at least op_cost",
+                check_full_cost_bound});
+  registry.add({"annotation/ca-monotone", LintPhase::kAnnotation,
+                Severity::kError,
+                "Ca is monotone non-decreasing along arcs toward the roots",
+                check_ca_monotone});
+  registry.add({"annotation/estimate-consistent", LintPhase::kAnnotation,
+                Severity::kError,
+                "recorded sizes/costs match a fresh cost-model estimate",
+                check_estimate_consistent});
+}
+
+}  // namespace mvd

@@ -1,0 +1,103 @@
+// Schema/plan coherence rules: every column a node's predicate,
+// projection list, group-by list or aggregate references must actually
+// be produced by its children. Runs on annotated graphs (child output
+// schemas come from the equivalent plan trees annotate() builds).
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+#include "src/lint/registry.hpp"
+
+namespace mvd {
+
+namespace {
+
+// Output schema of node `v`, or nullptr when unavailable (un-annotated
+// node or structurally odd graph).
+const Schema* schema_of(const MvppGraph& g, NodeId v) {
+  const MvppNode& n = g.node(v);
+  return n.expr == nullptr ? nullptr : &n.expr->output_schema();
+}
+
+// True when `column` resolves in `schema`; ambiguity of a bare name is
+// treated as unresolved (callers report it).
+bool resolves(const Schema& schema, const std::string& column) {
+  try {
+    return schema.find(column).has_value();
+  } catch (const BindError&) {
+    return false;
+  }
+}
+
+void check_predicate_columns(const LintContext& ctx, RuleEmitter& out) {
+  const MvppGraph& g = *ctx.graph;
+  if (!g.annotated()) return;
+  for (const MvppNode& n : g.nodes()) {
+    if (n.predicate == nullptr) continue;
+    if (n.kind != MvppNodeKind::kSelect && n.kind != MvppNodeKind::kJoin) {
+      continue;
+    }
+    // Children must exist with schemas; structure rules own arity.
+    Schema available;
+    bool have_all = !n.children.empty();
+    for (std::size_t i = 0; have_all && i < n.children.size(); ++i) {
+      const Schema* s = schema_of(g, n.children[i]);
+      if (s == nullptr) {
+        have_all = false;
+      } else {
+        available = i == 0 ? *s : Schema::concat(available, *s);
+      }
+    }
+    if (!have_all) continue;
+    for (const std::string& column : columns_of(n.predicate)) {
+      if (!resolves(available, column)) {
+        out.emit(g, n.id,
+                 str_cat("predicate references '", column,
+                         "', which no child produces"),
+                 "predicates may only use columns available from the inputs");
+      }
+    }
+  }
+}
+
+void check_projection_columns(const LintContext& ctx, RuleEmitter& out) {
+  const MvppGraph& g = *ctx.graph;
+  if (!g.annotated()) return;
+  for (const MvppNode& n : g.nodes()) {
+    if (n.kind != MvppNodeKind::kProject && n.kind != MvppNodeKind::kAggregate) {
+      continue;
+    }
+    if (n.children.size() != 1) continue;  // structure/arity owns this
+    const Schema* child = schema_of(g, n.children[0]);
+    if (child == nullptr) continue;
+    const char* what =
+        n.kind == MvppNodeKind::kProject ? "projects" : "groups by";
+    for (const std::string& column : n.columns) {
+      if (!resolves(*child, column)) {
+        out.emit(g, n.id,
+                 str_cat(what, " '", column, "', which the child does not produce"),
+                 "project/group-by columns must exist in the child schema");
+      }
+    }
+    for (const AggSpec& agg : n.aggregates) {
+      if (!agg.column.empty() && !resolves(*child, agg.column)) {
+        out.emit(g, n.id,
+                 str_cat("aggregates over '", agg.column,
+                         "', which the child does not produce"),
+                 "aggregate inputs must exist in the child schema");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void register_schema_rules(LintRegistry& registry) {
+  registry.add({"schema/predicate-columns", LintPhase::kSchema, Severity::kError,
+                "select/join predicates only reference columns the children "
+                "produce",
+                check_predicate_columns});
+  registry.add({"schema/projection-columns", LintPhase::kSchema, Severity::kError,
+                "project/group-by/aggregate columns exist in the child schema",
+                check_projection_columns});
+}
+
+}  // namespace mvd

@@ -1,0 +1,98 @@
+// Selection-result sanity rules: a SelectionResult attached to the
+// context must materialize only operation nodes, report costs the
+// evaluator reproduces exactly, and respect its storage budget.
+#include "src/common/strings.hpp"
+#include "src/lint/registry.hpp"
+
+namespace mvd {
+
+namespace {
+
+bool valid_materialized_set(const MvppGraph& g, const MaterializedSet& m) {
+  for (NodeId v : m) {
+    if (v < 0 || static_cast<std::size_t>(v) >= g.size() ||
+        !g.node(v).is_operation()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void check_materialized_set(const LintContext& ctx, RuleEmitter& out) {
+  const MvppGraph& g = *ctx.graph;
+  for (const LintContext::SelectionCheck& check : ctx.selections) {
+    for (NodeId v : check.result->materialized) {
+      if (v < 0 || static_cast<std::size_t>(v) >= g.size()) {
+        out.emit_selection(*check.result,
+                           str_cat("materialized id ", v, " is out of range"),
+                           "only MVPP operation nodes can be materialized");
+      } else if (!g.node(v).is_operation()) {
+        out.emit_selection(
+            *check.result,
+            str_cat("materialized node '", g.node(v).name, "' is a ",
+                    to_string(g.node(v).kind), ", not an operation"),
+            "only select/project/join/aggregate nodes can be materialized");
+      }
+    }
+  }
+}
+
+void check_cost_reproducible(const LintContext& ctx, RuleEmitter& out) {
+  // The reported breakdown must be exactly what the evaluator computes
+  // for the reported set — selection algorithms finalize their results
+  // through the same deterministic evaluate() call.
+  if (ctx.evaluator == nullptr) return;
+  const MvppGraph& g = *ctx.graph;
+  for (const LintContext::SelectionCheck& check : ctx.selections) {
+    const SelectionResult& r = *check.result;
+    if (!valid_materialized_set(g, r.materialized)) {
+      continue;  // selection/materialized-set owns this
+    }
+    const MvppCosts fresh = ctx.evaluator->evaluate(r.materialized);
+    if (fresh.query_processing != r.costs.query_processing ||
+        fresh.maintenance != r.costs.maintenance) {
+      out.emit_selection(
+          r,
+          str_cat("reported costs (qp=", r.costs.query_processing,
+                  ", maint=", r.costs.maintenance,
+                  ") are not reproduced by the evaluator (qp=",
+                  fresh.query_processing, ", maint=", fresh.maintenance, ")"),
+          "finalize results with MvppEvaluator::evaluate on the chosen set");
+    }
+  }
+}
+
+void check_within_budget(const LintContext& ctx, RuleEmitter& out) {
+  const MvppGraph& g = *ctx.graph;
+  for (const LintContext::SelectionCheck& check : ctx.selections) {
+    if (!check.budget_blocks.has_value()) continue;
+    const SelectionResult& r = *check.result;
+    if (!valid_materialized_set(g, r.materialized)) continue;
+    const double used = total_view_blocks(g, r.materialized);
+    if (used > *check.budget_blocks) {
+      out.emit_selection(
+          r,
+          str_cat("materialized set occupies ", used, " blocks, over the budget of ",
+                  *check.budget_blocks),
+          "budgeted selection must keep the stored views within the budget");
+    }
+  }
+}
+
+}  // namespace
+
+void register_selection_rules(LintRegistry& registry) {
+  registry.add({"selection/materialized-set", LintPhase::kSelection,
+                Severity::kError,
+                "materialized sets contain only MVPP operation nodes",
+                check_materialized_set});
+  registry.add({"selection/cost-reproducible", LintPhase::kSelection,
+                Severity::kError,
+                "reported selection costs are reproduced exactly by the evaluator",
+                check_cost_reproducible});
+  registry.add({"selection/within-budget", LintPhase::kSelection, Severity::kError,
+                "budgeted selections respect their block budget",
+                check_within_budget});
+}
+
+}  // namespace mvd

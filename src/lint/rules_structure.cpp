@@ -1,0 +1,249 @@
+// Structural rules: the MVPP must be a well-formed, deduplicated DAG
+// whose arcs are symmetric, whose node kinds carry the right arity and
+// frequency payload, and whose cached closures (when supplied) agree
+// with a fresh traversal.
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/strings.hpp"
+#include "src/lint/registry.hpp"
+
+namespace mvd {
+
+namespace {
+
+std::size_t count_of(const std::vector<NodeId>& ids, NodeId v) {
+  return static_cast<std::size_t>(std::count(ids.begin(), ids.end(), v));
+}
+
+bool id_in_range(const MvppGraph& g, NodeId v) {
+  return v >= 0 && static_cast<std::size_t>(v) < g.size();
+}
+
+// Node ids reachable from the query roots by following children — the
+// "live" part of the graph. Computed from the arc lists directly so it
+// stays meaningful on corrupted graphs.
+std::vector<char> reachable_from_queries(const MvppGraph& g) {
+  std::vector<char> seen(g.size(), 0);
+  std::vector<NodeId> stack = g.query_ids();
+  for (NodeId q : stack) seen[static_cast<std::size_t>(q)] = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId c : g.node(v).children) {
+      if (!id_in_range(g, c)) continue;
+      if (seen[static_cast<std::size_t>(c)]) continue;
+      seen[static_cast<std::size_t>(c)] = 1;
+      stack.push_back(c);
+    }
+  }
+  return seen;
+}
+
+void check_acyclic(const LintContext& ctx, RuleEmitter& out) {
+  // Insertion ids are topological (children precede parents); an arc to
+  // an equal-or-later id is how every cycle manifests here.
+  const MvppGraph& g = *ctx.graph;
+  for (const MvppNode& n : g.nodes()) {
+    for (NodeId c : n.children) {
+      if (!id_in_range(g, c)) {
+        out.emit(g, n.id, str_cat("child id ", c, " is out of range"),
+                 "arcs must reference existing nodes");
+      } else if (c >= n.id) {
+        out.emit(g, n.id,
+                 str_cat("child '", g.node(c).name, "' (id ", c,
+                         ") does not precede its parent (id ", n.id,
+                         ") — topological order is broken (possible cycle)"),
+                 "arcs must run from earlier (lower-id) nodes to later ones");
+      }
+    }
+  }
+}
+
+void check_arc_symmetry(const LintContext& ctx, RuleEmitter& out) {
+  const MvppGraph& g = *ctx.graph;
+  for (const MvppNode& n : g.nodes()) {
+    for (NodeId c : n.children) {
+      if (!id_in_range(g, c)) continue;  // structure/acyclic reports it
+      const std::size_t down = count_of(n.children, c);
+      const std::size_t up = count_of(g.node(c).parents, n.id);
+      if (down != up) {
+        out.emit(g, n.id,
+                 str_cat("arc to child '", g.node(c).name, "' appears ", down,
+                         "x in children but ", up, "x in the child's parents"),
+                 "keep children/parents lists mirror images of each other");
+      }
+    }
+    for (NodeId p : n.parents) {
+      if (!id_in_range(g, p)) {
+        out.emit(g, n.id, str_cat("parent id ", p, " is out of range"),
+                 "arcs must reference existing nodes");
+        continue;
+      }
+      if (count_of(g.node(p).children, n.id) == 0) {
+        out.emit(g, n.id,
+                 str_cat("parent '", g.node(p).name,
+                         "' does not list this node as a child"),
+                 "keep children/parents lists mirror images of each other");
+      }
+    }
+  }
+}
+
+void check_signature_dedup(const LintContext& ctx, RuleEmitter& out) {
+  const MvppGraph& g = *ctx.graph;
+  std::map<std::string, NodeId> first;
+  for (const MvppNode& n : g.nodes()) {
+    if (n.sig.empty()) continue;  // query roots are intentionally unmerged
+    auto [it, inserted] = first.emplace(n.sig, n.id);
+    if (!inserted) {
+      out.emit(g, n.id,
+               str_cat("signature duplicates node '", g.node(it->second).name,
+                       "' (id ", it->second, "): ", n.sig),
+               "equal signatures must merge into one vertex "
+               "(the paper's common-subexpression rule)");
+    }
+  }
+}
+
+void check_arity(const LintContext& ctx, RuleEmitter& out) {
+  const MvppGraph& g = *ctx.graph;
+  auto expect = [&](const MvppNode& n, std::size_t want) {
+    if (n.children.size() != want) {
+      out.emit(g, n.id,
+               str_cat(to_string(n.kind), " node has ", n.children.size(),
+                       " children, expected ", want),
+               "fix the arc lists to match the operator arity");
+    }
+  };
+  for (const MvppNode& n : g.nodes()) {
+    switch (n.kind) {
+      case MvppNodeKind::kBase:
+        expect(n, 0);
+        break;
+      case MvppNodeKind::kQuery:
+        expect(n, 1);
+        if (!n.parents.empty()) {
+          out.emit(g, n.id,
+                   str_cat("query root has ", n.parents.size(),
+                           " parents; roots must be parentless"),
+                   "nothing may consume a query root");
+        }
+        break;
+      case MvppNodeKind::kSelect:
+      case MvppNodeKind::kProject:
+      case MvppNodeKind::kAggregate:
+        expect(n, 1);
+        break;
+      case MvppNodeKind::kJoin:
+        expect(n, 2);
+        break;
+    }
+  }
+}
+
+void check_frequency_placement(const LintContext& ctx, RuleEmitter& out) {
+  const MvppGraph& g = *ctx.graph;
+  for (const MvppNode& n : g.nodes()) {
+    if (n.is_operation()) {
+      if (n.frequency != 0) {
+        out.emit(g, n.id,
+                 str_cat("operation node carries frequency ", n.frequency,
+                         "; only base leaves (fu) and query roots (fq) do"),
+                 "zero the frequency or move it to a leaf/root");
+      }
+    } else if (!(n.frequency >= 0) || !std::isfinite(n.frequency)) {
+      out.emit(g, n.id,
+               str_cat("frequency ", n.frequency, " is negative or non-finite"),
+               "fu/fq must be finite and non-negative");
+    }
+  }
+}
+
+void check_orphan_operations(const LintContext& ctx, RuleEmitter& out) {
+  const MvppGraph& g = *ctx.graph;
+  if (g.query_ids().empty()) return;  // partial graph under construction
+  const std::vector<char> live = reachable_from_queries(g);
+  for (const MvppNode& n : g.nodes()) {
+    if (n.is_operation() && !live[static_cast<std::size_t>(n.id)]) {
+      out.emit(g, n.id,
+               "operation node is unreachable from every query root "
+               "(dead weight in the MVPP)",
+               "drop the node or connect a query that uses it");
+    }
+  }
+}
+
+void check_unused_bases(const LintContext& ctx, RuleEmitter& out) {
+  const MvppGraph& g = *ctx.graph;
+  if (g.query_ids().empty()) return;
+  const std::vector<char> live = reachable_from_queries(g);
+  for (NodeId b : g.base_ids()) {
+    if (!live[static_cast<std::size_t>(b)]) {
+      out.emit(g, b, "base relation feeds no query",
+               "remove the relation from the MVPP or add its consumers");
+    }
+  }
+}
+
+void check_closure_sync(const LintContext& ctx, RuleEmitter& out) {
+  // Cached GraphClosures must agree with fresh DFS walks of the graph;
+  // disagreement means the cache predates a graph edit.
+  if (ctx.closures == nullptr) return;
+  const MvppGraph& g = *ctx.graph;
+  const GraphClosures& c = *ctx.closures;
+  if (c.size() != g.size()) {
+    out.emit_graph(str_cat("closures cover ", c.size(), " nodes but the graph has ",
+                           g.size()),
+                   "rebuild GraphClosures after modifying the graph");
+    return;
+  }
+  for (const MvppNode& n : g.nodes()) {
+    const std::set<NodeId> anc = g.ancestors(n.id);
+    const std::set<NodeId> desc = g.descendants(n.id);
+    const std::vector<NodeId> anc_fresh(anc.begin(), anc.end());
+    const std::vector<NodeId> desc_fresh(desc.begin(), desc.end());
+    if (c.ancestors(n.id).to_vector() != anc_fresh ||
+        c.descendants(n.id).to_vector() != desc_fresh) {
+      out.emit(g, n.id, "cached ancestor/descendant closure disagrees with a fresh DFS",
+               "rebuild GraphClosures after modifying the graph");
+      continue;
+    }
+    if (c.queries_using(n.id) != g.queries_using(n.id) ||
+        c.bases_under(n.id) != g.bases_under(n.id)) {
+      out.emit(g, n.id, "cached Ov/Iv lists disagree with a fresh DFS",
+               "rebuild GraphClosures after modifying the graph");
+    }
+  }
+}
+
+}  // namespace
+
+void register_structure_rules(LintRegistry& registry) {
+  registry.add({"structure/acyclic", LintPhase::kStructure, Severity::kError,
+                "arcs run from lower to higher node ids (DAG, topological ids)",
+                check_acyclic});
+  registry.add({"structure/arc-symmetry", LintPhase::kStructure, Severity::kError,
+                "children and parents lists are mirror images", check_arc_symmetry});
+  registry.add({"structure/signature-dedup", LintPhase::kStructure,
+                Severity::kError,
+                "no two nodes share a structural signature", check_signature_dedup});
+  registry.add({"structure/arity", LintPhase::kStructure, Severity::kError,
+                "node kinds have the right child/parent counts", check_arity});
+  registry.add({"structure/frequency-placement", LintPhase::kStructure,
+                Severity::kError,
+                "frequencies live only on base leaves and query roots, and are "
+                "finite and non-negative",
+                check_frequency_placement});
+  registry.add({"structure/orphan-op", LintPhase::kStructure, Severity::kWarn,
+                "every operation node serves at least one query",
+                check_orphan_operations});
+  registry.add({"structure/unused-base", LintPhase::kStructure, Severity::kWarn,
+                "every base relation feeds at least one query", check_unused_bases});
+  registry.add({"structure/closure-sync", LintPhase::kStructure, Severity::kError,
+                "cached GraphClosures agree with a fresh traversal",
+                check_closure_sync});
+}
+
+}  // namespace mvd

@@ -8,6 +8,7 @@
 #include "src/common/error.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/strings.hpp"
+#include "src/lint/lint.hpp"
 
 namespace mvd {
 
@@ -380,6 +381,12 @@ MvppBuildResult MvppBuilder::build(const std::vector<QuerySpec>& queries,
   }
 
   g.annotate(optimizer_->cost_model());
+  {
+    LintContext ctx;
+    ctx.graph = &g;
+    ctx.cost_model = &optimizer_->cost_model();
+    lint_stage_hook("build", ctx);
+  }
   return result;
 }
 

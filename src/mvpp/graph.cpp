@@ -7,6 +7,7 @@
 #include "src/common/error.hpp"
 #include "src/common/strings.hpp"
 #include "src/common/units.hpp"
+#include "src/lint/lint.hpp"
 
 namespace mvd {
 
@@ -329,38 +330,21 @@ void MvppGraph::annotate(const CostModel& cost_model) {
   }
   annotated_ = true;
   validate();
+  {
+    LintContext ctx;
+    ctx.graph = this;
+    ctx.cost_model = &cost_model;
+    lint_stage_hook("annotate", ctx);
+  }
 }
 
 void MvppGraph::validate() const {
-  for (const MvppNode& n : nodes_) {
-    for (NodeId c : n.children) {
-      // Insertion order is topological, so children precede parents —
-      // acyclicity follows.
-      MVD_ASSERT_MSG(c < n.id, "child " << c << " not before parent " << n.id);
-      const auto& ps = node(c).parents;
-      MVD_ASSERT(std::find(ps.begin(), ps.end(), n.id) != ps.end());
-    }
-    for (NodeId p : n.parents) {
-      const auto& cs = node(p).children;
-      MVD_ASSERT(std::find(cs.begin(), cs.end(), n.id) != cs.end());
-    }
-    switch (n.kind) {
-      case MvppNodeKind::kBase:
-        MVD_ASSERT(n.children.empty());
-        break;
-      case MvppNodeKind::kQuery:
-        MVD_ASSERT(n.parents.empty());
-        MVD_ASSERT(n.children.size() == 1);
-        break;
-      case MvppNodeKind::kSelect:
-      case MvppNodeKind::kProject:
-      case MvppNodeKind::kAggregate:
-        MVD_ASSERT(n.children.size() == 1);
-        break;
-      case MvppNodeKind::kJoin:
-        MVD_ASSERT(n.children.size() == 2);
-        break;
-    }
+  // The invariants live in the structure-phase mvlint rules (src/lint);
+  // this is the throwing wrapper internal callers rely on.
+  const LintReport report = lint_structure(*this);
+  if (report.has_errors()) {
+    throw AssertionError("MVPP structural invariants violated:\n" +
+                         report.filtered(Severity::kError).render_text());
   }
 }
 

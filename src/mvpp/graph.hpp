@@ -24,6 +24,7 @@
 
 #include "src/algebra/aggregate.hpp"
 #include "src/algebra/logical_plan.hpp"
+#include "src/common/assert.hpp"
 #include "src/cost/cost_model.hpp"
 
 namespace mvd {
@@ -133,8 +134,10 @@ class MvppGraph {
   void annotate(const CostModel& cost_model);
   bool annotated() const { return annotated_; }
 
-  /// Structural sanity: acyclic, consistent parent/child links, query
-  /// roots parentless, bases childless. Throws AssertionError on
+  /// Structural sanity: acyclic, consistent parent/child links, node
+  /// arities, signature dedup, frequency placement. Delegates to the
+  /// structure-phase mvlint rules (src/lint) so the invariants live in
+  /// exactly one place; throws AssertionError listing the diagnostics on
   /// violation (these are internal invariants).
   void validate() const;
 
@@ -145,6 +148,8 @@ class MvppGraph {
   std::string to_text() const;
 
  private:
+  friend class MvppGraphMutator;
+
   NodeId add_node(MvppNode node);
   NodeId dedup(const std::string& sig) const;  // -1 when new
 
@@ -152,6 +157,27 @@ class MvppGraph {
   std::map<std::string, NodeId> by_signature_;
   std::map<NodeId, Schema> base_schemas_;
   bool annotated_ = false;
+};
+
+/// Controlled mutable access to graph internals, bypassing the add_*
+/// invariant-preserving API. Used by the lint mutation self-tests to
+/// inject corruptions and by the serializer to overlay recorded
+/// annotations. Never part of normal design flows.
+class MvppGraphMutator {
+ public:
+  explicit MvppGraphMutator(MvppGraph& graph) : graph_(&graph) {}
+
+  MvppNode& node(NodeId id) {
+    MVD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < graph_->nodes_.size());
+    return graph_->nodes_[static_cast<std::size_t>(id)];
+  }
+
+  /// Force the annotated flag (field pokes keep it; overlays restore it
+  /// after loading).
+  void mark_annotated(bool value) { graph_->annotated_ = value; }
+
+ private:
+  MvppGraph* graph_;
 };
 
 }  // namespace mvd

@@ -12,6 +12,7 @@
 #include "src/common/parallel.hpp"
 #include "src/common/strings.hpp"
 #include "src/common/units.hpp"
+#include "src/lint/lint.hpp"
 #include "src/mvpp/fast_eval.hpp"
 
 namespace mvd {
@@ -116,6 +117,22 @@ std::unique_ptr<Prober> make_prober(const MvppEvaluator& eval,
   return std::make_unique<LegacyProber>(eval, std::move(start));
 }
 
+/// Every algorithm funnels its finished result through here, so the
+/// selection-stage lint hook sees each SelectionResult exactly once
+/// before it escapes the library.
+SelectionResult finish(const MvppEvaluator& eval, SelectionResult r,
+                       std::optional<double> budget_blocks = std::nullopt) {
+  if (lint_hook_level() != LintHookLevel::kOff) {
+    LintContext ctx;
+    ctx.graph = &eval.graph();
+    ctx.closures = &eval.closures();
+    ctx.evaluator = &eval;
+    ctx.selections.push_back({&r, budget_blocks});
+    lint_stage_hook("selection", ctx);
+  }
+  return r;
+}
+
 }  // namespace
 
 SelectionResult evaluate_strategy(const MvppEvaluator& eval, std::string name,
@@ -124,7 +141,7 @@ SelectionResult evaluate_strategy(const MvppEvaluator& eval, std::string name,
   r.algorithm = std::move(name);
   r.costs = eval.evaluate(m);
   r.materialized = std::move(m);
-  return r;
+  return finish(eval, std::move(r));
 }
 
 SelectionResult select_nothing(const MvppEvaluator& eval) {
@@ -271,7 +288,7 @@ SelectionResult yang_heuristic(const MvppEvaluator& eval, YangOptions options) {
 
   r.costs = eval.evaluate(m);
   r.materialized = std::move(m);
-  return r;
+  return finish(eval, std::move(r));
 }
 
 namespace {
@@ -372,7 +389,7 @@ SelectionResult exhaustive_optimal(const MvppEvaluator& eval,
   }
   r.costs = eval.evaluate(best_set);
   r.materialized = std::move(best_set);
-  return r;
+  return finish(eval, std::move(r));
 }
 
 namespace {
@@ -456,7 +473,7 @@ SelectionResult branch_and_bound_optimal(const MvppEvaluator& eval,
                             " search nodes of ",
                             (std::size_t{1} << (ctx.candidates.size() + 1)) - 1,
                             " possible"));
-  return r;
+  return finish(eval, std::move(r));
 }
 
 SelectionResult greedy_incremental(const MvppEvaluator& eval) {
@@ -486,7 +503,7 @@ SelectionResult greedy_incremental(const MvppEvaluator& eval) {
   MaterializedSet m = prober->snapshot();
   r.costs = eval.evaluate(m);
   r.materialized = std::move(m);
-  return r;
+  return finish(eval, std::move(r));
 }
 
 SelectionResult local_search(const MvppEvaluator& eval, MaterializedSet start,
@@ -548,7 +565,7 @@ SelectionResult local_search(const MvppEvaluator& eval, MaterializedSet start,
   MaterializedSet m = prober->snapshot();
   r.costs = eval.evaluate(m);
   r.materialized = std::move(m);
-  return r;
+  return finish(eval, std::move(r));
 }
 
 double total_view_blocks(const MvppGraph& graph, const MaterializedSet& m) {
@@ -596,7 +613,7 @@ SelectionResult budgeted_greedy(const MvppEvaluator& eval,
   MaterializedSet m = prober->snapshot();
   r.costs = eval.evaluate(m);
   r.materialized = std::move(m);
-  return r;
+  return finish(eval, std::move(r), budget_blocks);
 }
 
 SelectionResult budgeted_optimal(const MvppEvaluator& eval,
@@ -657,7 +674,7 @@ SelectionResult budgeted_optimal(const MvppEvaluator& eval,
   }
   r.costs = eval.evaluate(best_set);
   r.materialized = std::move(best_set);
-  return r;
+  return finish(eval, std::move(r), budget_blocks);
 }
 
 SelectionResult simulated_annealing(const MvppEvaluator& eval,
@@ -667,7 +684,7 @@ SelectionResult simulated_annealing(const MvppEvaluator& eval,
   const std::vector<NodeId> candidates = eval.graph().operation_ids();
   if (candidates.empty()) {
     r.costs = eval.evaluate({});
-    return r;
+    return finish(eval, std::move(r));
   }
 
   std::unique_ptr<Prober> prober =
@@ -695,7 +712,7 @@ SelectionResult simulated_annealing(const MvppEvaluator& eval,
   }
   r.costs = eval.evaluate(best);
   r.materialized = std::move(best);
-  return r;
+  return finish(eval, std::move(r));
 }
 
 }  // namespace mvd

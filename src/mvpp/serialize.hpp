@@ -1,18 +1,38 @@
 // Machine-readable serialization of MVPPs and design decisions — stable
 // JSON meant for dashboards, diffing design runs, and driving external
-// tooling (e.g. feeding the DOT/JSON into a UI).
+// tooling (e.g. feeding the DOT/JSON into a UI), plus the inverse
+// loader so saved graphs can be re-linted and re-evaluated offline.
 #pragma once
 
+#include "src/catalog/catalog.hpp"
 #include "src/common/json.hpp"
 #include "src/mvpp/evaluation.hpp"
 #include "src/mvpp/selection.hpp"
 
 namespace mvd {
 
+/// Render an expression as parseable SQL: dates as DATE 'YYYY-MM-DD',
+/// strings single-quoted with '' escaping, <> for inequality,
+/// parenthesized AND/OR/NOT. parse_predicate(expr_to_sql(e)) rebuilds a
+/// structurally equal expression.
+std::string expr_to_sql(const ExprPtr& expr);
+
 /// The full graph: one entry per node with kind, name, payload (predicate
 /// / columns / aggregates / relation), children, frequencies and the
-/// annotation results (rows, blocks, op_cost, full_cost).
+/// annotation results (rows, blocks, op_cost, full_cost). Predicates are
+/// emitted both display-form ("predicate") and re-parseable
+/// ("predicate_sql"); aggregates also get structured "aggregate_specs".
 Json to_json(const MvppGraph& graph);
+
+/// Rebuild an MVPP from to_json() output. Base schemas come from
+/// `catalog`; node ids must replay identically (they do for any graph
+/// to_json produced). When the document was annotated: re-annotates via
+/// `cost_model` when given, otherwise overlays the recorded
+/// rows/blocks/costs (leaving plan exprs unset — numeric lint rules and
+/// cost evaluation still work; schema rules skip). Throws ParseError on
+/// malformed documents and CatalogError on unknown relations.
+MvppGraph mvpp_from_json(const Json& doc, const Catalog& catalog,
+                         const CostModel* cost_model = nullptr);
 
 /// A selection outcome: algorithm, chosen view names, cost breakdown,
 /// decision trace.

@@ -1,0 +1,189 @@
+// mvlint on healthy inputs: the paper's Figure 3 MVPP, the Figure 5/7
+// pushdown-variant rotations, and every selection algorithm's output
+// must produce zero diagnostics; the report/severity plumbing and the
+// stage hooks behave as documented.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/error.hpp"
+#include "src/lint/lint.hpp"
+#include "src/lint/mutate.hpp"
+#include "src/mvpp/builder.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace mvd {
+namespace {
+
+class LintCleanTest : public ::testing::Test {
+ protected:
+  LintCleanTest()
+      : catalog_(make_paper_catalog()),
+        cost_model_(catalog_, paper_cost_config()),
+        graph_(build_figure3_mvpp(cost_model_)),
+        eval_(graph_) {}
+
+  Catalog catalog_;
+  CostModel cost_model_;
+  MvppGraph graph_;
+  MvppEvaluator eval_;
+};
+
+TEST_F(LintCleanTest, Figure3StructureIsClean) {
+  const LintReport report = lint_structure(graph_);
+  EXPECT_TRUE(report.clean()) << report.render_text();
+}
+
+TEST_F(LintCleanTest, Figure3FullGraphPassIsClean) {
+  const GraphClosures closures(graph_);
+  const LintReport report = lint_graph(graph_, &closures, &cost_model_);
+  EXPECT_TRUE(report.clean()) << report.render_text();
+}
+
+TEST_F(LintCleanTest, EverySelectionAlgorithmProducesLintCleanResults) {
+  const std::vector<SelectionResult> results = {
+      select_nothing(eval_),
+      select_all_query_results(eval_),
+      select_all_operations(eval_),
+      yang_heuristic(eval_),
+      greedy_incremental(eval_),
+      exhaustive_optimal(eval_),
+      branch_and_bound_optimal(eval_),
+      local_search(eval_, {}),
+      simulated_annealing(eval_, {}),
+  };
+  for (const SelectionResult& r : results) {
+    const LintReport report =
+        lint_selection(eval_, r, std::nullopt, &cost_model_);
+    EXPECT_TRUE(report.clean()) << r.algorithm << ":\n" << report.render_text();
+  }
+}
+
+TEST_F(LintCleanTest, BudgetedAlgorithmsStayWithinBudgetAndClean) {
+  const double budget =
+      total_view_blocks(graph_, select_all_operations(eval_).materialized) / 2;
+  for (const SelectionResult& r :
+       {budgeted_greedy(eval_, budget), budgeted_optimal(eval_, budget)}) {
+    const LintReport report = lint_selection(eval_, r, budget, &cost_model_);
+    EXPECT_TRUE(report.clean()) << r.algorithm << ":\n" << report.render_text();
+  }
+}
+
+TEST(LintRotationsTest, AllRotationMvppsAreClean) {
+  const PaperExample example = make_paper_example();
+  const CostModel cost_model(example.catalog, paper_cost_config());
+  const Optimizer optimizer(cost_model);
+  const MvppBuilder builder(optimizer);
+  const std::vector<MvppBuildResult> candidates =
+      builder.build_all_rotations(example.queries);
+  ASSERT_EQ(candidates.size(), example.queries.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const MvppEvaluator eval(candidates[i].graph);
+    const SelectionResult selection = yang_heuristic(eval);
+    const LintReport report =
+        lint_selection(eval, selection, std::nullopt, &cost_model);
+    EXPECT_TRUE(report.clean())
+        << "rotation " << i << ":\n" << report.render_text();
+  }
+}
+
+TEST(LintRotationsTest, PushdownVariantRotationsAreClean) {
+  const Catalog catalog = make_paper_catalog();
+  const CostModel cost_model(catalog, paper_cost_config());
+  const Optimizer optimizer(cost_model);
+  const MvppBuilder builder(optimizer);
+  for (const MvppBuildResult& candidate :
+       builder.build_all_rotations(make_pushdown_variant_queries(catalog))) {
+    const MvppEvaluator eval(candidate.graph);
+    const LintReport report = lint_selection(eval, yang_heuristic(eval),
+                                             std::nullopt, &cost_model);
+    EXPECT_TRUE(report.clean()) << report.render_text();
+  }
+}
+
+// ---- Report plumbing -------------------------------------------------
+
+TEST(LintReportTest, SeverityParsingAndRendering) {
+  EXPECT_EQ(severity_from_string("error"), Severity::kError);
+  EXPECT_EQ(severity_from_string("WARN"), Severity::kWarn);
+  EXPECT_EQ(severity_from_string("Info"), Severity::kInfo);
+  EXPECT_THROW(severity_from_string("fatal"), PlanError);
+  EXPECT_EQ(to_string(Severity::kWarn), "warn");
+}
+
+TEST(LintReportTest, FilterCountAndJson) {
+  LintReport report;
+  report.add({"structure/arity", Severity::kError, 3, "tmp3", "bad", "fix"});
+  report.add({"structure/orphan-op", Severity::kWarn, 5, "tmp5", "meh", ""});
+  EXPECT_EQ(report.count(Severity::kError), 1u);
+  EXPECT_EQ(report.count(Severity::kWarn), 1u);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_EQ(report.filtered(Severity::kError).diagnostics().size(), 1u);
+  EXPECT_EQ(report.fired_rules(),
+            (std::set<std::string>{"structure/arity", "structure/orphan-op"}));
+
+  const Json j = report.to_json();
+  EXPECT_EQ(j.at("errors").as_number(), 1);
+  EXPECT_EQ(j.at("warnings").as_number(), 1);
+  EXPECT_EQ(j.at("diagnostics").size(), 2u);
+  EXPECT_EQ(j.at("diagnostics").at(0).at("rule").as_string(),
+            "structure/arity");
+}
+
+TEST(LintRegistryTest, DuplicateRuleIdsAreRejected) {
+  LintRegistry registry;
+  registry.add({"x/dup", LintPhase::kStructure, Severity::kError, "one",
+                [](const LintContext&, RuleEmitter&) {}});
+  EXPECT_THROW(registry.add({"x/dup", LintPhase::kStructure, Severity::kError,
+                             "two", [](const LintContext&, RuleEmitter&) {}}),
+               PlanError);
+}
+
+// ---- Stage hooks -----------------------------------------------------
+
+struct HookLevelGuard {
+  explicit HookLevelGuard(LintHookLevel level) { set_lint_hook_level(level); }
+  ~HookLevelGuard() { set_lint_hook_level(std::nullopt); }
+};
+
+TEST_F(LintCleanTest, HooksPassSilentlyOnCleanPipelines) {
+  HookLevelGuard guard(LintHookLevel::kError);
+  // build + annotate hooks fire inside, selection hook on every finish.
+  EXPECT_NO_THROW({
+    const MvppGraph g = build_figure3_mvpp(cost_model_);
+    const MvppEvaluator eval(g);
+    yang_heuristic(eval);
+    greedy_incremental(eval);
+  });
+}
+
+TEST_F(LintCleanTest, SelectionHookThrowsOnCorruptedAnnotation) {
+  HookLevelGuard guard(LintHookLevel::kError);
+  MvppGraph corrupted = graph_;
+  MvppGraphMutator(corrupted).node(corrupted.operation_ids().front()).rows =
+      -1;
+  const MvppEvaluator eval(corrupted);
+  try {
+    yang_heuristic(eval);
+    FAIL() << "expected the selection-stage hook to throw";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("mvlint[selection]"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("annotation/non-negative"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(LintCleanTest, HooksAreOffByDefaultOverride) {
+  HookLevelGuard guard(LintHookLevel::kOff);
+  MvppGraph corrupted = graph_;
+  MvppGraphMutator(corrupted).node(corrupted.operation_ids().front()).rows =
+      -1;
+  const MvppEvaluator eval(corrupted);
+  EXPECT_NO_THROW(greedy_incremental(eval));
+}
+
+}  // namespace
+}  // namespace mvd

@@ -1,0 +1,69 @@
+// Determinism of the multi-threaded drivers at a fixed thread count —
+// the targets the ThreadSanitizer CI job runs: parallel exhaustive /
+// budgeted subset enumeration and parallel rotation building must be
+// bit-identical to their serial counterparts.
+#include <gtest/gtest.h>
+
+#include "src/mvpp/builder.hpp"
+#include "src/mvpp/selection.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace mvd {
+namespace {
+
+class ParallelPathsTest : public ::testing::Test {
+ protected:
+  ParallelPathsTest()
+      : catalog_(make_paper_catalog()),
+        cost_model_(catalog_, paper_cost_config()),
+        graph_(build_figure3_mvpp(cost_model_)),
+        eval_(graph_) {}
+
+  Catalog catalog_;
+  CostModel cost_model_;
+  MvppGraph graph_;
+  MvppEvaluator eval_;
+};
+
+TEST_F(ParallelPathsTest, ExhaustiveWithFourThreadsMatchesSerial) {
+  const SelectionResult serial = exhaustive_optimal(eval_, 24, 1);
+  const SelectionResult parallel = exhaustive_optimal(eval_, 24, 4);
+  EXPECT_EQ(parallel.materialized, serial.materialized);
+  EXPECT_EQ(parallel.costs.total(), serial.costs.total());
+}
+
+TEST_F(ParallelPathsTest, BudgetedWithFourThreadsMatchesSerial) {
+  const double budget =
+      total_view_blocks(graph_, select_all_operations(eval_).materialized) / 3;
+  const SelectionResult serial = budgeted_optimal(eval_, budget, 22, 1);
+  const SelectionResult parallel = budgeted_optimal(eval_, budget, 22, 4);
+  EXPECT_EQ(parallel.materialized, serial.materialized);
+  EXPECT_EQ(parallel.costs.total(), serial.costs.total());
+  EXPECT_LE(total_view_blocks(graph_, parallel.materialized), budget);
+}
+
+TEST(ParallelRotationsTest, FourThreadBuildMatchesSerial) {
+  const PaperExample example = make_paper_example();
+  const CostModel cost_model(example.catalog, paper_cost_config());
+  const Optimizer optimizer(cost_model);
+  const MvppBuilder builder(optimizer);
+
+  const std::vector<MvppBuildResult> serial =
+      builder.build_all_rotations(example.queries, 1);
+  const std::vector<MvppBuildResult> parallel =
+      builder.build_all_rotations(example.queries, 4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].merge_order, serial[i].merge_order);
+    ASSERT_EQ(parallel[i].graph.size(), serial[i].graph.size());
+    for (NodeId v = 0; v < static_cast<NodeId>(serial[i].graph.size()); ++v) {
+      const MvppNode& a = serial[i].graph.node(v);
+      const MvppNode& b = parallel[i].graph.node(v);
+      EXPECT_EQ(a.sig, b.sig);
+      EXPECT_EQ(a.full_cost, b.full_cost);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mvd

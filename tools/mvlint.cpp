@@ -1,0 +1,196 @@
+// mvlint — static analysis for MVPPs, plans and selection results.
+//
+//   mvlint                      lint the paper's Figure 3 example
+//   mvlint --rotations          lint all k rotation MVPPs of the paper
+//                               workload (each with a heuristic selection)
+//   mvlint --input FILE         lint a serialized MVPP (to_json output;
+//                               relations resolved via the paper catalog)
+//   mvlint --json               emit the report as JSON
+//   mvlint --level LVL          only report findings at LVL or above
+//                               (error|warn|info; default info)
+//   mvlint --list-rules         print the registered rules and exit
+//   mvlint --selftest           run the mutation self-test and exit
+//
+// Exit status: 0 clean (no error-severity findings), 1 when errors (or a
+// self-test failure) are found, 2 on usage or load problems.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/text_table.hpp"
+#include "src/lint/lint.hpp"
+#include "src/lint/mutate.hpp"
+#include "src/mvpp/builder.hpp"
+#include "src/mvpp/serialize.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace {
+
+using namespace mvd;
+
+int usage(const std::string& problem) {
+  std::cerr << "mvlint: " << problem << "\n"
+            << "usage: mvlint [--paper | --rotations | --input FILE]\n"
+            << "              [--json] [--level error|warn|info]\n"
+            << "              [--list-rules] [--selftest]\n";
+  return 2;
+}
+
+void list_rules() {
+  TextTable table({"rule", "phase", "severity", "summary"});
+  const char* phase_names[] = {"structure", "annotation", "schema",
+                               "selection"};
+  for (const LintRule& rule : LintRegistry::builtin().rules()) {
+    table.add_row({rule.id, phase_names[static_cast<int>(rule.phase)],
+                   to_string(rule.severity), rule.summary});
+  }
+  std::cout << table.render();
+}
+
+/// Run every catalog mutation against the clean Figure 3 MVPP and demand
+/// that exactly the expected rule fires. Returns the number of failures.
+int selftest() {
+  const Catalog catalog = make_paper_catalog();
+  const CostModel cost_model(catalog, paper_cost_config());
+  const MvppGraph clean = build_figure3_mvpp(cost_model);
+
+  std::set<std::string> covered;
+  int failures = 0;
+  for (const GraphMutation& mutation : builtin_mutations()) {
+    covered.insert(mutation.expected_rule);
+    std::string verdict;
+    try {
+      const MutationOutcome outcome = mutation.apply(clean, cost_model);
+      const LintReport report =
+          LintRegistry::builtin().run(outcome.context());
+      const std::set<std::string> fired = report.fired_rules();
+      if (fired == std::set<std::string>{mutation.expected_rule}) {
+        verdict = "ok";
+      } else {
+        verdict = "FAIL: fired {";
+        for (const std::string& rule : fired) verdict += " " + rule;
+        verdict += " }, expected { " + mutation.expected_rule + " }";
+      }
+    } catch (const Error& e) {
+      verdict = std::string("FAIL: ") + e.what();
+    }
+    if (verdict != "ok") ++failures;
+    std::cout << mutation.name << " -> " << mutation.expected_rule << ": "
+              << verdict << "\n";
+  }
+  for (const LintRule& rule : LintRegistry::builtin().rules()) {
+    if (!covered.count(rule.id)) {
+      ++failures;
+      std::cout << "NO MUTATION covers rule " << rule.id << "\n";
+    }
+  }
+  std::cout << (failures == 0 ? "self-test passed"
+                              : "self-test FAILED (" +
+                                    std::to_string(failures) + " problems)")
+            << "\n";
+  return failures;
+}
+
+LintReport lint_paper_example() {
+  const Catalog catalog = make_paper_catalog();
+  const CostModel cost_model(catalog, paper_cost_config());
+  const MvppGraph graph = build_figure3_mvpp(cost_model);
+  const MvppEvaluator eval(graph);
+  const SelectionResult selection = yang_heuristic(eval);
+  return lint_selection(eval, selection, std::nullopt, &cost_model);
+}
+
+LintReport lint_rotations() {
+  const PaperExample example = make_paper_example();
+  const CostModel cost_model(example.catalog, paper_cost_config());
+  const Optimizer optimizer(cost_model);
+  const MvppBuilder builder(optimizer);
+  LintReport merged;
+  for (const MvppBuildResult& candidate :
+       builder.build_all_rotations(example.queries)) {
+    const MvppEvaluator eval(candidate.graph);
+    const SelectionResult selection = yang_heuristic(eval);
+    merged.merge(lint_selection(eval, selection, std::nullopt, &cost_model));
+  }
+  return merged;
+}
+
+LintReport lint_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+  // Accept both a bare to_json(graph) document and a full design report
+  // (which nests the graph under "graph").
+  const Json& graph_doc =
+      doc.kind() == Json::Kind::kObject && !doc.contains("nodes") &&
+              doc.contains("graph")
+          ? doc.at("graph")
+          : doc;
+  const Catalog catalog = make_paper_catalog();
+  const MvppGraph graph = mvpp_from_json(graph_doc, catalog);
+  return lint_graph(graph);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kPaper, kRotations, kInput };
+  Mode mode = Mode::kPaper;
+  std::string input_path;
+  bool as_json = false;
+  Severity level = Severity::kInfo;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--paper") {
+      mode = Mode::kPaper;
+    } else if (arg == "--rotations") {
+      mode = Mode::kRotations;
+    } else if (arg == "--input") {
+      if (i + 1 >= args.size()) return usage("--input needs a file path");
+      mode = Mode::kInput;
+      input_path = args[++i];
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--level") {
+      if (i + 1 >= args.size()) return usage("--level needs a severity");
+      try {
+        level = severity_from_string(args[++i]);
+      } catch (const Error& e) {
+        return usage(e.what());
+      }
+    } else if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    } else if (arg == "--selftest") {
+      return selftest() == 0 ? 0 : 1;
+    } else {
+      return usage("unknown argument '" + arg + "'");
+    }
+  }
+
+  try {
+    LintReport report;
+    switch (mode) {
+      case Mode::kPaper: report = lint_paper_example(); break;
+      case Mode::kRotations: report = lint_rotations(); break;
+      case Mode::kInput: report = lint_file(input_path); break;
+    }
+    const LintReport visible = report.filtered(level);
+    if (as_json) {
+      std::cout << visible.to_json().dump(2) << "\n";
+    } else {
+      std::cout << visible.render_text();
+    }
+    return report.has_errors() ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "mvlint: " << e.what() << "\n";
+    return 2;
+  }
+}
