@@ -1,0 +1,171 @@
+// Ext-E: row vs vectorized execution engine.
+//
+// Runs each operator (scan, select, project, hash join, aggregate) and an
+// end-to-end star join + aggregate workload under both engines, reporting
+// rows/sec per operator and the end-to-end speedup at one and four
+// threads. Everything is written to BENCH_exec.json.
+//
+// `--smoke` shrinks the dataset and repetitions for CI.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "src/common/text_table.hpp"
+#include "src/common/json.hpp"
+#include "src/common/strings.hpp"
+#include "src/exec/executor.hpp"
+#include "src/workload/generator.hpp"
+
+using namespace mvd;
+
+namespace {
+
+double best_run_secs(const Executor& exec, const PlanPtr& plan, int reps,
+                     std::size_t* rows_out = nullptr) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Table out = exec.run(plan);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    if (rows_out != nullptr) *rows_out = out.row_count();
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const int reps = smoke ? 2 : 5;
+
+  StarSchemaOptions schema;
+  schema.dimensions = 4;
+  schema.fact_rows = smoke ? 20'000 : 400'000;
+  schema.dimension_rows = smoke ? 1'000 : 5'000;
+  const Database db = populate_star_database(schema, 2026);
+  const Catalog catalog = catalog_from_database(db, 10.0);
+
+  const Executor row(db, ExecMode::kRow);
+  const Executor vec1(db, ExecMode::kVectorized, 1);
+  const Executor vec4(db, ExecMode::kVectorized, 4);
+
+  Json report = Json::object();
+  report.set("bench", Json::string("exec_engine"));
+  report.set("smoke", Json::boolean(smoke));
+  // Thread scaling is only meaningful with >= 4 cores; on smaller
+  // machines the 4-thread numbers measure pure overhead.
+  report.set("hardware_threads",
+             Json::number(static_cast<std::size_t>(
+                 std::thread::hardware_concurrency())));
+  Json workload = Json::object();
+  workload.set("fact_rows", Json::number(schema.fact_rows));
+  workload.set("dimension_rows", Json::number(schema.dimension_rows));
+  workload.set("dimensions", Json::number(schema.dimensions));
+  report.set("workload", workload);
+
+  std::cout << "Ext-E — row vs vectorized engine ("
+            << schema.fact_rows << " fact rows" << (smoke ? ", smoke" : "")
+            << ")\n\n";
+
+  // ---- Per-operator throughput ---------------------------------------
+  struct OpCase {
+    const char* name;
+    PlanPtr plan;
+    std::size_t input_rows;
+  };
+  const PlanPtr fact = make_scan(catalog, "Fact");
+  const std::vector<OpCase> cases = {
+      {"scan", fact, schema.fact_rows},
+      {"select", make_select(fact, gt(col("Fact.measure"), lit_i64(500))),
+       schema.fact_rows},
+      {"project", make_project(fact, {"Fact.d0", "Fact.measure"}),
+       schema.fact_rows},
+      {"hash_join",
+       make_join(fact, make_scan(catalog, "Dim0"),
+                 eq(col("Fact.d0"), col("Dim0.id"))),
+       schema.fact_rows + schema.dimension_rows},
+      {"aggregate",
+       make_aggregate(fact, {"Fact.d0"},
+                      {AggSpec{AggFn::kSum, "Fact.measure", ""},
+                       AggSpec{AggFn::kCount, "", ""}}),
+       schema.fact_rows},
+  };
+
+  TextTable ops_table({"operator", "row rows/s", "vec rows/s", "speedup"},
+                      {Align::kLeft, Align::kRight, Align::kRight,
+                       Align::kRight});
+  Json operators = Json::array();
+  for (const OpCase& c : cases) {
+    const double row_secs = best_run_secs(row, c.plan, reps);
+    const double vec_secs = best_run_secs(vec1, c.plan, reps);
+    const double rows = static_cast<double>(c.input_rows);
+    Json j = Json::object();
+    j.set("operator", Json::string(c.name));
+    j.set("input_rows", Json::number(rows));
+    j.set("row_secs", Json::number(row_secs));
+    j.set("vectorized_secs", Json::number(vec_secs));
+    j.set("row_rows_per_sec", Json::number(rows / row_secs));
+    j.set("vectorized_rows_per_sec", Json::number(rows / vec_secs));
+    j.set("speedup", Json::number(row_secs / vec_secs));
+    operators.push_back(std::move(j));
+    ops_table.add_row({c.name, format_fixed(rows / row_secs, 0),
+                       format_fixed(rows / vec_secs, 0),
+                       format_fixed(row_secs / vec_secs, 2) + "x"});
+  }
+  report.set("operators", std::move(operators));
+  std::cout << ops_table.render() << '\n';
+
+  // ---- End-to-end join + aggregate workload --------------------------
+  // The generator's large rollup shape: fact joined through two
+  // dimensions with a category selection, grouped on a dimension
+  // category with SUM + COUNT.
+  const PlanPtr e2e = make_aggregate(
+      make_select(
+          make_join(make_join(fact, make_scan(catalog, "Dim0"),
+                              eq(col("Fact.d0"), col("Dim0.id"))),
+                    make_scan(catalog, "Dim1"),
+                    eq(col("Fact.d1"), col("Dim1.id"))),
+          gt(col("Fact.measure"), lit_i64(200))),
+      {"Dim0.category"},
+      {AggSpec{AggFn::kSum, "Fact.measure", ""},
+       AggSpec{AggFn::kCount, "", ""}});
+
+  std::size_t rows_row = 0, rows_v1 = 0, rows_v4 = 0;
+  const double row_secs = best_run_secs(row, e2e, reps, &rows_row);
+  const double vec1_secs = best_run_secs(vec1, e2e, reps, &rows_v1);
+  const double vec4_secs = best_run_secs(vec4, e2e, reps, &rows_v4);
+  const bool agree = same_bag(row.run(e2e), vec1.run(e2e)) &&
+                     same_bag(vec1.run(e2e), vec4.run(e2e));
+
+  Json e2e_json = Json::object();
+  e2e_json.set("description",
+               Json::string("Fact |x| Dim0 |x| Dim1, measure filter, "
+                            "GROUP BY Dim0.category, SUM + COUNT"));
+  e2e_json.set("row_secs", Json::number(row_secs));
+  e2e_json.set("vectorized_1t_secs", Json::number(vec1_secs));
+  e2e_json.set("vectorized_4t_secs", Json::number(vec4_secs));
+  e2e_json.set("speedup_1t", Json::number(row_secs / vec1_secs));
+  e2e_json.set("speedup_4t", Json::number(row_secs / vec4_secs));
+  e2e_json.set("thread_scaling_4t", Json::number(vec1_secs / vec4_secs));
+  e2e_json.set("same_bag", Json::boolean(agree));
+  e2e_json.set("output_rows", Json::number(rows_row));
+  report.set("end_to_end", std::move(e2e_json));
+
+  std::cout << "end-to-end join+aggregate:\n"
+            << "  row engine:        " << format_fixed(row_secs * 1e3, 1)
+            << " ms\n"
+            << "  vectorized (1t):   " << format_fixed(vec1_secs * 1e3, 1)
+            << " ms  (" << format_fixed(row_secs / vec1_secs, 2) << "x)\n"
+            << "  vectorized (4t):   " << format_fixed(vec4_secs * 1e3, 1)
+            << " ms  (" << format_fixed(row_secs / vec4_secs, 2) << "x, "
+            << format_fixed(vec1_secs / vec4_secs, 2) << "x over 1t)\n"
+            << "  results agree:     " << (agree ? "yes" : "NO") << "\n\n";
+
+  std::ofstream out("BENCH_exec.json");
+  out << report.dump(2) << '\n';
+  std::cout << "wrote BENCH_exec.json\n";
+  return agree ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/error.hpp"
+#include "src/storage/column_table.hpp"
 
 namespace mvd {
 
@@ -100,6 +101,194 @@ Value CompiledExpr::eval_node(const Node& node, const Tuple& tuple) {
 
 Value CompiledExpr::evaluate(const Tuple& tuple) const {
   return eval_node(*root_, tuple);
+}
+
+Value CompiledExpr::eval_node_at(const Node& node, const ColumnTable& data,
+                                 const std::vector<std::size_t>& col_map,
+                                 std::size_t row) {
+  switch (node.kind) {
+    case ExprKind::kColumn:
+      MVD_ASSERT(node.column_index < col_map.size());
+      return data.value_at(row, col_map[node.column_index]);
+    case ExprKind::kLiteral:
+      return node.literal;
+    case ExprKind::kComparison: {
+      const Value l = eval_node_at(*node.children[0], data, col_map, row);
+      const Value r = eval_node_at(*node.children[1], data, col_map, row);
+      const std::strong_ordering ord = l.compare(r);
+      switch (node.op) {
+        case CompareOp::kEq: return Value::boolean(ord == 0);
+        case CompareOp::kNe: return Value::boolean(ord != 0);
+        case CompareOp::kLt: return Value::boolean(ord < 0);
+        case CompareOp::kLe: return Value::boolean(ord <= 0);
+        case CompareOp::kGt: return Value::boolean(ord > 0);
+        case CompareOp::kGe: return Value::boolean(ord >= 0);
+      }
+      MVD_ASSERT(false);
+      return Value::boolean(false);
+    }
+    case ExprKind::kAnd: {
+      for (const auto& c : node.children) {
+        if (!eval_node_at(*c, data, col_map, row).as_bool()) {
+          return Value::boolean(false);
+        }
+      }
+      return Value::boolean(true);
+    }
+    case ExprKind::kOr: {
+      for (const auto& c : node.children) {
+        if (eval_node_at(*c, data, col_map, row).as_bool()) {
+          return Value::boolean(true);
+        }
+      }
+      return Value::boolean(false);
+    }
+    case ExprKind::kNot:
+      return Value::boolean(
+          !eval_node_at(*node.children[0], data, col_map, row).as_bool());
+  }
+  MVD_ASSERT(false);
+  return Value::boolean(false);
+}
+
+Value CompiledExpr::evaluate_at(const ColumnTable& data,
+                                const std::vector<std::size_t>& col_map,
+                                std::size_t row) const {
+  return eval_node_at(*root_, data, col_map, row);
+}
+
+namespace {
+
+/// Run the comparison loop with both sides inlined; the selection shrinks
+/// in place, order preserved.
+template <typename GetL, typename GetR>
+void filter_compare(CompareOp op, const GetL& lhs, const GetR& rhs,
+                    std::vector<std::uint32_t>& sel) {
+  auto keep = [&](auto pred) {
+    std::size_t out = 0;
+    for (const std::uint32_t r : sel) {
+      if (pred(lhs(r), rhs(r))) sel[out++] = r;
+    }
+    sel.resize(out);
+  };
+  switch (op) {
+    case CompareOp::kEq:
+      keep([](const auto& a, const auto& b) { return a == b; });
+      return;
+    case CompareOp::kNe:
+      keep([](const auto& a, const auto& b) { return a != b; });
+      return;
+    case CompareOp::kLt:
+      keep([](const auto& a, const auto& b) { return a < b; });
+      return;
+    case CompareOp::kLe:
+      keep([](const auto& a, const auto& b) { return a <= b; });
+      return;
+    case CompareOp::kGt:
+      keep([](const auto& a, const auto& b) { return a > b; });
+      return;
+    case CompareOp::kGe:
+      keep([](const auto& a, const auto& b) { return a >= b; });
+      return;
+  }
+  MVD_ASSERT(false);
+}
+
+}  // namespace
+
+void CompiledExpr::filter_node(const Node& node, const ColumnTable& data,
+                               const std::vector<std::size_t>& col_map,
+                               std::vector<std::uint32_t>& sel) {
+  // Hand `fn` a row -> double accessor when `side` is a numeric column or
+  // literal. Numerics evaluate through double, matching Value::compare.
+  auto with_numeric = [&](const Node& side, auto&& fn) -> bool {
+    if (side.kind == ExprKind::kLiteral) {
+      if (!is_numeric(side.literal.type())) return false;
+      const double v = side.literal.as_double();
+      fn([v](std::uint32_t) { return v; });
+      return true;
+    }
+    if (side.kind == ExprKind::kColumn) {
+      const std::size_t c = col_map[side.column_index];
+      switch (data.kind(c)) {
+        case ColumnKind::kInt64Col: {
+          const std::int64_t* p = data.i64(c).data();
+          fn([p](std::uint32_t r) { return static_cast<double>(p[r]); });
+          return true;
+        }
+        case ColumnKind::kDoubleCol: {
+          const double* p = data.f64(c).data();
+          fn([p](std::uint32_t r) { return p[r]; });
+          return true;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  };
+  // Same, for string columns/literals (accessor returns const string&).
+  auto with_string = [&](const Node& side, auto&& fn) -> bool {
+    if (side.kind == ExprKind::kLiteral) {
+      if (side.literal.type() != ValueType::kString) return false;
+      const std::string* v = &side.literal.as_string();
+      fn([v](std::uint32_t) -> const std::string& { return *v; });
+      return true;
+    }
+    if (side.kind == ExprKind::kColumn) {
+      const std::size_t c = col_map[side.column_index];
+      if (data.kind(c) != ColumnKind::kStringCol) return false;
+      const std::string* p = data.str(c).data();
+      fn([p](std::uint32_t r) -> const std::string& { return p[r]; });
+      return true;
+    }
+    return false;
+  };
+
+  switch (node.kind) {
+    case ExprKind::kAnd:
+      // Conjunct by conjunct over the shrinking selection — the batch
+      // analogue of the row engine's short-circuit evaluation.
+      for (const auto& c : node.children) {
+        if (sel.empty()) return;
+        filter_node(*c, data, col_map, sel);
+      }
+      return;
+    case ExprKind::kComparison: {
+      const Node& l = *node.children[0];
+      const Node& r = *node.children[1];
+      bool handled = false;
+      with_numeric(l, [&](auto la) {
+        with_numeric(r, [&](auto ra) {
+          filter_compare(node.op, la, ra, sel);
+          handled = true;
+        });
+      });
+      if (handled) return;
+      with_string(l, [&](auto la) {
+        with_string(r, [&](auto ra) {
+          filter_compare(node.op, la, ra, sel);
+          handled = true;
+        });
+      });
+      if (handled) return;
+      break;  // mixed/bool comparison: generic fallback below
+    }
+    default:
+      break;
+  }
+  // Generic fallback: per-row evaluation of the whole node.
+  std::size_t out = 0;
+  for (const std::uint32_t r : sel) {
+    if (eval_node_at(node, data, col_map, r).as_bool()) sel[out++] = r;
+  }
+  sel.resize(out);
+}
+
+void CompiledExpr::filter_batch(const ColumnTable& data,
+                                const std::vector<std::size_t>& col_map,
+                                std::vector<std::uint32_t>& sel) const {
+  filter_node(*root_, data, col_map, sel);
 }
 
 }  // namespace mvd

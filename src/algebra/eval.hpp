@@ -5,13 +5,17 @@
 // that per-tuple evaluation does no string lookups.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/algebra/expr.hpp"
 #include "src/catalog/schema.hpp"
 #include "src/storage/table.hpp"
 
 namespace mvd {
+
+class ColumnTable;
 
 class CompiledExpr {
  public:
@@ -25,6 +29,23 @@ class CompiledExpr {
   /// expression does not produce a bool.
   bool matches(const Tuple& tuple) const { return evaluate(tuple).as_bool(); }
 
+  /// Column-batch entry point: filter `sel` (physical row ids into `data`)
+  /// in place, keeping the rows that satisfy the predicate and preserving
+  /// their order. `col_map` translates bound-schema column indices to
+  /// physical columns of `data`. Top-level conjunctions run conjunct by
+  /// conjunct over the shrinking selection; column-vs-literal and
+  /// column-vs-column comparisons run as typed loops, everything else
+  /// falls back to per-row evaluation.
+  void filter_batch(const ColumnTable& data,
+                    const std::vector<std::size_t>& col_map,
+                    std::vector<std::uint32_t>& sel) const;
+
+  /// Evaluate over one physical row of a ColumnTable (the generic
+  /// fallback used by batch operators without a typed kernel).
+  Value evaluate_at(const ColumnTable& data,
+                    const std::vector<std::size_t>& col_map,
+                    std::size_t row) const;
+
  private:
   struct Node;
   std::shared_ptr<const Node> root_;
@@ -32,6 +53,12 @@ class CompiledExpr {
   static std::shared_ptr<const Node> compile(const ExprPtr& expr,
                                              const Schema& schema);
   static Value eval_node(const Node& node, const Tuple& tuple);
+  static Value eval_node_at(const Node& node, const ColumnTable& data,
+                            const std::vector<std::size_t>& col_map,
+                            std::size_t row);
+  static void filter_node(const Node& node, const ColumnTable& data,
+                          const std::vector<std::size_t>& col_map,
+                          std::vector<std::uint32_t>& sel);
 };
 
 }  // namespace mvd

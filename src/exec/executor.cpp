@@ -1,16 +1,47 @@
 #include "src/exec/executor.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <unordered_map>
 
 #include "src/algebra/eval.hpp"
 #include "src/common/assert.hpp"
 #include "src/common/error.hpp"
+#include "src/exec/exec_internal.hpp"
+#include "src/exec/vectorized.hpp"
 
 namespace mvd {
 
+ExecMode default_exec_mode() {
+  const char* env = std::getenv("MVD_EXEC_MODE");
+  if (env == nullptr) return ExecMode::kRow;
+  const std::string mode(env);
+  if (mode == "vectorized" || mode == "vec") return ExecMode::kVectorized;
+  return ExecMode::kRow;
+}
+
+std::size_t default_exec_threads() {
+  const char* env = std::getenv("MVD_EXEC_THREADS");
+  if (env == nullptr) return 1;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return 1;
+  return static_cast<std::size_t>(n);
+}
+
+Executor::Executor(const Database& db, ExecMode mode, std::size_t threads)
+    : db_(&db),
+      mode_(mode),
+      threads_(threads),
+      column_cache_(mode == ExecMode::kVectorized
+                        ? std::make_shared<ColumnTableCache>()
+                        : nullptr) {}
+
 Table Executor::run(const PlanPtr& plan, ExecStats* stats) const {
   MVD_ASSERT(plan != nullptr);
+  if (mode_ == ExecMode::kVectorized) {
+    return run_vectorized(*db_, plan, stats, threads_, *column_cache_);
+  }
   std::map<const LogicalOp*, TableRef> memo;
   return *run_node(plan, stats, memo);
 }
@@ -42,7 +73,8 @@ Executor::TableRef Executor::run_node(
     }
     case OpKind::kAggregate: {
       const auto in = run_node(plan->children()[0], stats, memo);
-      result = exec_aggregate(static_cast<const AggregateOp&>(*plan), in);
+      result = exec_aggregate(static_cast<const AggregateOp&>(*plan), in,
+                              stats);
       break;
     }
   }
@@ -57,22 +89,35 @@ Executor::TableRef Executor::run_node(
 Executor::TableRef Executor::exec_scan(const ScanOp& op,
                                        ExecStats* stats) const {
   const Table& src = db_->table(op.relation());
-  if (stats != nullptr) stats->blocks_read += src.blocks();
-  // Rebuild under the plan's (qualified) schema so downstream binding by
-  // qualified name works even when the stored table has bare names.
+  if (stats != nullptr) {
+    stats->blocks_read += src.blocks();
+    stats->rows_scanned += static_cast<double>(src.row_count());
+    stats->batches += 1;
+  }
   if (src.schema().size() != op.output_schema().size()) {
     throw ExecError("stored table '" + op.relation() +
                     "' does not match the scan schema");
   }
-  auto out = std::make_shared<Table>(op.output_schema(), src.blocking_factor());
-  for (const Tuple& t : src.rows()) out->append(t);
-  return out;
+  // When the stored schema already matches the plan's, alias the stored
+  // table instead of copying it (the database outlives the run). Stored
+  // views read back through named scans hit this path every time.
+  if (src.schema() == op.output_schema()) {
+    return TableRef(TableRef{}, &src);
+  }
+  // Otherwise rebind under the plan's (qualified) schema so downstream
+  // binding by qualified name works even when the stored table has bare
+  // names — one bulk row copy, types validated per column.
+  return std::make_shared<Table>(Table::rebind(op.output_schema(), src));
 }
 
 Executor::TableRef Executor::exec_select(const SelectOp& op,
                                          const TableRef& in,
                                          ExecStats* stats) const {
-  (void)stats;
+  if (stats != nullptr) {
+    stats->blocks_read += in->blocks();
+    stats->rows_scanned += static_cast<double>(in->row_count());
+    stats->batches += 1;
+  }
   const CompiledExpr pred(op.predicate(), in->schema());
   auto out = std::make_shared<Table>(in->schema(), in->blocking_factor());
   for (const Tuple& t : in->rows()) {
@@ -98,57 +143,6 @@ Executor::TableRef Executor::exec_project(const ProjectOp& op,
   return out;
 }
 
-namespace {
-
-// Split the join predicate into hashable equi conjuncts (left column ×
-// right column) and a residual predicate evaluated on joined tuples.
-struct JoinSplit {
-  std::vector<std::pair<std::size_t, std::size_t>> equi;  // left idx, right idx
-  std::vector<ExprPtr> residual;
-};
-
-JoinSplit split_join_predicate(const JoinOp& op, const Schema& left,
-                               const Schema& right) {
-  JoinSplit split;
-  for (const ExprPtr& c : conjuncts_of(op.predicate())) {
-    if (auto pair = as_column_equality(c); pair.has_value()) {
-      const auto li = left.find(pair->left);
-      const auto ri = right.find(pair->right);
-      if (li.has_value() && ri.has_value()) {
-        split.equi.emplace_back(*li, *ri);
-        continue;
-      }
-      const auto li2 = left.find(pair->right);
-      const auto ri2 = right.find(pair->left);
-      if (li2.has_value() && ri2.has_value()) {
-        split.equi.emplace_back(*li2, *ri2);
-        continue;
-      }
-    }
-    split.residual.push_back(c);
-  }
-  return split;
-}
-
-std::size_t hash_key(const Tuple& t,
-                     const std::vector<std::size_t>& indices) {
-  std::size_t seed = 0x51ed5eedULL;
-  for (std::size_t i : indices) {
-    seed ^= t[i].hash() + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
-  }
-  return seed;
-}
-
-bool keys_equal(const Tuple& a, const std::vector<std::size_t>& ai,
-                const Tuple& b, const std::vector<std::size_t>& bi) {
-  for (std::size_t k = 0; k < ai.size(); ++k) {
-    if (!(a[ai[k]] == b[bi[k]])) return false;
-  }
-  return true;
-}
-
-}  // namespace
-
 Executor::TableRef Executor::exec_join(const JoinOp& op, const TableRef& left,
                                        const TableRef& right,
                                        ExecStats* stats) const {
@@ -173,6 +167,11 @@ Executor::TableRef Executor::exec_join(const JoinOp& op, const TableRef& left,
     }
   };
 
+  if (stats != nullptr) {
+    stats->rows_scanned +=
+        static_cast<double>(left->row_count() + right->row_count());
+    stats->batches += 2;
+  }
   if (!split.equi.empty()) {
     // Build on the smaller side, probe with the larger.
     const bool build_right = right->row_count() <= left->row_count();
@@ -186,14 +185,14 @@ Executor::TableRef Executor::exec_join(const JoinOp& op, const TableRef& left,
     std::unordered_multimap<std::size_t, std::size_t> table;
     table.reserve(build.row_count());
     for (std::size_t i = 0; i < build.row_count(); ++i) {
-      table.emplace(hash_key(build.row(i), build_idx), i);
+      table.emplace(tuple_hash_key(build.row(i), build_idx), i);
     }
     for (std::size_t i = 0; i < probe.row_count(); ++i) {
       const Tuple& p = probe.row(i);
-      auto [lo, hi] = table.equal_range(hash_key(p, probe_idx));
+      auto [lo, hi] = table.equal_range(tuple_hash_key(p, probe_idx));
       for (auto it = lo; it != hi; ++it) {
         const Tuple& b = build.row(it->second);
-        if (!keys_equal(p, probe_idx, b, build_idx)) continue;
+        if (!tuple_keys_equal(p, probe_idx, b, build_idx)) continue;
         if (build_right) {
           emit(p, b);
         } else {
@@ -208,56 +207,24 @@ Executor::TableRef Executor::exec_join(const JoinOp& op, const TableRef& left,
       for (const Tuple& r : right->rows()) emit(l, r);
     }
     if (stats != nullptr) {
-      stats->blocks_read +=
-          left->blocks() + left->blocks() * right->blocks();
+      // Outer = the smaller input, matching CostModel::join_op_cost (the
+      // previous formula charged the left side as outer unconditionally,
+      // double-counting whenever the left input was the larger one).
+      const double outer = std::min(left->blocks(), right->blocks());
+      const double inner = std::max(left->blocks(), right->blocks());
+      stats->blocks_read += outer + outer * inner;
     }
   }
   return out;
 }
 
-namespace {
-
-// Running state of one aggregate within one group.
-struct Accumulator {
-  double count = 0;
-  double sum = 0;
-  std::optional<Value> min;
-  std::optional<Value> max;
-
-  void feed(const Value& v) {
-    count += 1;
-    if (is_numeric(v.type())) sum += v.as_double();
-    if (!min.has_value() || v.compare(*min) < 0) min = v;
-    if (!max.has_value() || v.compare(*max) > 0) max = v;
-  }
-
-  Value result(AggFn fn, ValueType output_type) const {
-    switch (fn) {
-      case AggFn::kCount:
-        return Value::int64(static_cast<std::int64_t>(count));
-      case AggFn::kSum:
-        return Value::real(sum);
-      case AggFn::kAvg:
-        return Value::real(count > 0 ? sum / count : 0.0);
-      case AggFn::kMin:
-      case AggFn::kMax: {
-        const std::optional<Value>& v = fn == AggFn::kMin ? min : max;
-        if (v.has_value()) return *v;
-        // Empty global group: a typed zero placeholder (SQL would say
-        // NULL; the engine has no nulls, documented limitation).
-        return output_type == ValueType::kString ? Value::string("")
-                                                 : Value::int64(0);
-      }
-    }
-    MVD_ASSERT(false);
-    return Value::int64(0);
-  }
-};
-
-}  // namespace
-
 Executor::TableRef Executor::exec_aggregate(const AggregateOp& op,
-                                            const TableRef& in) const {
+                                            const TableRef& in,
+                                            ExecStats* stats) const {
+  if (stats != nullptr) {
+    stats->rows_scanned += static_cast<double>(in->row_count());
+    stats->batches += 1;
+  }
   const Schema& is = in->schema();
   std::vector<std::size_t> group_idx;
   for (const std::string& g : op.group_by()) {
@@ -268,43 +235,44 @@ Executor::TableRef Executor::exec_aggregate(const AggregateOp& op,
     agg_idx.push_back(a.column.empty() ? SIZE_MAX : is.index_of(a.column));
   }
 
-  // Group rows by key; keep first-seen order for determinism.
-  std::map<std::string, std::pair<Tuple, std::vector<Accumulator>>> groups;
-  std::vector<std::string> order;
-  for (const Tuple& t : in->rows()) {
-    std::string key;
+  // Hash aggregation over packed group keys (see exec_internal.hpp);
+  // first-seen order vector keeps the output deterministic.
+  struct Group {
     Tuple key_values;
-    for (std::size_t gi : group_idx) {
-      key += t[gi].to_string();
-      key += '\x1f';
-      key_values.push_back(t[gi]);
+    std::vector<Accumulator> accs;
+  };
+  std::unordered_map<std::string, std::size_t> index;
+  std::vector<Group> groups;
+  std::string key;
+  for (const Tuple& t : in->rows()) {
+    key.clear();
+    for (std::size_t gi : group_idx) append_packed_key(key, t[gi]);
+    auto [it, inserted] = index.try_emplace(key, groups.size());
+    if (inserted) {
+      Group g;
+      g.key_values.reserve(group_idx.size());
+      for (std::size_t gi : group_idx) g.key_values.push_back(t[gi]);
+      g.accs.resize(op.aggregates().size());
+      groups.push_back(std::move(g));
     }
-    auto [it, inserted] = groups.try_emplace(
-        key, std::move(key_values),
-        std::vector<Accumulator>(op.aggregates().size()));
-    if (inserted) order.push_back(it->first);
+    std::vector<Accumulator>& accs = groups[it->second].accs;
     for (std::size_t a = 0; a < agg_idx.size(); ++a) {
-      it->second.second[a].feed(agg_idx[a] == SIZE_MAX ? Value::int64(1)
-                                                       : t[agg_idx[a]]);
+      accs[a].feed(agg_idx[a] == SIZE_MAX ? Value::int64(1) : t[agg_idx[a]]);
     }
   }
   // SQL semantics: a global aggregate over an empty input yields one row.
   if (groups.empty() && op.group_by().empty()) {
-    groups.try_emplace(std::string{}, Tuple{},
-                       std::vector<Accumulator>(op.aggregates().size()));
-    order.push_back(std::string{});
+    groups.push_back({Tuple{}, std::vector<Accumulator>(op.aggregates().size())});
   }
 
   auto out = std::make_shared<Table>(op.output_schema(),
                                      in->blocking_factor());
   const Schema& os = op.output_schema();
-  for (const std::string& key : order) {
-    const auto& [key_values, accs] = groups.at(key);
-    Tuple row = key_values;
-    for (std::size_t a = 0; a < accs.size(); ++a) {
-      row.push_back(accs[a].result(
-          op.aggregates()[a].fn,
-          os.at(group_idx.size() + a).type));
+  for (const Group& g : groups) {
+    Tuple row = g.key_values;
+    for (std::size_t a = 0; a < g.accs.size(); ++a) {
+      row.push_back(g.accs[a].result(op.aggregates()[a].fn,
+                                     os.at(group_idx.size() + a).type));
     }
     out->append(std::move(row));
   }

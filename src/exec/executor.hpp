@@ -1,12 +1,15 @@
 // Execution of logical plans against an in-memory Database.
 //
-// The executor materializes each operator's result bottom-up (shared plan
-// fragments are computed once per run). Equi-join conjuncts are executed
-// with a build/probe hash join so big workloads stay fast; joins without
-// equi conjuncts fall back to a nested loop. It exists to (a) ground-truth
-// the optimizer and MVPP rewrites — every rewritten plan must return the
-// same bag of tuples as the canonical plan — and (b) measure the real
-// effect of materializing the chosen views (bench Ext-D).
+// Two engines share one entry point. The row engine materializes each
+// operator's result bottom-up as tuple vectors (shared plan fragments are
+// computed once per run); the vectorized engine (ExecMode::kVectorized,
+// src/exec/vectorized.hpp) runs the same plans over columnar batches with
+// selection vectors and morsel parallelism. Both split equi-join
+// conjuncts into a build/probe hash join and fall back to a nested loop
+// otherwise, and both exist to (a) ground-truth the optimizer and MVPP
+// rewrites — every rewritten plan must return the same bag of tuples as
+// the canonical plan — and (b) measure the real effect of materializing
+// the chosen views (bench Ext-D).
 #pragma once
 
 #include <map>
@@ -20,18 +23,41 @@ namespace mvd {
 
 /// Work counters accumulated across one run().
 struct ExecStats {
-  /// Block accesses in the same accounting the cost model uses: each scan
-  /// charges the table's blocks; a hash join charges both inputs once; a
-  /// nested loop charges outer + outer-blocks * inner re-scans.
+  /// Block accesses in the same accounting the cost model uses: scans and
+  /// selects charge their input's blocks; a hash join charges both inputs
+  /// once; a nested loop charges outer + outer-blocks * inner re-scans
+  /// (outer = the smaller input, as in CostModel::join_op_cost).
   double blocks_read = 0;
+  /// Tuples inspected by scan/select/join/aggregate operators (inputs,
+  /// before filtering).
+  double rows_scanned = 0;
+  /// Row batches processed: one per operator input in the row engine, one
+  /// per morsel in the vectorized engine.
+  double batches = 0;
   /// Tuples that flowed out of each operator, keyed by the node's label
   /// (used to validate cardinality estimates).
   std::map<std::string, double> rows_out;
 };
 
+/// Which engine Executor::run uses.
+enum class ExecMode { kRow, kVectorized };
+
+/// Engine selected by the MVD_EXEC_MODE environment variable ("row" or
+/// "vectorized"/"vec"); kRow when unset or unrecognized.
+ExecMode default_exec_mode();
+
+/// Vectorized-engine worker count from MVD_EXEC_THREADS (0 = hardware
+/// auto); 1 (serial) when unset or unparsable.
+std::size_t default_exec_threads();
+
+class ColumnTableCache;
+
 class Executor {
  public:
-  explicit Executor(const Database& db) : db_(&db) {}
+  explicit Executor(const Database& db, ExecMode mode = default_exec_mode(),
+                    std::size_t threads = default_exec_threads());
+
+  ExecMode mode() const { return mode_; }
 
   /// Execute `plan`. Scan nodes resolve by relation name in the database
   /// (base tables and stored views alike). Throws ExecError for unknown
@@ -50,9 +76,15 @@ class Executor {
   TableRef exec_project(const ProjectOp& op, const TableRef& in) const;
   TableRef exec_join(const JoinOp& op, const TableRef& left,
                      const TableRef& right, ExecStats* stats) const;
-  TableRef exec_aggregate(const AggregateOp& op, const TableRef& in) const;
+  TableRef exec_aggregate(const AggregateOp& op, const TableRef& in,
+                          ExecStats* stats) const;
 
   const Database* db_;
+  ExecMode mode_;
+  std::size_t threads_;
+  /// Columnar conversions, shared across runs of this Executor (filled
+  /// lazily, vectorized mode only).
+  std::shared_ptr<ColumnTableCache> column_cache_;
 };
 
 /// Convenience: bag-equality of two tables (same schema arity, same

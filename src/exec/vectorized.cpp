@@ -1,0 +1,596 @@
+#include "src/exec/vectorized.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "src/algebra/eval.hpp"
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/hash.hpp"
+#include "src/common/parallel.hpp"
+#include "src/exec/exec_internal.hpp"
+
+namespace mvd {
+
+std::shared_ptr<const ColumnTable> ColumnTableCache::get(const Table& table) {
+  auto it = cache_.find(&table);
+  if (it != cache_.end() && it->second.rows == table.row_count()) {
+    return it->second.data;
+  }
+  auto data =
+      std::make_shared<const ColumnTable>(ColumnTable::from_table(table));
+  cache_[&table] = {table.row_count(), data};
+  return data;
+}
+
+namespace {
+
+/// A batch-operator result: shared columnar data viewed through a
+/// selection vector of physical row ids (order-significant) and a
+/// logical-to-physical column map. Scan/select/project never copy cell
+/// data; join and aggregate compact into fresh ColumnTables.
+struct VecRel {
+  std::shared_ptr<const ColumnTable> data;
+  bool identity = false;           // all physical rows, in order
+  std::vector<std::uint32_t> sel;  // used when !identity
+  std::vector<std::size_t> cols;   // logical col -> physical col
+  Schema schema;                   // logical schema of this result
+  double blocking_factor = 10.0;
+
+  std::size_t active_rows() const {
+    return identity ? data->row_count() : sel.size();
+  }
+  /// Same accounting as Table::blocks() over the active row count.
+  double blocks() const {
+    const std::size_t n = active_rows();
+    if (n == 0) return 0;
+    return std::max(1.0,
+                    std::ceil(static_cast<double>(n) / blocking_factor));
+  }
+  std::uint32_t physical(std::size_t i) const {
+    return identity ? static_cast<std::uint32_t>(i) : sel[i];
+  }
+};
+
+std::uint64_t column_hash_keys(const ColumnTable& data,
+                               const std::vector<std::size_t>& key_cols,
+                               std::uint32_t row) {
+  std::size_t seed = 0x51ed5eedULL;
+  for (std::size_t c : key_cols) {
+    std::size_t h = 0;
+    switch (data.kind(c)) {
+      case ColumnKind::kInt64Col:
+        // Numerics hash through double so int and double keys that
+        // compare equal also hash equal (same rule as Value::hash).
+        hash_combine(h, static_cast<double>(data.i64(c)[row]));
+        break;
+      case ColumnKind::kDoubleCol:
+        hash_combine(h, data.f64(c)[row]);
+        break;
+      case ColumnKind::kStringCol:
+        hash_combine(h, data.str(c)[row]);
+        break;
+      case ColumnKind::kBoolCol:
+        hash_combine(h, data.b8(c)[row] != 0);
+        break;
+    }
+    seed ^= h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+bool numeric_cell(const ColumnTable& data, std::size_t col, std::uint32_t row,
+                  double& out) {
+  switch (data.kind(col)) {
+    case ColumnKind::kInt64Col:
+      out = static_cast<double>(data.i64(col)[row]);
+      return true;
+    case ColumnKind::kDoubleCol:
+      out = data.f64(col)[row];
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Equality with Value::operator== semantics: numerics compare as double
+/// across int/double kinds, other kinds must match exactly.
+bool column_keys_equal(const ColumnTable& a,
+                       const std::vector<std::size_t>& ak, std::uint32_t ar,
+                       const ColumnTable& b,
+                       const std::vector<std::size_t>& bk, std::uint32_t br) {
+  for (std::size_t k = 0; k < ak.size(); ++k) {
+    double x = 0, y = 0;
+    if (numeric_cell(a, ak[k], ar, x)) {
+      if (!numeric_cell(b, bk[k], br, y) || x != y) return false;
+      continue;
+    }
+    if (a.kind(ak[k]) != b.kind(bk[k])) return false;
+    switch (a.kind(ak[k])) {
+      case ColumnKind::kStringCol:
+        if (a.str(ak[k])[ar] != b.str(bk[k])[br]) return false;
+        break;
+      case ColumnKind::kBoolCol:
+        if (a.b8(ak[k])[ar] != b.b8(bk[k])[br]) return false;
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+class VectorizedEngine {
+ public:
+  VectorizedEngine(const Database& db, ExecStats* stats, std::size_t threads,
+                   ColumnTableCache& cache)
+      : db_(&db), stats_(stats), threads_(threads), cache_(&cache) {}
+
+  Table run(const PlanPtr& plan) {
+    MVD_ASSERT(plan != nullptr);
+    return sink(node(plan));
+  }
+
+ private:
+  const VecRel& node(const PlanPtr& plan) {
+    if (auto it = memo_.find(plan.get()); it != memo_.end()) {
+      return it->second;
+    }
+    VecRel result;
+    switch (plan->kind()) {
+      case OpKind::kScan:
+        result = scan(static_cast<const ScanOp&>(*plan));
+        break;
+      case OpKind::kSelect:
+        result = select(static_cast<const SelectOp&>(*plan),
+                        node(plan->children()[0]));
+        break;
+      case OpKind::kProject:
+        result = project(static_cast<const ProjectOp&>(*plan),
+                         node(plan->children()[0]));
+        break;
+      case OpKind::kJoin:
+        result = join(static_cast<const JoinOp&>(*plan),
+                      node(plan->children()[0]), node(plan->children()[1]));
+        break;
+      case OpKind::kAggregate:
+        result = aggregate(static_cast<const AggregateOp&>(*plan),
+                           node(plan->children()[0]));
+        break;
+    }
+    if (stats_ != nullptr) {
+      stats_->rows_out[plan->label()] =
+          static_cast<double>(result.active_rows());
+    }
+    return memo_.emplace(plan.get(), std::move(result)).first->second;
+  }
+
+  VecRel scan(const ScanOp& op) {
+    const Table& src = db_->table(op.relation());
+    if (src.schema().size() != op.output_schema().size()) {
+      throw ExecError("stored table '" + op.relation() +
+                      "' does not match the scan schema");
+    }
+    VecRel r;
+    r.data = cache_->get(src);
+    // Rebinding to the plan's (qualified) schema is free: only the
+    // logical schema changes, the arrays are shared.
+    for (std::size_t c = 0; c < src.schema().size(); ++c) {
+      if (column_kind(op.output_schema().at(c).type) != r.data->kind(c)) {
+        throw ExecError("stored table '" + op.relation() +
+                        "' does not match the scan schema");
+      }
+    }
+    r.identity = true;
+    r.cols.resize(src.schema().size());
+    std::iota(r.cols.begin(), r.cols.end(), std::size_t{0});
+    r.schema = op.output_schema();
+    r.blocking_factor = src.blocking_factor();
+    if (stats_ != nullptr) {
+      stats_->blocks_read += src.blocks();
+      stats_->rows_scanned += static_cast<double>(src.row_count());
+      stats_->batches += static_cast<double>(morsel_count(src.row_count()));
+    }
+    return r;
+  }
+
+  /// Morsel-parallel filter of `in`'s active rows; per-morsel survivors
+  /// are concatenated in morsel order, so the result is independent of
+  /// the thread count.
+  std::vector<std::uint32_t> filter_rows(const VecRel& in,
+                                         const CompiledExpr& pred) {
+    const std::size_t n = in.active_rows();
+    const std::size_t morsels = morsel_count(n);
+    std::vector<std::vector<std::uint32_t>> parts(morsels);
+    parallel_shards(morsels, threads_,
+                    [&](std::size_t, std::size_t mb, std::size_t me) {
+                      for (std::size_t m = mb; m < me; ++m) {
+                        const std::size_t lo = m * kMorselRows;
+                        const std::size_t hi = std::min(n, lo + kMorselRows);
+                        std::vector<std::uint32_t> part;
+                        part.reserve(hi - lo);
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          part.push_back(in.physical(i));
+                        }
+                        pred.filter_batch(*in.data, in.cols, part);
+                        parts[m] = std::move(part);
+                      }
+                    });
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    std::vector<std::uint32_t> sel;
+    sel.reserve(total);
+    for (const auto& p : parts) sel.insert(sel.end(), p.begin(), p.end());
+    return sel;
+  }
+
+  VecRel select(const SelectOp& op, const VecRel& in) {
+    const CompiledExpr pred(op.predicate(), in.schema);
+    VecRel r;
+    r.data = in.data;
+    r.identity = false;
+    r.sel = filter_rows(in, pred);
+    r.cols = in.cols;
+    r.schema = in.schema;
+    r.blocking_factor = in.blocking_factor;
+    if (stats_ != nullptr) {
+      stats_->blocks_read += in.blocks();
+      stats_->rows_scanned += static_cast<double>(in.active_rows());
+      stats_->batches += static_cast<double>(morsel_count(in.active_rows()));
+    }
+    return r;
+  }
+
+  VecRel project(const ProjectOp& op, const VecRel& in) {
+    // Pure column remap: no data movement, no row movement.
+    VecRel r;
+    r.data = in.data;
+    r.identity = in.identity;
+    r.sel = in.sel;
+    r.schema = op.output_schema();
+    r.blocking_factor = in.blocking_factor;
+    r.cols.reserve(op.columns().size());
+    for (const std::string& c : op.columns()) {
+      r.cols.push_back(in.cols[in.schema.index_of(c)]);
+    }
+    return r;
+  }
+
+  /// Compact matched (left, right) physical row pairs into a fresh
+  /// ColumnTable under the join's output schema, gathering column by
+  /// column (columns are independent, so the gather parallelizes without
+  /// affecting the output).
+  VecRel gather_join(const JoinOp& op, const VecRel& left, const VecRel& right,
+                     const std::vector<std::uint32_t>& lrows,
+                     const std::vector<std::uint32_t>& rrows) {
+    auto data = std::make_shared<ColumnTable>(op.output_schema(),
+                                              left.blocking_factor);
+    const std::size_t nl = left.schema.size();
+    const std::size_t total_cols = nl + right.schema.size();
+    parallel_for_each_index(total_cols, threads_, [&](std::size_t c) {
+      if (c < nl) {
+        data->append_gather(c, *left.data, left.cols[c], lrows.data(),
+                            lrows.size());
+      } else {
+        data->append_gather(c, *right.data, right.cols[c - nl], rrows.data(),
+                            rrows.size());
+      }
+    });
+    data->set_row_count(lrows.size());
+    VecRel r;
+    r.data = std::move(data);
+    r.identity = true;
+    r.cols.resize(total_cols);
+    std::iota(r.cols.begin(), r.cols.end(), std::size_t{0});
+    r.schema = op.output_schema();
+    r.blocking_factor = left.blocking_factor;
+    return r;
+  }
+
+  VecRel join(const JoinOp& op, const VecRel& left, const VecRel& right) {
+    const JoinSplit split =
+        split_join_predicate(op, left.schema, right.schema);
+    std::vector<std::uint32_t> lrows, rrows;
+
+    if (!split.equi.empty()) {
+      // Build on the smaller side, probe with the larger.
+      const bool build_right = right.active_rows() <= left.active_rows();
+      const VecRel& build = build_right ? right : left;
+      const VecRel& probe = build_right ? left : right;
+      std::vector<std::size_t> build_keys, probe_keys;  // physical cols
+      for (const auto& [li, ri] : split.equi) {
+        build_keys.push_back(build_right ? right.cols[ri] : left.cols[li]);
+        probe_keys.push_back(build_right ? left.cols[li] : right.cols[ri]);
+      }
+
+      // Build phase: hash key columns morsel-parallel, then insert
+      // serially in active order (deterministic chain order).
+      const std::size_t nb = build.active_rows();
+      std::vector<std::uint64_t> build_hash(nb);
+      parallel_shards(morsel_count(nb), threads_,
+                      [&](std::size_t, std::size_t mb, std::size_t me) {
+                        const std::size_t lo = mb * kMorselRows;
+                        const std::size_t hi = std::min(nb, me * kMorselRows);
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          build_hash[i] = column_hash_keys(
+                              *build.data, build_keys, build.physical(i));
+                        }
+                      });
+      std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> table;
+      table.reserve(nb);
+      for (std::size_t i = 0; i < nb; ++i) {
+        table[build_hash[i]].push_back(build.physical(i));
+      }
+
+      // Probe phase: morsel-parallel, matches concatenated in morsel
+      // order.
+      const std::size_t np = probe.active_rows();
+      const std::size_t pm = morsel_count(np);
+      struct PairChunk {
+        std::vector<std::uint32_t> probe_rows, build_rows;
+      };
+      std::vector<PairChunk> chunks(pm);
+      parallel_shards(
+          pm, threads_, [&](std::size_t, std::size_t mb, std::size_t me) {
+            for (std::size_t m = mb; m < me; ++m) {
+              const std::size_t lo = m * kMorselRows;
+              const std::size_t hi = std::min(np, lo + kMorselRows);
+              PairChunk& ch = chunks[m];
+              for (std::size_t i = lo; i < hi; ++i) {
+                const std::uint32_t pr = probe.physical(i);
+                const auto it = table.find(
+                    column_hash_keys(*probe.data, probe_keys, pr));
+                if (it == table.end()) continue;
+                for (const std::uint32_t br : it->second) {
+                  if (column_keys_equal(*probe.data, probe_keys, pr,
+                                        *build.data, build_keys, br)) {
+                    ch.probe_rows.push_back(pr);
+                    ch.build_rows.push_back(br);
+                  }
+                }
+              }
+            }
+          });
+      std::size_t total = 0;
+      for (const PairChunk& ch : chunks) total += ch.probe_rows.size();
+      lrows.reserve(total);
+      rrows.reserve(total);
+      for (const PairChunk& ch : chunks) {
+        const auto& lsrc = build_right ? ch.probe_rows : ch.build_rows;
+        const auto& rsrc = build_right ? ch.build_rows : ch.probe_rows;
+        lrows.insert(lrows.end(), lsrc.begin(), lsrc.end());
+        rrows.insert(rrows.end(), rsrc.begin(), rsrc.end());
+      }
+      if (stats_ != nullptr) {
+        stats_->blocks_read += left.blocks() + right.blocks();
+        stats_->rows_scanned +=
+            static_cast<double>(left.active_rows() + right.active_rows());
+        stats_->batches += static_cast<double>(morsel_count(nb) + pm);
+      }
+      VecRel out = gather_join(op, left, right, lrows, rrows);
+      if (!split.residual.empty()) {
+        std::vector<ExprPtr> preds = split.residual;
+        const CompiledExpr residual(conj(std::move(preds)), out.schema);
+        out.sel = filter_rows(out, residual);
+        out.identity = false;
+      }
+      return out;
+    }
+
+    // Nested loop (cross product or theta join): the rare fallback, kept
+    // row-at-a-time — it is O(n*m) regardless of layout.
+    const Schema joint = op.output_schema();
+    const CompiledExpr pred(op.predicate(), joint);
+    const std::size_t nl = left.schema.size();
+    for (std::size_t i = 0; i < left.active_rows(); ++i) {
+      const std::uint32_t lr = left.physical(i);
+      Tuple joined(joint.size());
+      for (std::size_t c = 0; c < nl; ++c) {
+        joined[c] = left.data->value_at(lr, left.cols[c]);
+      }
+      for (std::size_t j = 0; j < right.active_rows(); ++j) {
+        const std::uint32_t rr = right.physical(j);
+        for (std::size_t c = 0; c < right.schema.size(); ++c) {
+          joined[nl + c] = right.data->value_at(rr, right.cols[c]);
+        }
+        if (pred.matches(joined)) {
+          lrows.push_back(lr);
+          rrows.push_back(rr);
+        }
+      }
+    }
+    if (stats_ != nullptr) {
+      // Outer = the smaller input, matching CostModel::join_op_cost.
+      const double outer = std::min(left.blocks(), right.blocks());
+      const double inner = std::max(left.blocks(), right.blocks());
+      stats_->blocks_read += outer + outer * inner;
+      stats_->rows_scanned +=
+          static_cast<double>(left.active_rows() + right.active_rows());
+      stats_->batches += 1;
+    }
+    return gather_join(op, left, right, lrows, rrows);
+  }
+
+  VecRel aggregate(const AggregateOp& op, const VecRel& in) {
+    std::vector<std::size_t> group_cols;
+    for (const std::string& g : op.group_by()) {
+      group_cols.push_back(in.cols[in.schema.index_of(g)]);
+    }
+    std::vector<std::size_t> agg_cols;  // SIZE_MAX for COUNT(*)
+    for (const AggSpec& a : op.aggregates()) {
+      agg_cols.push_back(a.column.empty()
+                             ? SIZE_MAX
+                             : in.cols[in.schema.index_of(a.column)]);
+    }
+
+    const std::size_t n = in.active_rows();
+    const std::size_t morsels = morsel_count(n);
+    const ColumnTable& data = *in.data;
+
+    const auto pack_key = [&](std::string& key, std::uint32_t r) {
+      key.clear();
+      for (const std::size_t c : group_cols) {
+        switch (data.kind(c)) {
+          case ColumnKind::kInt64Col:
+            append_packed_f64(key, static_cast<double>(data.i64(c)[r]));
+            break;
+          case ColumnKind::kDoubleCol:
+            append_packed_f64(key, data.f64(c)[r]);
+            break;
+          case ColumnKind::kStringCol:
+            append_packed_str(key, data.str(c)[r]);
+            break;
+          case ColumnKind::kBoolCol:
+            append_packed_bool(key, data.b8(c)[r] != 0);
+            break;
+        }
+      }
+    };
+
+    std::vector<std::string> keys;
+    std::vector<std::uint32_t> first_row;
+    std::vector<std::vector<Accumulator>> accs;
+    std::unordered_map<std::string, std::size_t> index;
+
+    if (threads_ <= 1 || morsels <= 1) {
+      // Single pass straight into the global table. Output order is the
+      // global first-seen order — exactly what the morsel-order merge
+      // below produces, so both paths are interchangeable.
+      std::string key;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t r = in.physical(i);
+        pack_key(key, r);
+        auto [it, inserted] = index.try_emplace(key, keys.size());
+        if (inserted) {
+          keys.push_back(key);
+          first_row.push_back(r);
+          accs.emplace_back(op.aggregates().size());
+        }
+        std::vector<Accumulator>& ga = accs[it->second];
+        for (std::size_t a = 0; a < agg_cols.size(); ++a) {
+          ga[a].feed(agg_cols[a] == SIZE_MAX ? Value::int64(1)
+                                             : data.value_at(r, agg_cols[a]));
+        }
+      }
+    } else {
+      // Per-morsel hash aggregation over packed keys, first-seen order.
+      struct Partial {
+        std::vector<std::string> keys;
+        std::vector<std::uint32_t> first_row;  // physical row of first hit
+        std::vector<std::vector<Accumulator>> accs;
+        std::unordered_map<std::string, std::size_t> index;
+      };
+      std::vector<Partial> partials(morsels);
+      parallel_shards(
+          morsels, threads_, [&](std::size_t, std::size_t mb, std::size_t me) {
+            std::string key;
+            for (std::size_t m = mb; m < me; ++m) {
+              const std::size_t lo = m * kMorselRows;
+              const std::size_t hi = std::min(n, lo + kMorselRows);
+              Partial& p = partials[m];
+              for (std::size_t i = lo; i < hi; ++i) {
+                const std::uint32_t r = in.physical(i);
+                pack_key(key, r);
+                auto [it, inserted] = p.index.try_emplace(key, p.keys.size());
+                if (inserted) {
+                  p.keys.push_back(key);
+                  p.first_row.push_back(r);
+                  p.accs.emplace_back(op.aggregates().size());
+                }
+                std::vector<Accumulator>& pa = p.accs[it->second];
+                for (std::size_t a = 0; a < agg_cols.size(); ++a) {
+                  pa[a].feed(agg_cols[a] == SIZE_MAX
+                                 ? Value::int64(1)
+                                 : data.value_at(r, agg_cols[a]));
+                }
+              }
+            }
+          });
+
+      // Merge partials in morsel order: global first-seen order equals
+      // the serial order, independent of the thread count.
+      for (Partial& p : partials) {
+        for (std::size_t g = 0; g < p.keys.size(); ++g) {
+          auto [it, inserted] = index.try_emplace(p.keys[g], keys.size());
+          if (inserted) {
+            keys.push_back(std::move(p.keys[g]));
+            first_row.push_back(p.first_row[g]);
+            accs.push_back(std::move(p.accs[g]));
+          } else {
+            std::vector<Accumulator>& into = accs[it->second];
+            for (std::size_t a = 0; a < into.size(); ++a) {
+              into[a].merge(p.accs[g][a]);
+            }
+          }
+        }
+      }
+    }
+    // SQL semantics: a global aggregate over an empty input yields one
+    // row.
+    const bool empty_global = keys.empty() && op.group_by().empty();
+
+    const Schema& os = op.output_schema();
+    auto out = std::make_shared<ColumnTable>(os, in.blocking_factor);
+    const std::size_t ngroups = empty_global ? 1 : keys.size();
+    const std::vector<Accumulator> empty_accs(op.aggregates().size());
+    for (std::size_t g = 0; g < ngroups; ++g) {
+      for (std::size_t k = 0; k < group_cols.size(); ++k) {
+        out->append_value(k, data.value_at(first_row[g], group_cols[k]));
+      }
+      const std::vector<Accumulator>& ga = empty_global ? empty_accs : accs[g];
+      for (std::size_t a = 0; a < ga.size(); ++a) {
+        out->append_value(group_cols.size() + a,
+                          ga[a].result(op.aggregates()[a].fn,
+                                       os.at(group_cols.size() + a).type));
+      }
+    }
+    out->set_row_count(ngroups);
+
+    if (stats_ != nullptr) {
+      stats_->rows_scanned += static_cast<double>(n);
+      stats_->batches += static_cast<double>(morsels);
+    }
+    VecRel r;
+    r.data = std::move(out);
+    r.identity = true;
+    r.cols.resize(os.size());
+    std::iota(r.cols.begin(), r.cols.end(), std::size_t{0});
+    r.schema = os;
+    r.blocking_factor = in.blocking_factor;
+    return r;
+  }
+
+  /// The only tuple materialization in the engine: the final sink.
+  Table sink(const VecRel& r) {
+    Table out(r.schema, r.blocking_factor);
+    const std::size_t n = r.active_rows();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t pr = r.physical(i);
+      Tuple t;
+      t.reserve(r.cols.size());
+      for (const std::size_t c : r.cols) {
+        t.push_back(r.data->value_at(pr, c));
+      }
+      out.append(std::move(t));
+    }
+    return out;
+  }
+
+  const Database* db_;
+  ExecStats* stats_;
+  std::size_t threads_;
+  ColumnTableCache* cache_;
+  std::map<const LogicalOp*, VecRel> memo_;
+};
+
+}  // namespace
+
+Table run_vectorized(const Database& db, const PlanPtr& plan, ExecStats* stats,
+                     std::size_t threads, ColumnTableCache& cache) {
+  VectorizedEngine engine(db, stats, threads, cache);
+  return engine.run(plan);
+}
+
+}  // namespace mvd

@@ -26,12 +26,16 @@ LintReport lint_graph(const MvppGraph& graph, const GraphClosures* closures,
 LintReport lint_selection(const MvppEvaluator& evaluator,
                           const SelectionResult& selection,
                           std::optional<double> budget_blocks,
-                          const CostModel* cost_model) {
+                          const CostModel* cost_model,
+                          const ExecStats* exec_stats,
+                          const Database* database) {
   LintContext ctx;
   ctx.graph = &evaluator.graph();
   ctx.closures = &evaluator.closures();
   ctx.cost_model = cost_model;
   ctx.evaluator = &evaluator;
+  ctx.exec_stats = exec_stats;
+  ctx.database = database;
   ctx.selections.push_back({&selection, budget_blocks});
   return LintRegistry::builtin().run(ctx);
 }

@@ -31,11 +31,16 @@ LintReport lint_graph(const MvppGraph& graph,
                       const GraphClosures* closures = nullptr,
                       const CostModel* cost_model = nullptr);
 
-/// Full pass including the selection rules for one result.
+/// Full pass including the selection rules for one result. Passing the
+/// deploy-time `exec_stats` together with the warehouse `database`
+/// additionally checks the recorded per-view row counts against the
+/// stored views (selection/exec-rows-consistent).
 LintReport lint_selection(const MvppEvaluator& evaluator,
                           const SelectionResult& selection,
                           std::optional<double> budget_blocks = std::nullopt,
-                          const CostModel* cost_model = nullptr);
+                          const CostModel* cost_model = nullptr,
+                          const ExecStats* exec_stats = nullptr,
+                          const Database* database = nullptr);
 
 // ---- Debug-build hooks ------------------------------------------------
 

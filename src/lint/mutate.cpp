@@ -20,6 +20,8 @@ LintContext MutationOutcome::context() const {
   if (selection != nullptr) {
     ctx.selections.push_back({selection.get(), budget_blocks});
   }
+  ctx.exec_stats = exec_stats.get();
+  ctx.database = database.get();
   return ctx;
 }
 
@@ -319,6 +321,24 @@ MutationOutcome impossible_budget(const MvppGraph& clean,
   return out;
 }
 
+/// Record a deploy-time row count that disagrees with the stored view:
+/// the warehouse holds an empty table under a materialized node's name
+/// while the stats claim one row came out of the deploy.
+MutationOutcome drift_deployed_rows(const MvppGraph& clean,
+                                    const CostModel& cm) {
+  MutationOutcome out = with_selection(clean, cm);
+  for (NodeId v : out.selection->materialized) {
+    const MvppNode& n = out.graph->node(v);
+    if (n.expr == nullptr) continue;
+    out.database = std::make_unique<Database>();
+    out.database->add_table(n.name, Table(n.expr->output_schema()));
+    out.exec_stats = std::make_unique<ExecStats>();
+    out.exec_stats->rows_out[n.name] = 1.0;
+    return out;
+  }
+  unsuitable("drift-deployed-rows", "an annotated materialized node");
+}
+
 }  // namespace
 
 const std::vector<GraphMutation>& builtin_mutations() {
@@ -344,6 +364,8 @@ const std::vector<GraphMutation>& builtin_mutations() {
       {"perturb-reported-cost", "selection/cost-reproducible",
        perturb_reported_cost},
       {"impossible-budget", "selection/within-budget", impossible_budget},
+      {"drift-deployed-rows", "selection/exec-rows-consistent",
+       drift_deployed_rows},
   };
   return mutations;
 }

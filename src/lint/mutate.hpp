@@ -14,11 +14,13 @@
 #include <string>
 #include <vector>
 
+#include "src/exec/executor.hpp"
 #include "src/lint/registry.hpp"
 #include "src/mvpp/closures.hpp"
 #include "src/mvpp/evaluation.hpp"
 #include "src/mvpp/graph.hpp"
 #include "src/mvpp/selection.hpp"
+#include "src/storage/database.hpp"
 
 namespace mvd {
 
@@ -26,12 +28,15 @@ namespace mvd {
 /// raw pointers stay valid for the caller's lifetime. `graph` is always
 /// set; `closures` only when the mutated graph is safe to traverse (a
 /// cyclic graph is not); `evaluator`/`selection` only for the
-/// selection-phase mutations.
+/// selection-phase mutations; `exec_stats`/`database` only for the
+/// executed-run mutation.
 struct MutationOutcome {
   std::unique_ptr<MvppGraph> graph;
   std::unique_ptr<GraphClosures> closures;
   std::unique_ptr<MvppEvaluator> evaluator;
   std::unique_ptr<SelectionResult> selection;
+  std::unique_ptr<ExecStats> exec_stats;
+  std::unique_ptr<Database> database;
   std::optional<double> budget_blocks;
   const CostModel* cost_model = nullptr;
 
@@ -50,7 +55,7 @@ struct GraphMutation {
       apply;
 };
 
-/// One mutation per built-in rule (17 total). Requires `clean` to be
+/// One mutation per built-in rule (18 total). Requires `clean` to be
 /// annotated, acyclic, with at least one query, one shared child, and
 /// one select / project node — the Figure 3 MVPP qualifies.
 const std::vector<GraphMutation>& builtin_mutations();

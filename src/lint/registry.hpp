@@ -35,6 +35,9 @@
 
 namespace mvd {
 
+struct ExecStats;
+class Database;
+
 /// Everything a lint pass may inspect. Only `graph` is mandatory; rules
 /// needing an absent optional input skip silently.
 struct LintContext {
@@ -49,6 +52,13 @@ struct LintContext {
 
   /// Enables reproducing reported selection costs.
   const MvppEvaluator* evaluator = nullptr;
+
+  /// Optional executed-run context: stats recorded while deploying /
+  /// refreshing views (WarehouseDesigner::deploy fills rows_out under
+  /// node names) and the database holding the stored views. Both are
+  /// needed by selection/exec-rows-consistent.
+  const ExecStats* exec_stats = nullptr;
+  const Database* database = nullptr;
 
   struct SelectionCheck {
     const SelectionResult* result = nullptr;

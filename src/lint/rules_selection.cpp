@@ -2,7 +2,9 @@
 // context must materialize only operation nodes, report costs the
 // evaluator reproduces exactly, and respect its storage budget.
 #include "src/common/strings.hpp"
+#include "src/exec/executor.hpp"
 #include "src/lint/registry.hpp"
+#include "src/storage/database.hpp"
 
 namespace mvd {
 
@@ -79,6 +81,35 @@ void check_within_budget(const LintContext& ctx, RuleEmitter& out) {
   }
 }
 
+void check_exec_rows_consistent(const LintContext& ctx, RuleEmitter& out) {
+  // Deploy records each stored view's row count in stats->rows_out under
+  // the node's name; the warehouse must still hold a table of exactly
+  // that size. A mismatch means the stored view was clobbered, refreshed
+  // without re-recording, or recorded from a different run.
+  if (ctx.exec_stats == nullptr || ctx.database == nullptr) return;
+  const MvppGraph& g = *ctx.graph;
+  for (const LintContext::SelectionCheck& check : ctx.selections) {
+    const SelectionResult& r = *check.result;
+    if (!valid_materialized_set(g, r.materialized)) continue;
+    for (NodeId v : r.materialized) {
+      const std::string& name = g.node(v).name;
+      const auto it = ctx.exec_stats->rows_out.find(name);
+      if (it == ctx.exec_stats->rows_out.end()) continue;
+      if (!ctx.database->has_table(name)) continue;
+      const double stored =
+          static_cast<double>(ctx.database->table(name).row_count());
+      if (it->second != stored) {
+        out.emit_selection(
+            r,
+            str_cat("materialized node '", name, "' recorded ", it->second,
+                    " rows at deploy time but the stored view holds ", stored),
+            "re-deploy (or refresh with stats) so the recorded counts match "
+            "the warehouse");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void register_selection_rules(LintRegistry& registry) {
@@ -93,6 +124,10 @@ void register_selection_rules(LintRegistry& registry) {
   registry.add({"selection/within-budget", LintPhase::kSelection, Severity::kError,
                 "budgeted selections respect their block budget",
                 check_within_budget});
+  registry.add({"selection/exec-rows-consistent", LintPhase::kSelection,
+                Severity::kError,
+                "deploy-time recorded row counts match the stored views",
+                check_exec_rows_consistent});
 }
 
 }  // namespace mvd

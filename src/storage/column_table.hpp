@@ -1,0 +1,91 @@
+// Columnar table representation for the vectorized execution engine.
+//
+// A ColumnTable holds the same logical contents as a row-oriented Table,
+// but as one typed array per column (int64/double/string/bool; dates ride
+// the int64 array and keep their kDate schema tag). Batch operators read
+// the arrays directly through selection vectors instead of materializing
+// tuples, and convert back to a Table only at the final sink. Block
+// accounting mirrors Table exactly (same blocking factor, same
+// ceil(rows / bf) formula) so estimated-vs-actual cost comparisons stay
+// meaningful in either engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/table.hpp"
+
+namespace mvd {
+
+/// Physical storage class of a column. kDate shares kInt64Col: both are
+/// day counts, matching Table's append compatibility rule.
+enum class ColumnKind { kInt64Col, kDoubleCol, kStringCol, kBoolCol };
+
+/// Storage class for a declared value type.
+ColumnKind column_kind(ValueType type);
+
+class ColumnTable {
+ public:
+  explicit ColumnTable(Schema schema, double blocking_factor = 10.0);
+
+  /// Columnar copy of `table` (same schema and blocking factor).
+  static ColumnTable from_table(const Table& table);
+
+  /// Row-oriented copy (the sink conversion).
+  Table to_table() const;
+
+  const Schema& schema() const { return schema_; }
+  double blocking_factor() const { return blocking_factor_; }
+  std::size_t row_count() const { return row_count_; }
+
+  /// Size in blocks: ceil(rows / blocking_factor), 0 when empty — the
+  /// same accounting as Table::blocks().
+  double blocks() const;
+
+  ColumnKind kind(std::size_t col) const { return columns_[col].kind; }
+
+  // Typed column access. Calling the wrong accessor for a column's kind
+  // is a programming error (asserted).
+  const std::vector<std::int64_t>& i64(std::size_t col) const;
+  const std::vector<double>& f64(std::size_t col) const;
+  const std::vector<std::string>& str(std::size_t col) const;
+  const std::vector<std::uint8_t>& b8(std::size_t col) const;
+
+  /// One cell as a Value, re-tagged with the schema's declared type (a
+  /// kDate column yields kDate values even if appended as kInt64).
+  Value value_at(std::size_t row, std::size_t col) const;
+
+  /// Append one tuple across all columns; same arity/type checks as
+  /// Table::append.
+  void append_row(const Tuple& tuple);
+
+  // Column-at-a-time building (used by batch operators): append cells to
+  // individual columns — concurrently safe for *distinct* columns — then
+  // seal with set_row_count once every column holds the same count.
+  void reserve(std::size_t rows);
+  void append_value(std::size_t col, const Value& v);
+  /// Gather `n` cells of `from_col` at physical rows `rows[0..n)` onto
+  /// the back of column `col`. Kinds must match.
+  void append_gather(std::size_t col, const ColumnTable& from,
+                     std::size_t from_col, const std::uint32_t* rows,
+                     std::size_t n);
+  /// Seal column-wise building; asserts every column holds `rows` cells.
+  void set_row_count(std::size_t rows);
+
+ private:
+  struct Column {
+    ColumnKind kind = ColumnKind::kInt64Col;
+    std::vector<std::int64_t> i64;
+    std::vector<double> f64;
+    std::vector<std::string> str;
+    std::vector<std::uint8_t> b8;
+    std::size_t size() const;
+  };
+
+  Schema schema_;
+  double blocking_factor_;
+  std::size_t row_count_ = 0;
+  std::vector<Column> columns_;
+};
+
+}  // namespace mvd

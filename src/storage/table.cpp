@@ -40,6 +40,28 @@ void Table::append(Tuple tuple) {
   rows_.push_back(std::move(tuple));
 }
 
+Table Table::rebind(Schema schema, const Table& src) {
+  if (schema.size() != src.schema().size()) {
+    throw ExecError("cannot rebind: schema arity " +
+                    std::to_string(schema.size()) +
+                    " does not match source arity " +
+                    std::to_string(src.schema().size()));
+  }
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    // Declared-type compatibility transfers to the stored values: the
+    // source already enforced compatibility against its own declaration.
+    if (!type_compatible(schema.at(i).type, src.schema().at(i).type)) {
+      throw ExecError("cannot rebind " + schema.at(i).qualified() +
+                      ": declared " + to_string(schema.at(i).type) +
+                      ", stored column is " +
+                      to_string(src.schema().at(i).type));
+    }
+  }
+  Table out(std::move(schema), src.blocking_factor());
+  out.rows_ = src.rows_;
+  return out;
+}
+
 const Tuple& Table::row(std::size_t i) const {
   MVD_ASSERT_MSG(i < rows_.size(), "row " << i << " out of range");
   return rows_[i];

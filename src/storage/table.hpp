@@ -27,6 +27,11 @@ class Table {
   /// kDate is declared and vice versa — both are day counts).
   void append(Tuple tuple);
 
+  /// Copy of `src` under a new (e.g. qualified) schema, validating column
+  /// types once per column instead of once per cell. Throws ExecError on
+  /// arity or declared-type incompatibility.
+  static Table rebind(Schema schema, const Table& src);
+
   std::size_t row_count() const { return rows_.size(); }
   const Tuple& row(std::size_t i) const;
   const std::vector<Tuple>& rows() const { return rows_; }

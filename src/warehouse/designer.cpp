@@ -98,7 +98,8 @@ std::string WarehouseDesigner::report(const DesignResult& design) const {
   return os.str();
 }
 
-void WarehouseDesigner::deploy(const DesignResult& design, Database& db) const {
+void WarehouseDesigner::deploy(const DesignResult& design, Database& db,
+                               ExecStats* stats) const {
   const MvppGraph& g = design.graph();
   // Node ids ascend topologically, so iterating the ordered set stores
   // every view after the views it reads.
@@ -106,13 +107,18 @@ void WarehouseDesigner::deploy(const DesignResult& design, Database& db) const {
     MaterializedSet deps = design.selection.materialized;
     deps.erase(v);
     const Executor exec(db);
-    Table view = exec.run(refresh_plan(g, v, deps));
+    Table view = exec.run(refresh_plan(g, v, deps), stats);
+    if (stats != nullptr) {
+      stats->rows_out[g.node(v).name] = static_cast<double>(view.row_count());
+    }
     db.put_table(g.node(v).name, std::move(view));
   }
 }
 
-void WarehouseDesigner::refresh(const DesignResult& design, Database& db) const {
-  deploy(design, db);  // recompute-and-replace is the paper's maintenance
+void WarehouseDesigner::refresh(const DesignResult& design, Database& db,
+                                ExecStats* stats) const {
+  // Recompute-and-replace is the paper's maintenance discipline.
+  deploy(design, db, stats);
 }
 
 Table WarehouseDesigner::answer(const DesignResult& design,

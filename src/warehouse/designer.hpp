@@ -70,12 +70,18 @@ class WarehouseDesigner {
   // catalog names) ----
 
   /// Compute and store every chosen view (dependency order; views read
-  /// already-stored views). Stored under their MVPP node names.
-  void deploy(const DesignResult& design, Database& db) const;
+  /// already-stored views). Stored under their MVPP node names. When
+  /// `stats` is given, refresh work is accumulated and each view's row
+  /// count is recorded under its node name in stats->rows_out (the
+  /// selection/exec-rows-consistent lint rule checks those entries
+  /// against the stored tables).
+  void deploy(const DesignResult& design, Database& db,
+              ExecStats* stats = nullptr) const;
 
   /// Recompute all stored views after base-table changes (the recompute
   /// maintenance discipline of the paper).
-  void refresh(const DesignResult& design, Database& db) const;
+  void refresh(const DesignResult& design, Database& db,
+               ExecStats* stats = nullptr) const;
 
   /// Answer a registered query from the deployed warehouse.
   Table answer(const DesignResult& design, const std::string& query_name,

@@ -323,6 +323,32 @@ Catalog make_chain_catalog(const ChainSchemaOptions& options) {
   return catalog;
 }
 
+Database populate_chain_database(const ChainSchemaOptions& options,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  const Catalog catalog = make_chain_catalog(options);
+  for (std::size_t i = 0; i < options.length; ++i) {
+    const std::size_t rows = static_cast<std::size_t>(
+        static_cast<double>(options.rows) *
+        (1.0 + 0.5 * static_cast<double>(i % 3)));
+    // Key columns draw uniformly from rows/2 values, matching the
+    // catalog's distinct counts (selectivity 2/rows per equi-join key).
+    const std::int64_t key_max =
+        std::max<std::int64_t>(static_cast<std::int64_t>(rows / 2) - 1, 0);
+    Table t(catalog.schema(chain_name(i)), options.blocking_factor);
+    for (std::size_t r = 0; r < rows; ++r) {
+      Tuple row;
+      if (i > 0) row.push_back(Value::int64(rng.uniform_int(0, key_max)));
+      row.push_back(Value::int64(rng.uniform_int(0, key_max)));
+      row.push_back(Value::int64(rng.uniform_int(1, 1'000)));
+      t.append(std::move(row));
+    }
+    db.add_table(chain_name(i), std::move(t));
+  }
+  return db;
+}
+
 std::vector<QuerySpec> generate_chain_queries(const Catalog& catalog,
                                               const ChainSchemaOptions& schema,
                                               const ChainQueryOptions& options) {

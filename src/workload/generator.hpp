@@ -103,6 +103,12 @@ struct ChainSchemaOptions {
 /// for join-order and optimality-gap experiments.
 Catalog make_chain_catalog(const ChainSchemaOptions& options);
 
+/// Populate chain tables matching make_chain_catalog's statistics: R_i
+/// holds rows * (1 + 0.5 * (i % 3)) rows, each key column uniform over
+/// half that many distinct values, v uniform in [1, 1000].
+Database populate_chain_database(const ChainSchemaOptions& options,
+                                 std::uint64_t seed = 11);
+
 struct ChainQueryOptions {
   std::size_t count = 6;
   std::size_t min_span = 2;   // consecutive relations per query

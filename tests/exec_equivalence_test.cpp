@@ -1,0 +1,213 @@
+// Differential tests between the row engine and the vectorized engine:
+// every generated workload must produce the same bag of rows under both,
+// the vectorized engine must be bit-identical (including row order)
+// across thread counts, and the two engines must agree on the stats the
+// cost-model validation relies on (blocks_read, rows_out).
+#include <gtest/gtest.h>
+
+#include "src/algebra/query_spec.hpp"
+#include "src/exec/executor.hpp"
+#include "src/optimizer/optimizer.hpp"
+#include "src/workload/generator.hpp"
+
+namespace mvd {
+namespace {
+
+/// Runs `plan` under the row engine and the vectorized engine at one and
+/// four threads, asserting bag equivalence, cross-thread determinism and
+/// stats parity.
+void expect_engines_agree(const Database& db, const PlanPtr& plan) {
+  SCOPED_TRACE(plan_tree_string(plan));
+  const Executor row(db, ExecMode::kRow);
+  const Executor vec1(db, ExecMode::kVectorized, 1);
+  const Executor vec4(db, ExecMode::kVectorized, 4);
+
+  ExecStats row_stats, vec1_stats, vec4_stats;
+  const Table r = row.run(plan, &row_stats);
+  const Table v1 = vec1.run(plan, &vec1_stats);
+  const Table v4 = vec4.run(plan, &vec4_stats);
+
+  EXPECT_TRUE(same_bag(r, v1));
+
+  // Determinism: morsel boundaries are fixed and all merges happen in
+  // morsel order, so thread count must not change even the row order.
+  ASSERT_EQ(v1.row_count(), v4.row_count());
+  for (std::size_t i = 0; i < v1.row_count(); ++i) {
+    EXPECT_TRUE(v1.row(i) == v4.row(i)) << "row " << i << " differs";
+  }
+
+  // Both engines charge the same block formulas per operator, so the
+  // validation bench sees identical I/O accounting either way.
+  EXPECT_DOUBLE_EQ(row_stats.blocks_read, vec1_stats.blocks_read);
+  EXPECT_EQ(row_stats.rows_out, vec1_stats.rows_out);
+  EXPECT_DOUBLE_EQ(row_stats.rows_scanned, vec1_stats.rows_scanned);
+
+  // Thread count must not change any recorded stat.
+  EXPECT_DOUBLE_EQ(vec1_stats.blocks_read, vec4_stats.blocks_read);
+  EXPECT_DOUBLE_EQ(vec1_stats.rows_scanned, vec4_stats.rows_scanned);
+  EXPECT_DOUBLE_EQ(vec1_stats.batches, vec4_stats.batches);
+  EXPECT_EQ(vec1_stats.rows_out, vec4_stats.rows_out);
+}
+
+TEST(ExecEquivalenceTest, StarWorkloadCanonicalAndOptimizedPlans) {
+  StarSchemaOptions schema;
+  schema.dimensions = 3;
+  schema.fact_rows = 2'000;
+  schema.dimension_rows = 200;
+  const Database db = populate_star_database(schema, 21);
+  const Catalog catalog = catalog_from_database(db, 10.0);
+
+  StarQueryOptions queries;
+  queries.count = 8;
+  queries.max_dimensions = 3;
+  queries.aggregation_probability = 0.5;  // mix SPJ and rollup queries
+  queries.seed = 33;
+  const CostModel cost_model(catalog, {});
+  const Optimizer optimizer(cost_model);
+  for (const QuerySpec& q : generate_star_queries(catalog, schema, queries)) {
+    expect_engines_agree(db, canonical_plan(catalog, q));
+    expect_engines_agree(db, optimizer.optimize(q));
+  }
+}
+
+TEST(ExecEquivalenceTest, ChainWorkload) {
+  ChainSchemaOptions schema;
+  schema.length = 4;
+  schema.rows = 1'000;
+  const Database db = populate_chain_database(schema, 5);
+  const Catalog catalog = catalog_from_database(db, 10.0);
+
+  ChainQueryOptions queries;
+  queries.count = 6;
+  queries.max_span = 4;
+  const CostModel cost_model(catalog, {});
+  const Optimizer optimizer(cost_model);
+  for (const QuerySpec& q : generate_chain_queries(catalog, schema, queries)) {
+    expect_engines_agree(db, canonical_plan(catalog, q));
+    expect_engines_agree(db, optimizer.optimize(q));
+  }
+}
+
+class ExecEquivalenceEdgeTest : public ::testing::Test {
+ protected:
+  ExecEquivalenceEdgeTest() {
+    Table t(Schema({{"k", ValueType::kInt64, ""},
+                    {"name", ValueType::kString, ""},
+                    {"x", ValueType::kDouble, ""}}),
+            10.0);
+    t.append({Value::int64(1), Value::string("a"), Value::real(1.5)});
+    t.append({Value::int64(2), Value::string("b"), Value::real(2.5)});
+    t.append({Value::int64(2), Value::string("c"), Value::real(3.5)});
+    db_.add_table("T", std::move(t));
+    Table s(Schema({{"k", ValueType::kInt64, ""},
+                    {"tag", ValueType::kString, ""}}),
+            10.0);
+    s.append({Value::int64(1), Value::string("x")});
+    s.append({Value::int64(2), Value::string("y")});
+    s.append({Value::int64(3), Value::string("z")});
+    db_.add_table("S", std::move(s));
+    db_.add_table("Empty", Table(Schema({{"k", ValueType::kInt64, ""},
+                                         {"y", ValueType::kInt64, ""}}),
+                                 10.0));
+    for (const char* name : {"T", "S", "Empty"}) {
+      catalog_.add_relation(name, db_.table(name).schema(),
+                            db_.table(name).compute_stats());
+    }
+  }
+
+  Database db_;
+  Catalog catalog_{10.0};
+};
+
+TEST_F(ExecEquivalenceEdgeTest, GlobalAggregateOverEmptyInput) {
+  // SQL semantics: one output row (COUNT 0, SUM 0) even with no input.
+  const PlanPtr plan = make_aggregate(
+      make_scan(catalog_, "Empty"), {},
+      {AggSpec{AggFn::kCount, "", ""}, AggSpec{AggFn::kSum, "Empty.y", ""}});
+  expect_engines_agree(db_, plan);
+  const Executor vec(db_, ExecMode::kVectorized, 4);
+  const Table out = vec.run(plan);
+  ASSERT_EQ(out.row_count(), 1u);
+  EXPECT_EQ(out.row(0)[0].as_int64(), 0);
+}
+
+TEST_F(ExecEquivalenceEdgeTest, GroupedAggregateOverEmptyInput) {
+  // With GROUP BY, an empty input yields an empty output.
+  const PlanPtr plan = make_aggregate(make_scan(catalog_, "Empty"),
+                                      {"Empty.k"},
+                                      {AggSpec{AggFn::kCount, "", ""}});
+  expect_engines_agree(db_, plan);
+  const Executor vec(db_, ExecMode::kVectorized, 4);
+  EXPECT_EQ(vec.run(plan).row_count(), 0u);
+}
+
+TEST_F(ExecEquivalenceEdgeTest, SelectWithNoSurvivors) {
+  expect_engines_agree(db_, make_select(make_scan(catalog_, "T"),
+                                        gt(col("T.k"), lit_i64(100))));
+}
+
+TEST_F(ExecEquivalenceEdgeTest, HashJoinWithEmptySide) {
+  expect_engines_agree(db_, make_join(make_scan(catalog_, "T"),
+                                      make_scan(catalog_, "Empty"),
+                                      eq(col("T.k"), col("Empty.k"))));
+}
+
+TEST_F(ExecEquivalenceEdgeTest, CrossJoin) {
+  expect_engines_agree(db_, make_join(make_scan(catalog_, "T"),
+                                      make_scan(catalog_, "S"),
+                                      lit(Value::boolean(true))));
+}
+
+TEST_F(ExecEquivalenceEdgeTest, ThetaJoinTakesNestedLoop) {
+  expect_engines_agree(db_, make_join(make_scan(catalog_, "T"),
+                                      make_scan(catalog_, "S"),
+                                      lt(col("T.k"), col("S.k"))));
+}
+
+TEST_F(ExecEquivalenceEdgeTest, EquiJoinWithResidual) {
+  expect_engines_agree(
+      db_, make_join(make_scan(catalog_, "T"), make_scan(catalog_, "S"),
+                     conj({eq(col("T.k"), col("S.k")),
+                           cmp(CompareOp::kNe, col("S.tag"),
+                               lit_str("x"))})));
+}
+
+TEST_F(ExecEquivalenceEdgeTest, MinMaxOnStringsAndDoubles) {
+  const PlanPtr plan = make_aggregate(
+      make_scan(catalog_, "T"), {"T.k"},
+      {AggSpec{AggFn::kMin, "T.name", ""}, AggSpec{AggFn::kMax, "T.x", ""},
+       AggSpec{AggFn::kSum, "T.x", ""}});
+  expect_engines_agree(db_, plan);
+}
+
+// Small fixture exercised under ThreadSanitizer in CI: a join + aggregate
+// pipeline over enough rows for several morsels, run at four threads.
+TEST(ExecEngineTsanTest, ParallelPipelineIsRaceFreeAndDeterministic) {
+  StarSchemaOptions schema;
+  schema.dimensions = 2;
+  schema.fact_rows = 6'000;  // three morsels of fact rows
+  schema.dimension_rows = 100;
+  const Database db = populate_star_database(schema, 9);
+  const Catalog catalog = catalog_from_database(db, 10.0);
+
+  const PlanPtr plan = make_aggregate(
+      make_select(make_join(make_scan(catalog, "Fact"),
+                            make_scan(catalog, "Dim0"),
+                            eq(col("Fact.d0"), col("Dim0.id"))),
+                  gt(col("Fact.measure"), lit_i64(200))),
+      {"Dim0.category"},
+      {AggSpec{AggFn::kSum, "Fact.measure", ""},
+       AggSpec{AggFn::kCount, "", ""}});
+
+  const Executor vec1(db, ExecMode::kVectorized, 1);
+  const Executor vec4(db, ExecMode::kVectorized, 4);
+  const Table a = vec1.run(plan);
+  const Table b = vec4.run(plan);
+  ASSERT_EQ(a.row_count(), b.row_count());
+  for (std::size_t i = 0; i < a.row_count(); ++i) {
+    EXPECT_TRUE(a.row(i) == b.row(i));
+  }
+}
+
+}  // namespace
+}  // namespace mvd
