@@ -37,6 +37,9 @@ struct ExecStats {
   /// Tuples that flowed out of each operator, keyed by the node's label
   /// (used to validate cardinality estimates).
   std::map<std::string, double> rows_out;
+  /// Incremental maintenance only: compacted delta rows (inserts + deletes)
+  /// applied to each refreshed view, keyed by the view's MVPP node name.
+  std::map<std::string, double> delta_rows;
 };
 
 /// Which engine Executor::run uses.

@@ -5,6 +5,7 @@
 
 #include "src/algebra/expr.hpp"
 #include "src/common/error.hpp"
+#include "src/mvpp/rewrite.hpp"
 
 namespace mvd {
 
@@ -339,6 +340,52 @@ MutationOutcome drift_deployed_rows(const MvppGraph& clean,
   unsuitable("drift-deployed-rows", "an annotated materialized node");
 }
 
+Value default_value(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return Value::int64(0);
+    case ValueType::kDouble:
+      return Value::real(0);
+    case ValueType::kString:
+      return Value::string("");
+    case ValueType::kBool:
+      return Value::boolean(false);
+    case ValueType::kDate:
+      return Value::date(0);
+  }
+  return Value();
+}
+
+/// Tamper with a stored view behind the refresh discipline's back: the
+/// warehouse holds every base relation (empty) and, under one
+/// materialized node's name, its recompute result plus one extra default
+/// tuple. exec_stats stays unset so selection/exec-rows-consistent skips
+/// and only the bag-level oracle comparison can object.
+MutationOutcome tamper_refreshed_view(const MvppGraph& clean,
+                                      const CostModel& cm) {
+  MutationOutcome out = with_selection(clean, cm);
+  for (NodeId v : out.selection->materialized) {
+    const MvppNode& n = out.graph->node(v);
+    if (n.expr == nullptr) continue;
+    out.database = std::make_unique<Database>();
+    for (NodeId b : out.graph->bases_under(v)) {
+      const MvppNode& base = out.graph->node(b);
+      if (base.expr == nullptr) continue;
+      out.database->add_table(base.name, Table(base.expr->output_schema()));
+    }
+    const Executor exec(*out.database, ExecMode::kRow, 1);
+    Table stored = exec.run(refresh_plan(*out.graph, v, {}));
+    Tuple extra;
+    for (const Attribute& a : stored.schema().attributes()) {
+      extra.push_back(default_value(a.type));
+    }
+    stored.append(std::move(extra));
+    out.database->add_table(n.name, std::move(stored));
+    return out;
+  }
+  unsuitable("tamper-refreshed-view", "an annotated materialized node");
+}
+
 }  // namespace
 
 const std::vector<GraphMutation>& builtin_mutations() {
@@ -366,6 +413,8 @@ const std::vector<GraphMutation>& builtin_mutations() {
       {"impossible-budget", "selection/within-budget", impossible_budget},
       {"drift-deployed-rows", "selection/exec-rows-consistent",
        drift_deployed_rows},
+      {"tamper-refreshed-view", "maintenance/refresh-consistent",
+       tamper_refreshed_view},
   };
   return mutations;
 }

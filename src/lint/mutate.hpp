@@ -55,7 +55,7 @@ struct GraphMutation {
       apply;
 };
 
-/// One mutation per built-in rule (18 total). Requires `clean` to be
+/// One mutation per built-in rule (19 total). Requires `clean` to be
 /// annotated, acyclic, with at least one query, one shared child, and
 /// one select / project node — the Figure 3 MVPP qualifies.
 const std::vector<GraphMutation>& builtin_mutations();

@@ -78,6 +78,7 @@ const LintRegistry& LintRegistry::builtin() {
     register_annotation_rules(r);
     register_schema_rules(r);
     register_selection_rules(r);
+    register_maintenance_rules(r);
     return r;
   }();
   return registry;

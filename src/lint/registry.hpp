@@ -125,5 +125,6 @@ void register_structure_rules(LintRegistry& registry);
 void register_annotation_rules(LintRegistry& registry);
 void register_schema_rules(LintRegistry& registry);
 void register_selection_rules(LintRegistry& registry);
+void register_maintenance_rules(LintRegistry& registry);
 
 }  // namespace mvd

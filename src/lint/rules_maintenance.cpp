@@ -1,0 +1,79 @@
+// Maintenance-discipline rules: stored views in the warehouse must stay
+// consistent with what from-scratch recomputation of their MVPP node
+// produces. Whatever refresh path put them there — deploy, recompute
+// refresh, or the incremental delta driver — the stored bag is only
+// correct if it equals the recompute oracle.
+#include "src/common/strings.hpp"
+#include "src/exec/executor.hpp"
+#include "src/lint/registry.hpp"
+#include "src/mvpp/rewrite.hpp"
+#include "src/storage/database.hpp"
+
+namespace mvd {
+
+namespace {
+
+bool valid_materialized_set(const MvppGraph& g, const MaterializedSet& m) {
+  for (NodeId v : m) {
+    if (v < 0 || static_cast<std::size_t>(v) >= g.size() ||
+        !g.node(v).is_operation()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void check_refresh_consistent(const LintContext& ctx, RuleEmitter& out) {
+  // Recompute each stored view from the base relations only (frontier
+  // deliberately empty, so one clobbered view cannot vouch for another)
+  // and demand bag equality with the warehouse contents. Skips silently
+  // when the warehouse or any needed base relation is absent, and when
+  // the node's plan cannot run against the database (those states are
+  // other rules' business).
+  if (ctx.database == nullptr) return;
+  const MvppGraph& g = *ctx.graph;
+  const Executor exec(*ctx.database, ExecMode::kRow, 1);
+  for (const LintContext::SelectionCheck& check : ctx.selections) {
+    const SelectionResult& r = *check.result;
+    if (!valid_materialized_set(g, r.materialized)) continue;
+    for (NodeId v : r.materialized) {
+      const std::string& name = g.node(v).name;
+      if (!ctx.database->has_table(name)) continue;
+      bool bases_present = true;
+      for (NodeId b : g.bases_under(v)) {
+        if (!ctx.database->has_table(g.node(b).name)) {
+          bases_present = false;
+          break;
+        }
+      }
+      if (!bases_present) continue;
+      std::optional<Table> oracle;
+      try {
+        oracle = exec.run(refresh_plan(g, v, {}));
+      } catch (const std::exception&) {
+        continue;  // unrunnable plan: schema/binding rules own this
+      }
+      const Table& stored = ctx.database->table(name);
+      if (!same_bag(stored, *oracle)) {
+        out.emit_selection(
+            r,
+            str_cat("stored view '", name, "' holds ", stored.row_count(),
+                    " rows that are not bag-identical to recomputation (",
+                    oracle->row_count(), " rows)"),
+            "refresh the view (recompute or incremental) after base-table "
+            "updates instead of editing stored tables directly");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void register_maintenance_rules(LintRegistry& registry) {
+  registry.add({"maintenance/refresh-consistent", LintPhase::kSelection,
+                Severity::kError,
+                "stored views are bag-identical to from-scratch recomputation",
+                check_refresh_consistent});
+}
+
+}  // namespace mvd

@@ -10,6 +10,8 @@
 // maintenance is the Ext-C ablation bench.
 #pragma once
 
+#include <map>
+
 #include "src/mvpp/evaluation.hpp"
 
 namespace mvd {
@@ -34,5 +36,22 @@ double incremental_maintenance_cost(const MvppGraph& graph, NodeId v,
 double total_incremental_maintenance(const MvppGraph& graph,
                                      const MaterializedSet& m,
                                      const IncrementalOptions& options);
+
+/// Estimated block work of one executed incremental_refresh round
+/// (src/maintenance/refresh.hpp) over every view of `m`, for an update
+/// batch changing `base_fractions[b]` of each base relation b's blocks
+/// (absent bases are unchanged). Unlike incremental_delta_cost — which
+/// keeps the paper-era block-nested-loop probe (delta.blocks ×
+/// other.blocks) — this mirrors the executed driver: hash probes charge
+/// the delta build plus the full side once, full sides are produced from
+/// the materialized frontier (descendant views in `m` contribute their
+/// own deltas instead of base-derived ones), and applying a delta charges
+/// the delta plus a rewrite of the stored view. Aggregate views are
+/// costed as a grouped apply (delta + stored groups). The estimate's
+/// known biases: it assumes every view takes a delta path (no recompute
+/// fallbacks) and that batches contain deletes (stored rewrite charged).
+double executed_refresh_estimate(const MvppGraph& graph,
+                                 const MaterializedSet& m,
+                                 const std::map<NodeId, double>& base_fractions);
 
 }  // namespace mvd

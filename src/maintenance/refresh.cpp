@@ -1,0 +1,449 @@
+#include "src/maintenance/refresh.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/exec/exec_internal.hpp"
+#include "src/mvpp/rewrite.hpp"
+
+namespace mvd {
+
+std::string to_string(RefreshMode mode) {
+  switch (mode) {
+    case RefreshMode::kRecompute:
+      return "recompute";
+    case RefreshMode::kIncremental:
+      return "incremental";
+  }
+  return "?";
+}
+
+RefreshMode default_refresh_mode() {
+  const char* env = std::getenv("MVD_REFRESH_MODE");
+  if (env == nullptr) return RefreshMode::kRecompute;
+  const std::string mode(env);
+  if (mode == "incremental" || mode == "inc") return RefreshMode::kIncremental;
+  return RefreshMode::kRecompute;
+}
+
+std::string to_string(RefreshPath path) {
+  switch (path) {
+    case RefreshPath::kSkipped:
+      return "skipped";
+    case RefreshPath::kApplied:
+      return "applied";
+    case RefreshPath::kGroupApplied:
+      return "group-applied";
+    case RefreshPath::kRecomputed:
+      return "recomputed";
+  }
+  return "?";
+}
+
+std::size_t RefreshReport::count(RefreshPath path) const {
+  std::size_t n = 0;
+  for (const ViewRefresh& v : views) {
+    if (v.path == path) ++n;
+  }
+  return n;
+}
+
+double RefreshReport::total_delta_rows() const {
+  double total = 0;
+  for (const ViewRefresh& v : views) total += v.delta_rows;
+  return total;
+}
+
+double RefreshReport::total_blocks_read() const {
+  double total = 0;
+  for (const ViewRefresh& v : views) total += v.blocks_read;
+  return total;
+}
+
+namespace {
+
+std::string packed_row_key(const Tuple& t,
+                           const std::vector<std::size_t>& indices) {
+  std::string key;
+  for (std::size_t i : indices) append_packed_key(key, t[i]);
+  return key;
+}
+
+/// Accumulated effect of one child delta on one group of an aggregate
+/// view. `ins` mirrors the engine's accumulators over the insert rows
+/// alone (exactly what a fresh group's row is built from); deleted-value
+/// extremes drive the MIN/MAX self-maintainability check.
+struct GroupDelta {
+  std::int64_t dn = 0;  // insert rows − delete rows
+  bool saw_delete = false;
+  std::vector<double> dsum;  // per SUM spec: Σ insert values − Σ deletes
+  std::vector<Accumulator> ins;
+  std::vector<std::optional<Value>> del_lo;
+  std::vector<std::optional<Value>> del_hi;
+  Tuple group_values;
+};
+
+struct GroupApplyResult {
+  Table next;
+  DeltaTable view_delta;  // over the stored schema, compacted
+};
+
+/// Apply `child_delta` (compacted, over the aggregate's input schema) to
+/// the stored aggregate view by grouped +/- maintenance. Returns nullopt
+/// when this batch is not self-maintainable — AVG without a COUNT and a
+/// same-column SUM to recover exact state from, deletes without a COUNT
+/// to detect emptied groups, or a delete reaching a stored MIN/MAX —
+/// in which case the caller recomputes. Throws ExecError when the delta
+/// disagrees with the stored view (negative counts, deletes into absent
+/// groups).
+std::optional<GroupApplyResult> try_group_apply(const AggregateOp& op,
+                                                const Table& stored,
+                                                const DeltaTable& child_delta) {
+  const Schema& is = child_delta.schema();
+  const std::size_t n_groups = op.group_by().size();
+  const std::vector<AggSpec>& specs = op.aggregates();
+
+  std::vector<std::size_t> group_idx;
+  for (const std::string& g : op.group_by()) group_idx.push_back(is.index_of(g));
+  std::vector<std::size_t> agg_idx;  // SIZE_MAX for COUNT(*)
+  for (const AggSpec& a : specs) {
+    agg_idx.push_back(a.column.empty() ? SIZE_MAX : is.index_of(a.column));
+  }
+
+  // Static self-maintainability: a COUNT recovers group cardinality; an
+  // AVG additionally needs a same-column SUM (the stored average is a
+  // rounded quotient — multiplying it back would lose exactness).
+  std::optional<std::size_t> count_spec;
+  for (std::size_t j = 0; j < specs.size(); ++j) {
+    if (specs[j].fn == AggFn::kCount) {
+      count_spec = j;
+      break;
+    }
+  }
+  bool has_minmax = false;
+  std::vector<std::size_t> avg_source(specs.size(), SIZE_MAX);
+  for (std::size_t j = 0; j < specs.size(); ++j) {
+    switch (specs[j].fn) {
+      case AggFn::kCount:
+      case AggFn::kSum:
+        break;
+      case AggFn::kMin:
+      case AggFn::kMax:
+        has_minmax = true;
+        break;
+      case AggFn::kAvg: {
+        if (!count_spec.has_value()) return std::nullopt;
+        for (std::size_t k = 0; k < specs.size(); ++k) {
+          if (specs[k].fn == AggFn::kSum && specs[k].column == specs[j].column) {
+            avg_source[j] = k;
+            break;
+          }
+        }
+        if (avg_source[j] == SIZE_MAX) return std::nullopt;
+        break;
+      }
+    }
+  }
+  const bool has_deletes = child_delta.deletes().row_count() > 0;
+  if (has_deletes && !count_spec.has_value()) return std::nullopt;
+  // A global aggregate stores a placeholder row for the empty input;
+  // telling it apart from real data needs a COUNT, and its MIN/MAX
+  // placeholders are not real extrema.
+  if (n_groups == 0 && has_minmax && !count_spec.has_value()) {
+    return std::nullopt;
+  }
+
+  // Fold the child delta into per-group effects.
+  std::unordered_map<std::string, std::size_t> affected_index;
+  std::vector<GroupDelta> affected;
+  std::vector<std::string> affected_keys;  // first-seen order
+  auto group_of = [&](const Tuple& t) -> GroupDelta& {
+    std::string key = packed_row_key(t, group_idx);
+    auto [it, inserted] = affected_index.try_emplace(key, affected.size());
+    if (inserted) {
+      GroupDelta g;
+      g.dsum.resize(specs.size(), 0);
+      g.ins.resize(specs.size());
+      g.del_lo.resize(specs.size());
+      g.del_hi.resize(specs.size());
+      g.group_values.reserve(n_groups);
+      for (std::size_t gi : group_idx) g.group_values.push_back(t[gi]);
+      affected.push_back(std::move(g));
+      affected_keys.push_back(std::move(key));
+    }
+    return affected[it->second];
+  };
+  for (const Tuple& t : child_delta.inserts().rows()) {
+    GroupDelta& g = group_of(t);
+    g.dn += 1;
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      const Value v =
+          agg_idx[j] == SIZE_MAX ? Value::int64(1) : t[agg_idx[j]];
+      if (specs[j].fn == AggFn::kSum) g.dsum[j] += v.as_double();
+      g.ins[j].feed(v);
+    }
+  }
+  for (const Tuple& t : child_delta.deletes().rows()) {
+    GroupDelta& g = group_of(t);
+    g.dn -= 1;
+    g.saw_delete = true;
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      const Value v =
+          agg_idx[j] == SIZE_MAX ? Value::int64(1) : t[agg_idx[j]];
+      if (specs[j].fn == AggFn::kSum) g.dsum[j] -= v.as_double();
+      if (specs[j].fn == AggFn::kMin || specs[j].fn == AggFn::kMax) {
+        if (!g.del_lo[j].has_value() || v.compare(*g.del_lo[j]) < 0) {
+          g.del_lo[j] = v;
+        }
+        if (!g.del_hi[j].has_value() || v.compare(*g.del_hi[j]) > 0) {
+          g.del_hi[j] = v;
+        }
+      }
+    }
+  }
+
+  // Index stored rows by group key (group columns lead the view schema).
+  std::vector<std::size_t> stored_group_idx;
+  for (std::size_t i = 0; i < n_groups; ++i) stored_group_idx.push_back(i);
+  std::unordered_map<std::string, std::size_t> stored_index;
+  stored_index.reserve(stored.row_count());
+  for (std::size_t i = 0; i < stored.row_count(); ++i) {
+    stored_index.emplace(packed_row_key(stored.row(i), stored_group_idx), i);
+  }
+
+  // Dynamic checks + new-row computation, before any mutation.
+  const Schema& os = stored.schema();
+  std::unordered_map<std::size_t, std::optional<Tuple>> replacements;
+  std::vector<Tuple> fresh_rows;
+  for (std::size_t a = 0; a < affected.size(); ++a) {
+    const GroupDelta& g = affected[a];
+    const auto sit = stored_index.find(affected_keys[a]);
+    if (sit == stored_index.end()) {
+      if (g.saw_delete) {
+        throw ExecError(
+            "aggregate delta deletes from a group absent in the stored view "
+            "(stale or clobbered view?)");
+      }
+      Tuple row = g.group_values;
+      for (std::size_t j = 0; j < specs.size(); ++j) {
+        row.push_back(g.ins[j].result(specs[j].fn, os.at(n_groups + j).type));
+      }
+      fresh_rows.push_back(std::move(row));
+      continue;
+    }
+    const Tuple& old = stored.row(sit->second);
+    std::int64_t old_count = 0;
+    if (count_spec.has_value()) {
+      old_count = old[n_groups + *count_spec].as_int64();
+    }
+    if (n_groups == 0 && has_minmax && old_count == 0) {
+      return std::nullopt;  // placeholder extrema are not maintainable
+    }
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      const std::size_t c = n_groups + j;
+      if (specs[j].fn == AggFn::kMin && g.del_lo[j].has_value() &&
+          g.del_lo[j]->compare(old[c]) <= 0) {
+        return std::nullopt;  // stored minimum may have been deleted
+      }
+      if (specs[j].fn == AggFn::kMax && g.del_hi[j].has_value() &&
+          g.del_hi[j]->compare(old[c]) >= 0) {
+        return std::nullopt;
+      }
+    }
+    const std::int64_t new_count = old_count + g.dn;
+    if (count_spec.has_value() && new_count < 0) {
+      throw ExecError(
+          "aggregate delta drives a group count negative (stale or "
+          "clobbered view?)");
+    }
+    if (count_spec.has_value() && new_count == 0) {
+      if (n_groups > 0) {
+        replacements.emplace(sit->second, std::nullopt);  // group emptied
+        continue;
+      }
+      // Global aggregate over a now-empty input: the engine's placeholder.
+      Tuple row;
+      for (std::size_t j = 0; j < specs.size(); ++j) {
+        row.push_back(Accumulator{}.result(specs[j].fn, os.at(j).type));
+      }
+      replacements.emplace(sit->second, std::move(row));
+      continue;
+    }
+    Tuple row = old;
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      const std::size_t c = n_groups + j;
+      switch (specs[j].fn) {
+        case AggFn::kCount:
+          row[c] = Value::int64(old[c].as_int64() + g.dn);
+          break;
+        case AggFn::kSum:
+          row[c] = Value::real(old[c].as_double() + g.dsum[j]);
+          break;
+        case AggFn::kAvg: {
+          const double sum =
+              old[n_groups + avg_source[j]].as_double() + g.dsum[avg_source[j]];
+          row[c] = Value::real(new_count > 0
+                                   ? sum / static_cast<double>(new_count)
+                                   : 0.0);
+          break;
+        }
+        case AggFn::kMin:
+          if (g.ins[j].min.has_value() && g.ins[j].min->compare(old[c]) < 0) {
+            row[c] = *g.ins[j].min;
+          }
+          break;
+        case AggFn::kMax:
+          if (g.ins[j].max.has_value() && g.ins[j].max->compare(old[c]) > 0) {
+            row[c] = *g.ins[j].max;
+          }
+          break;
+      }
+    }
+    replacements.emplace(sit->second, std::move(row));
+  }
+
+  // Rebuild the stored view, collecting its own delta for ancestors.
+  GroupApplyResult result{Table(os, stored.blocking_factor()),
+                          DeltaTable(os, stored.blocking_factor())};
+  for (std::size_t i = 0; i < stored.row_count(); ++i) {
+    const auto rit = replacements.find(i);
+    if (rit == replacements.end()) {
+      result.next.append(stored.row(i));
+      continue;
+    }
+    result.view_delta.add_delete(stored.row(i));
+    if (rit->second.has_value()) {
+      result.next.append(*rit->second);
+      result.view_delta.add_insert(*rit->second);
+    }
+  }
+  for (Tuple& row : fresh_rows) {
+    result.view_delta.add_insert(row);
+    result.next.append(std::move(row));
+  }
+  result.view_delta = result.view_delta.compacted();
+  return result;
+}
+
+void fold_stats(ExecStats* into, const ExecStats& from) {
+  if (into == nullptr) return;
+  into->blocks_read += from.blocks_read;
+  into->rows_scanned += from.rows_scanned;
+  into->batches += from.batches;
+  for (const auto& [k, v] : from.rows_out) into->rows_out[k] = v;
+  for (const auto& [k, v] : from.delta_rows) into->delta_rows[k] = v;
+}
+
+}  // namespace
+
+RefreshReport incremental_refresh(const MvppGraph& graph,
+                                  const MaterializedSet& m, Database& db,
+                                  const DeltaSet& base_deltas,
+                                  ExecStats* stats, ExecMode mode,
+                                  std::size_t threads) {
+  RefreshReport report;
+  // Deltas pending at the frontier: base-relation deltas plus, as views
+  // refresh, each view's own delta under its node name (the same names
+  // refresh_plan gives its scan leaves).
+  DeltaSet frontier = base_deltas;
+  for (NodeId v : m) {
+    const std::string& name = graph.node(v).name;
+    MaterializedSet deps = m;
+    deps.erase(v);
+    const PlanPtr plan = refresh_plan(graph, v, deps);
+
+    ViewRefresh entry;
+    entry.id = v;
+    entry.view = name;
+    // A fresh propagator per view: earlier iterations replaced stored
+    // tables in the database, so memoized full sides (and the vectorized
+    // engine's columnar cache) must not carry over.
+    DeltaPropagator prop(db, frontier, mode, threads);
+    if (!prop.touches(plan)) {
+      entry.stored_rows = static_cast<double>(db.table(name).row_count());
+      if (stats != nullptr) {
+        stats->rows_out[name] = entry.stored_rows;
+        stats->delta_rows[name] = 0;
+      }
+      report.views.push_back(std::move(entry));
+      continue;
+    }
+
+    ExecStats local;
+    std::optional<DeltaTable> view_delta;  // over the stored schema
+    if (plan->kind() == OpKind::kAggregate) {
+      const auto& agg = static_cast<const AggregateOp&>(*plan);
+      auto child_delta = prop.propagate(plan->children()[0], &local);
+      if (child_delta.has_value()) {
+        const DeltaTable compact = child_delta->compacted();
+        const Table& stored = db.table(name);
+        if (compact.empty()) {
+          view_delta.emplace(stored.schema(), stored.blocking_factor());
+          entry.path = RefreshPath::kGroupApplied;
+        } else if (auto applied = try_group_apply(agg, stored, compact)) {
+          // Applying reads the stored groups once plus the delta.
+          local.blocks_read += stored.blocks() + compact.blocks();
+          local.rows_scanned +=
+              static_cast<double>(stored.row_count() + compact.row_count());
+          view_delta = std::move(applied->view_delta);
+          db.put_table(name, std::move(applied->next));
+          entry.path = RefreshPath::kGroupApplied;
+          entry.delta_rows = static_cast<double>(compact.row_count());
+        }
+      }
+    } else {
+      auto delta = prop.propagate(plan, &local);
+      if (delta.has_value()) {
+        const DeltaTable compact = delta->compacted();
+        Table& stored = db.mutable_table(name);
+        // Applying charges the delta; a batch with deletes additionally
+        // rewrites the stored table.
+        local.blocks_read += compact.blocks();
+        if (compact.deletes().row_count() > 0) {
+          local.blocks_read += stored.blocks();
+          local.rows_scanned += static_cast<double>(stored.row_count());
+        }
+        apply_delta(stored, compact);
+        view_delta = compact;
+        entry.path = RefreshPath::kApplied;
+        entry.delta_rows = static_cast<double>(compact.row_count());
+      }
+    }
+
+    if (!view_delta.has_value()) {
+      // Fallback: recompute from the frontier (the propagator memoized any
+      // full sides it already produced, so partial work is reused).
+      const Table& fresh = prop.full(plan, &local);
+      const bool ancestor_in_m = [&] {
+        for (NodeId a : graph.ancestors(v)) {
+          if (m.contains(a)) return true;
+        }
+        return false;
+      }();
+      if (ancestor_in_m) {
+        DeltaTable diffed = DeltaTable::diff(db.table(name), fresh);
+        entry.delta_rows = static_cast<double>(diffed.row_count());
+        view_delta = std::move(diffed);
+      }
+      db.put_table(name, Table(fresh));
+      entry.path = RefreshPath::kRecomputed;
+    }
+
+    if (view_delta.has_value()) {
+      frontier.insert_or_assign(name, std::move(*view_delta));
+    }
+    entry.stored_rows = static_cast<double>(db.table(name).row_count());
+    entry.blocks_read = local.blocks_read;
+    local.rows_out[name] = entry.stored_rows;
+    local.delta_rows[name] = entry.delta_rows;
+    fold_stats(stats, local);
+    report.views.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace mvd

@@ -7,9 +7,17 @@
 namespace mvd {
 
 std::size_t apply_update_batch(Database& db, const std::string& relation,
-                               const UpdateStreamOptions& options, Rng& rng) {
+                               const UpdateStreamOptions& options, Rng& rng,
+                               DeltaSet* delta_out) {
   const Table& old = db.table(relation);
   if (old.row_count() == 0) return 0;
+
+  DeltaTable* delta = nullptr;
+  if (delta_out != nullptr) {
+    delta = &delta_out->try_emplace(relation, old.schema(),
+                                    old.blocking_factor())
+                 .first->second;
+  }
 
   const std::size_t n = old.row_count();
   auto count_of = [&](double fraction) {
@@ -25,7 +33,11 @@ std::size_t apply_update_batch(Database& db, const std::string& relation,
 
   Table next(old.schema(), old.blocking_factor());
   for (std::size_t i = 0; i < n; ++i) {
-    if (!dead[i]) next.append(old.row(i));
+    if (!dead[i]) {
+      next.append(old.row(i));
+    } else if (delta != nullptr) {
+      delta->add_delete(old.row(i));
+    }
   }
 
   // In-place modifications: perturb one numeric column of random rows.
@@ -41,8 +53,10 @@ std::size_t apply_update_batch(Database& db, const std::string& relation,
     for (std::size_t i = 0; i < modifies; ++i) {
       const std::size_t r = rng.index(next.row_count());
       Tuple t = next.row(r);
+      if (delta != nullptr) delta->add_delete(t);
       t[numeric_col] =
           Value::int64(t[numeric_col].as_int64() + rng.uniform_int(-5, 5));
+      if (delta != nullptr) delta->add_insert(t);
       next.update_row(r, std::move(t));
       ++touched;
     }
@@ -54,6 +68,7 @@ std::size_t apply_update_batch(Database& db, const std::string& relation,
     if (numeric_col < old.schema().size()) {
       t[numeric_col] = Value::int64(t[numeric_col].as_int64() + 1);
     }
+    if (delta != nullptr) delta->add_insert(t);
     next.append(std::move(t));
     ++touched;
   }

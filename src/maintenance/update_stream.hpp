@@ -7,6 +7,7 @@
 
 #include "src/common/random.hpp"
 #include "src/storage/database.hpp"
+#include "src/storage/delta_table.hpp"
 
 namespace mvd {
 
@@ -23,7 +24,13 @@ struct UpdateStreamOptions {
 /// perturbs numeric columns of random rows, and appends near-duplicates of
 /// random rows (keeping schema types valid). Returns the number of rows
 /// touched. Deterministic in `rng`.
+///
+/// When `delta_out` is given, the batch's exact signed delta (new state −
+/// old state, modifications as delete + insert pairs) is accumulated into
+/// delta_out[relation] — across calls too, so several batches can be
+/// captured and refreshed in one incremental_refresh round.
 std::size_t apply_update_batch(Database& db, const std::string& relation,
-                               const UpdateStreamOptions& options, Rng& rng);
+                               const UpdateStreamOptions& options, Rng& rng,
+                               DeltaSet* delta_out = nullptr);
 
 }  // namespace mvd

@@ -25,6 +25,12 @@ const Table& Database::table(const std::string& name) const {
   return it->second;
 }
 
+Table& Database::mutable_table(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw ExecError("unknown table '" + name + "'");
+  return it->second;
+}
+
 void Database::drop_table(const std::string& name) {
   if (tables_.erase(name) == 0) {
     throw ExecError("cannot drop unknown table '" + name + "'");

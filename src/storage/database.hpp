@@ -22,6 +22,10 @@ class Database {
   bool has_table(const std::string& name) const;
   const Table& table(const std::string& name) const;
 
+  /// Mutable access for in-place maintenance (incremental refresh applies
+  /// deltas to stored views without copying them). Throws like table().
+  Table& mutable_table(const std::string& name);
+
   void drop_table(const std::string& name);
 
   std::vector<std::string> table_names() const;

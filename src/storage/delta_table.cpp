@@ -1,0 +1,236 @@
+#include "src/storage/delta_table.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+
+namespace mvd {
+
+namespace {
+
+// Lossless tuple encoding for bag matching: numerics by their double bit
+// pattern (so values that compare equal across kInt64/kDate/kDouble also
+// key equal, mirroring Value::operator==; zeros normalized so -0.0 and
+// +0.0 share a key), strings length-prefixed, bools one byte.
+void append_value_key(std::string& key, const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+    case ValueType::kDate:
+    case ValueType::kDouble: {
+      double d = v.as_double();
+      if (d == 0) d = 0;  // collapse -0.0
+      char bits[sizeof(double)];
+      std::memcpy(bits, &d, sizeof(double));
+      key += 'n';
+      key.append(bits, sizeof(double));
+      return;
+    }
+    case ValueType::kString: {
+      const auto len = static_cast<std::uint32_t>(v.as_string().size());
+      char bits[sizeof(len)];
+      std::memcpy(bits, &len, sizeof(len));
+      key += 's';
+      key.append(bits, sizeof(len));
+      key += v.as_string();
+      return;
+    }
+    case ValueType::kBool:
+      key += 'b';
+      key += v.as_bool() ? '\1' : '\0';
+      return;
+  }
+  MVD_ASSERT(false);
+}
+
+std::string tuple_key(const Tuple& t) {
+  std::string key;
+  for (const Value& v : t) append_value_key(key, v);
+  return key;
+}
+
+// Allocation-free 64-bit tuple hash with the same equivalence as
+// tuple_key (numerics by normalized double bits, so kInt64 1 and kDouble
+// 1.0 hash equal). Collisions are resolved by tuples_match, so this only
+// needs to be consistent, not perfect.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t tuple_hash(const Tuple& t) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const Value& v : t) {
+    switch (v.type()) {
+      case ValueType::kInt64:
+      case ValueType::kDate:
+      case ValueType::kDouble: {
+        double d = v.as_double();
+        if (d == 0) d = 0;  // collapse -0.0
+        std::uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        h = mix(h, bits);
+        break;
+      }
+      case ValueType::kString:
+        h = mix(h, std::hash<std::string>{}(v.as_string()));
+        break;
+      case ValueType::kBool:
+        h = mix(h, v.as_bool() ? 2 : 3);
+        break;
+    }
+  }
+  return h;
+}
+
+bool values_match(const Value& a, const Value& b) {
+  const auto numeric = [](ValueType t) {
+    return t == ValueType::kInt64 || t == ValueType::kDate ||
+           t == ValueType::kDouble;
+  };
+  if (numeric(a.type()) && numeric(b.type())) {
+    return a.as_double() == b.as_double();
+  }
+  if (a.type() != b.type()) return false;
+  if (a.type() == ValueType::kString) return a.as_string() == b.as_string();
+  return a.as_bool() == b.as_bool();
+}
+
+bool tuples_match(const Tuple& a, const Tuple& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!values_match(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DeltaTable::DeltaTable(Schema schema, double blocking_factor)
+    : inserts_(schema, blocking_factor),
+      deletes_(std::move(schema), blocking_factor) {}
+
+DeltaTable DeltaTable::compacted() const {
+  // Pair off equal tuples across the two bags.
+  std::unordered_map<std::string, std::int64_t> balance;
+  for (const Tuple& t : inserts_.rows()) balance[tuple_key(t)] += 1;
+  for (const Tuple& t : deletes_.rows()) balance[tuple_key(t)] -= 1;
+  DeltaTable out(schema(), blocking_factor());
+  std::unordered_map<std::string, std::int64_t> remaining = balance;
+  for (const Tuple& t : inserts_.rows()) {
+    auto& r = remaining[tuple_key(t)];
+    if (r > 0) {
+      out.add_insert(t);
+      --r;
+    }
+  }
+  for (const Tuple& t : deletes_.rows()) {
+    auto& r = remaining[tuple_key(t)];
+    if (r < 0) {
+      out.add_delete(t);
+      ++r;
+    }
+  }
+  return out;
+}
+
+DeltaTable DeltaTable::diff(const Table& before, const Table& after) {
+  if (before.schema().size() != after.schema().size()) {
+    throw ExecError("delta diff over tables of different arity");
+  }
+  std::unordered_map<std::string, std::int64_t> balance;
+  balance.reserve(after.row_count());
+  for (const Tuple& t : after.rows()) balance[tuple_key(t)] += 1;
+  for (const Tuple& t : before.rows()) balance[tuple_key(t)] -= 1;
+  DeltaTable out(after.schema(), after.blocking_factor());
+  std::unordered_map<std::string, std::int64_t> remaining = balance;
+  for (const Tuple& t : after.rows()) {
+    auto& r = remaining[tuple_key(t)];
+    if (r > 0) {
+      out.add_insert(t);
+      --r;
+    }
+  }
+  for (const Tuple& t : before.rows()) {
+    auto& r = remaining[tuple_key(t)];
+    if (r < 0) {
+      out.add_delete(t);
+      ++r;
+    }
+  }
+  return out;
+}
+
+DeltaTable DeltaTable::rebind(Schema schema, const DeltaTable& src) {
+  DeltaTable out(schema, src.blocking_factor());
+  out.inserts_ = Table::rebind(schema, src.inserts_);
+  out.deletes_ = Table::rebind(std::move(schema), src.deletes_);
+  return out;
+}
+
+void apply_delta(Table& stored, const DeltaTable& delta) {
+  if (delta.empty()) return;
+  if (stored.schema().size() != delta.schema().size()) {
+    throw ExecError("delta arity does not match the stored table");
+  }
+  if (delta.deletes().row_count() == 0) {
+    // Insert-only batches append in place without re-reading the table.
+    for (const Tuple& t : delta.inserts().rows()) stored.append(t);
+    return;
+  }
+  // Hash-bucketed pending deletes (exemplar tuple + multiplicity), probed
+  // with an allocation-free hash per stored row and verified by value, so
+  // a small batch against a large view costs one cheap scan instead of a
+  // keyed rebuild. Matched rows are swap-removed in descending order.
+  struct Bucket {
+    const Tuple* exemplar;
+    std::int64_t remaining;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Bucket>> pending;
+  pending.reserve(delta.deletes().row_count());
+  for (const Tuple& t : delta.deletes().rows()) {
+    std::vector<Bucket>& bucket = pending[tuple_hash(t)];
+    bool found = false;
+    for (Bucket& b : bucket) {
+      if (tuples_match(*b.exemplar, t)) {
+        ++b.remaining;
+        found = true;
+        break;
+      }
+    }
+    if (!found) bucket.push_back({&t, 1});
+  }
+  std::int64_t unmatched =
+      static_cast<std::int64_t>(delta.deletes().row_count());
+  std::vector<std::size_t> doomed;
+  doomed.reserve(delta.deletes().row_count());
+  std::size_t idx = 0;
+  for (const Tuple& t : stored.rows()) {
+    const auto it = pending.find(tuple_hash(t));
+    if (it != pending.end()) {
+      for (Bucket& b : it->second) {
+        if (b.remaining > 0 && tuples_match(*b.exemplar, t)) {
+          --b.remaining;
+          --unmatched;
+          doomed.push_back(idx);
+          break;
+        }
+      }
+      if (unmatched == 0) break;
+    }
+    ++idx;
+  }
+  if (unmatched != 0) {
+    throw ExecError(
+        "delta deletes rows absent from the stored table (stale or "
+        "clobbered view?)");
+  }
+  for (auto it = doomed.rbegin(); it != doomed.rend(); ++it) {
+    stored.remove_row(*it);
+  }
+  for (const Tuple& t : delta.inserts().rows()) stored.append(t);
+}
+
+}  // namespace mvd

@@ -1,0 +1,69 @@
+// Signed row deltas — the unit of incremental view maintenance.
+//
+// A DeltaTable is a pair of bags (inserts, deletes) over one schema,
+// representing the multiset difference `after − before` of a relation.
+// Deltas use the same Table block accounting the cost model reasons in,
+// so executed delta work is directly comparable to the incremental
+// maintenance estimates (src/maintenance/incremental.hpp). A DeltaSet
+// names the deltas of one update round the way a Database names tables;
+// the propagation operators (src/exec/delta.hpp) look leaves up in it.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/storage/table.hpp"
+
+namespace mvd {
+
+class DeltaTable {
+ public:
+  explicit DeltaTable(Schema schema, double blocking_factor = 10.0);
+
+  const Schema& schema() const { return inserts_.schema(); }
+  double blocking_factor() const { return inserts_.blocking_factor(); }
+
+  const Table& inserts() const { return inserts_; }
+  const Table& deletes() const { return deletes_; }
+
+  /// Append with the usual Table arity/type checks.
+  void add_insert(Tuple tuple) { inserts_.append(std::move(tuple)); }
+  void add_delete(Tuple tuple) { deletes_.append(std::move(tuple)); }
+
+  std::size_t row_count() const {
+    return inserts_.row_count() + deletes_.row_count();
+  }
+  bool empty() const { return row_count() == 0; }
+
+  /// Combined size in blocks (insert blocks + delete blocks).
+  double blocks() const { return inserts_.blocks() + deletes_.blocks(); }
+
+  /// Copy with matched insert/delete pairs cancelled (bag semantics).
+  /// An update stream that rewrites a row to itself produces such pairs;
+  /// cancelling them before propagation avoids amplifying no-op work.
+  DeltaTable compacted() const;
+
+  /// The bag difference `after − before` (schemas must have equal arity;
+  /// tuples compare by value, so an int64 1 matches a double 1.0).
+  static DeltaTable diff(const Table& before, const Table& after);
+
+  /// Both sides copied under a new (e.g. qualified) schema via
+  /// Table::rebind. Throws ExecError on incompatibility.
+  static DeltaTable rebind(Schema schema, const DeltaTable& src);
+
+ private:
+  Table inserts_;
+  Table deletes_;
+};
+
+/// The named deltas of one update round, keyed like Database tables (base
+/// relations under their catalog names, refreshed views under their MVPP
+/// node names). A missing or empty entry means "unchanged".
+using DeltaSet = std::map<std::string, DeltaTable>;
+
+/// Apply `delta` to `stored` in place: bag-subtract the deletes, append
+/// the inserts. Throws ExecError when a delete has no matching stored row
+/// (the stored view disagrees with the state the delta was derived from).
+void apply_delta(Table& stored, const DeltaTable& delta);
+
+}  // namespace mvd

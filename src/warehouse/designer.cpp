@@ -121,6 +121,29 @@ void WarehouseDesigner::refresh(const DesignResult& design, Database& db,
   deploy(design, db, stats);
 }
 
+RefreshReport WarehouseDesigner::refresh(const DesignResult& design,
+                                         Database& db,
+                                         const DeltaSet& base_deltas,
+                                         RefreshMode mode,
+                                         ExecStats* stats) const {
+  const MvppGraph& g = design.graph();
+  if (mode == RefreshMode::kIncremental) {
+    return incremental_refresh(g, design.selection.materialized, db,
+                               base_deltas, stats);
+  }
+  deploy(design, db, stats);
+  RefreshReport report;
+  for (NodeId v : design.selection.materialized) {
+    ViewRefresh entry;
+    entry.id = v;
+    entry.view = g.node(v).name;
+    entry.path = RefreshPath::kRecomputed;
+    entry.stored_rows = static_cast<double>(db.table(entry.view).row_count());
+    report.views.push_back(std::move(entry));
+  }
+  return report;
+}
+
 Table WarehouseDesigner::answer(const DesignResult& design,
                                 const std::string& query_name,
                                 const Database& db, ExecStats* stats) const {

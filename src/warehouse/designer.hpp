@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/exec/executor.hpp"
+#include "src/maintenance/refresh.hpp"
 #include "src/mvpp/builder.hpp"
 #include "src/mvpp/rewrite.hpp"
 
@@ -82,6 +83,17 @@ class WarehouseDesigner {
   /// maintenance discipline of the paper).
   void refresh(const DesignResult& design, Database& db,
                ExecStats* stats = nullptr) const;
+
+  /// Maintain the stored views after base-table changes described by
+  /// `base_deltas` (capture them by passing a delta_out to
+  /// apply_update_batch). kIncremental propagates the deltas through each
+  /// view's refresh plan and applies them in place
+  /// (src/maintenance/refresh.hpp); kRecompute re-runs every refresh plan
+  /// as deploy does. Both return a per-view report of the path taken.
+  RefreshReport refresh(const DesignResult& design, Database& db,
+                        const DeltaSet& base_deltas,
+                        RefreshMode mode = default_refresh_mode(),
+                        ExecStats* stats = nullptr) const;
 
   /// Answer a registered query from the deployed warehouse.
   Table answer(const DesignResult& design, const std::string& query_name,

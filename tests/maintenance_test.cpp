@@ -122,5 +122,97 @@ TEST_F(UpdateStreamTest, DeterministicInRng) {
   EXPECT_TRUE(same_bag(a.table("Order"), b.table("Order")));
 }
 
+TEST_F(UpdateStreamTest, DeltaCaptureIsDeterministicInRng) {
+  // Capturing the delta must not consume extra randomness: two runs from
+  // the same seed — one capturing, one not — produce the same table, and
+  // the captured sides are themselves reproducible.
+  Database a = populate_paper_database(0.01, 3);
+  Database b = populate_paper_database(0.01, 3);
+  Rng ra(9), rb(9);
+  DeltaSet da, db2;
+  apply_update_batch(a, "Order", {0.05, 0.05, 0.02}, ra, &da);
+  apply_update_batch(b, "Order", {0.05, 0.05, 0.02}, rb, &db2);
+  EXPECT_TRUE(same_bag(a.table("Order"), b.table("Order")));
+  EXPECT_TRUE(same_bag(da.at("Order").inserts(), db2.at("Order").inserts()));
+  EXPECT_TRUE(same_bag(da.at("Order").deletes(), db2.at("Order").deletes()));
+  Database c = populate_paper_database(0.01, 3);
+  Rng rc(9);
+  apply_update_batch(c, "Order", {0.05, 0.05, 0.02}, rc);  // no capture
+  EXPECT_TRUE(same_bag(a.table("Order"), c.table("Order")));
+}
+
+TEST_F(UpdateStreamTest, CapturedDeltaEqualsNewMinusOld) {
+  const Table before = db_.table("Order");
+  Rng rng(17);
+  DeltaSet batch;
+  apply_update_batch(db_, "Order", {0.08, 0.04, 0.03}, rng, &batch);
+  const DeltaTable truth = DeltaTable::diff(before, db_.table("Order"));
+  const DeltaTable captured = batch.at("Order").compacted();
+  EXPECT_TRUE(same_bag(truth.inserts(), captured.inserts()));
+  EXPECT_TRUE(same_bag(truth.deletes(), captured.deletes()));
+  // And applying the compacted capture to the old state replays the batch
+  // exactly. (The raw capture can delete an intermediate state — a row
+  // modified twice in one batch — which only compaction cancels.)
+  Table replay = before;
+  apply_delta(replay, captured);
+  EXPECT_TRUE(same_bag(replay, db_.table("Order")));
+}
+
+TEST_F(UpdateStreamTest, DeltaAccumulatesAcrossBatches) {
+  const Table before = db_.table("Order");
+  Rng rng(21);
+  DeltaSet batch;
+  apply_update_batch(db_, "Order", {0.03, 0.03, 0.01}, rng, &batch);
+  apply_update_batch(db_, "Order", {0.03, 0.03, 0.01}, rng, &batch);
+  Table replay = before;
+  apply_delta(replay, batch.at("Order").compacted());
+  EXPECT_TRUE(same_bag(replay, db_.table("Order")));
+}
+
+TEST_F(UpdateStreamTest, ZeroRoundingFractionsAreNoops) {
+  // Fractions so small that every count rounds to zero: nothing changes
+  // and the captured delta (entry created eagerly) stays empty.
+  const Table before = db_.table("Division");
+  const std::size_t n = before.row_count();
+  ASSERT_GT(n, 0u);
+  const double tiny = 0.4 / static_cast<double>(n);  // llround → 0
+  Rng rng(5);
+  DeltaSet batch;
+  EXPECT_EQ(apply_update_batch(db_, "Division", {tiny, tiny, tiny}, rng,
+                               &batch),
+            0u);
+  EXPECT_TRUE(same_bag(before, db_.table("Division")));
+  EXPECT_TRUE(batch.at("Division").empty());
+}
+
+TEST_F(UpdateStreamTest, DeleteEverythingKeepsAtLeastOneRow) {
+  // delete_fraction 1.0 is capped at n−1 so the relation never empties
+  // (an empty base would make later batches silent no-ops).
+  UpdateStreamOptions options;
+  options.modify_fraction = 0;
+  options.insert_fraction = 0;
+  options.delete_fraction = 1.0;
+  const Table before = db_.table("Customer");
+  Rng rng(7);
+  DeltaSet batch;
+  apply_update_batch(db_, "Customer", options, rng, &batch);
+  EXPECT_GE(db_.table("Customer").row_count(), 1u);
+  EXPECT_LT(db_.table("Customer").row_count(), before.row_count());
+  EXPECT_EQ(batch.at("Customer").inserts().row_count(), 0u);
+  Table replay = before;
+  apply_delta(replay, batch.at("Customer"));
+  EXPECT_TRUE(same_bag(replay, db_.table("Customer")));
+}
+
+TEST_F(UpdateStreamTest, EmptyRelationCapturesNothing) {
+  Database db;
+  db.add_table("E", Table(Schema({{"x", ValueType::kInt64, ""}})));
+  Rng rng(3);
+  DeltaSet batch;
+  EXPECT_EQ(apply_update_batch(db, "E", {0.5, 0.5, 0.5}, rng, &batch), 0u);
+  // Early-out happens before the delta entry is created.
+  EXPECT_TRUE(batch.empty());
+}
+
 }  // namespace
 }  // namespace mvd
