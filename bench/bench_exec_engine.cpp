@@ -5,6 +5,12 @@
 // rows/sec per operator and the end-to-end speedup at one and four
 // threads. Everything is written to BENCH_exec.json.
 //
+// Also measures Ext-K, the observability tax: the per-site cost of the
+// disabled instrumentation guards (MVD_TRACE=off) extrapolated over the
+// number of sites the end-to-end workload actually exercises, asserted
+// under 1% of the end-to-end runtime. A regression here fails the bench
+// (nonzero exit), which CI runs in --smoke mode.
+//
 // `--smoke` shrinks the dataset and repetitions for CI.
 #include <chrono>
 #include <fstream>
@@ -16,6 +22,8 @@
 #include "src/common/json.hpp"
 #include "src/common/strings.hpp"
 #include "src/exec/executor.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/workload/generator.hpp"
 
 using namespace mvd;
@@ -164,8 +172,73 @@ int main(int argc, char** argv) {
             << format_fixed(vec1_secs / vec4_secs, 2) << "x over 1t)\n"
             << "  results agree:     " << (agree ? "yes" : "NO") << "\n\n";
 
+  // ---- Ext-K: observability overhead when tracing is off -------------
+  // Every instrumentation site left in the binary costs one relaxed
+  // atomic load + branch when MVD_TRACE=off. Measure that guard directly,
+  // count how many sites one end-to-end run exercises (spans-on run),
+  // and bound the off-state tax as guard_cost x sites / runtime.
+  set_trace_level(TraceLevel::kOff);
+  constexpr int kGuardIters = 2'000'000;
+  std::size_t guard_hits = 0;
+  const auto g0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kGuardIters; ++i) {
+    TraceSpan span("bench", "guard");   // disabled span: one load + branch
+    if (counters_enabled()) ++guard_hits;  // disabled counter guard
+    guard_hits += span.active() ? 1 : 0;
+  }
+  const auto g1 = std::chrono::steady_clock::now();
+  const double guard_ns =
+      std::chrono::duration<double, std::nano>(g1 - g0).count() /
+      kGuardIters;
+
+  set_trace_level(TraceLevel::kSpans);
+  Tracer::global().clear();
+  const std::size_t row_ev0 = Tracer::global().event_count();
+  (void)row.run(e2e);
+  const std::size_t row_events = Tracer::global().event_count() - row_ev0;
+  const std::size_t vec_ev0 = Tracer::global().event_count();
+  (void)vec4.run(e2e);
+  const std::size_t vec_events = Tracer::global().event_count() - vec_ev0;
+  Tracer::global().clear();
+  set_trace_level(std::nullopt);
+
+  // The spans-on event count undercounts guard executions (counter-only
+  // sites don't record events), so pad by 4x before comparing against
+  // the 1% budget — the bound stays conservative.
+  const double kSiteFudge = 4.0;
+  const double row_overhead =
+      static_cast<double>(row_events) * kSiteFudge * guard_ns * 1e-9 /
+      row_secs;
+  const double vec_overhead =
+      static_cast<double>(vec_events) * kSiteFudge * guard_ns * 1e-9 /
+      vec4_secs;
+  const double worst_overhead = std::max(row_overhead, vec_overhead);
+  const double kOverheadLimit = 0.01;
+  const bool overhead_ok = worst_overhead <= kOverheadLimit;
+
+  Json obs = Json::object();
+  obs.set("guard_ns_per_site", Json::number(guard_ns));
+  obs.set("row_trace_events", Json::number(row_events));
+  obs.set("vectorized_trace_events", Json::number(vec_events));
+  obs.set("site_fudge_factor", Json::number(kSiteFudge));
+  obs.set("row_overhead_fraction", Json::number(row_overhead));
+  obs.set("vectorized_overhead_fraction", Json::number(vec_overhead));
+  obs.set("limit_fraction", Json::number(kOverheadLimit));
+  obs.set("within_limit", Json::boolean(overhead_ok));
+  report.set("tracing_overhead", std::move(obs));
+
+  std::cout << "tracing overhead (MVD_TRACE=off):\n"
+            << "  guard cost:        " << format_fixed(guard_ns, 2)
+            << " ns/site\n"
+            << "  sites per e2e run: " << row_events << " (row), "
+            << vec_events << " (vec)\n"
+            << "  worst-case tax:    "
+            << format_fixed(worst_overhead * 100, 4) << "% of runtime "
+            << "(limit " << format_fixed(kOverheadLimit * 100, 1) << "%) "
+            << (overhead_ok ? "ok" : "EXCEEDED") << "\n\n";
+
   std::ofstream out("BENCH_exec.json");
   out << report.dump(2) << '\n';
   std::cout << "wrote BENCH_exec.json\n";
-  return agree ? 0 : 1;
+  return (agree && overhead_ok) ? 0 : 1;
 }

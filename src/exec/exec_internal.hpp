@@ -31,6 +31,23 @@ inline std::size_t morsel_count(std::size_t rows) {
   return rows == 0 ? 0 : (rows + kMorselRows - 1) / kMorselRows;
 }
 
+// ---- Observability ----------------------------------------------------
+
+/// Operator names indexed by OpKind, shared by both engines' span names
+/// and registry counters so row and vectorized runs publish under
+/// identical "exec/op/<name>/..." keys (the stats-parity test compares
+/// those keys between engines).
+inline constexpr const char* kExecOpNames[] = {"scan", "select", "project",
+                                               "join", "aggregate"};
+inline constexpr std::size_t kExecOpKinds = 5;
+
+/// Flush one run's per-operator block/row tallies (arrays indexed by
+/// OpKind) to the global registry, under both the engine-agnostic
+/// "exec/op/..." and the engine-tagged "exec/<engine>/op/..." names.
+/// Defined in executor.cpp; callers gate on counters_enabled().
+void publish_op_tallies(const char* engine, const double* blocks,
+                        const double* rows);
+
 /// The join predicate split into hashable equi conjuncts (left column ×
 /// right column) and a residual predicate evaluated on joined tuples.
 struct JoinSplit {

@@ -7,10 +7,39 @@
 #include "src/algebra/eval.hpp"
 #include "src/common/assert.hpp"
 #include "src/common/error.hpp"
+#include "src/common/strings.hpp"
 #include "src/exec/exec_internal.hpp"
 #include "src/exec/vectorized.hpp"
+#include "src/obs/publish.hpp"
+#include "src/obs/trace.hpp"
 
 namespace mvd {
+
+/// Per-run row-engine state. Per-operator block/row tallies accumulate
+/// locally (no registry traffic inside the plan walk) and flush once at
+/// the end of run().
+struct Executor::RunContext {
+  std::map<const LogicalOp*, TableRef> memo;
+  double op_blocks[kExecOpKinds] = {};
+  double op_rows[kExecOpKinds] = {};
+};
+
+void publish_op_tallies(const char* engine, const double* blocks,
+                        const double* rows) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  for (std::size_t k = 0; k < kExecOpKinds; ++k) {
+    reg.counter(str_cat("exec/op/", kExecOpNames[k], "/blocks_read"))
+        .add(blocks[k]);
+    reg.counter(str_cat("exec/op/", kExecOpNames[k], "/rows_scanned"))
+        .add(rows[k]);
+    reg.counter(str_cat("exec/", engine, "/op/", kExecOpNames[k],
+                        "/blocks_read"))
+        .add(blocks[k]);
+    reg.counter(str_cat("exec/", engine, "/op/", kExecOpNames[k],
+                        "/rows_scanned"))
+        .add(rows[k]);
+  }
+}
 
 ExecMode default_exec_mode() {
   const char* env = std::getenv("MVD_EXEC_MODE");
@@ -39,50 +68,101 @@ Executor::Executor(const Database& db, ExecMode mode, std::size_t threads)
 
 Table Executor::run(const PlanPtr& plan, ExecStats* stats) const {
   MVD_ASSERT(plan != nullptr);
-  if (mode_ == ExecMode::kVectorized) {
-    return run_vectorized(*db_, plan, stats, threads_, *column_cache_);
+  // With counters on, always account into an ExecStats — the registry
+  // sees the same numbers whether or not the caller asked for a copy.
+  const bool publish = counters_enabled();
+  ExecStats local;
+  ExecStats* s = stats;
+  if (publish && s == nullptr) s = &local;
+
+  // Callers may pass an accumulator that is already non-zero; the engines
+  // only add, so the entry values subtract out to this run's deltas.
+  const double blocks0 = s != nullptr ? s->blocks_read : 0;
+  const double rows0 = s != nullptr ? s->rows_scanned : 0;
+  const double batches0 = s != nullptr ? s->batches : 0;
+
+  const char* engine = mode_ == ExecMode::kVectorized ? "vec" : "row";
+  TraceSpan span("exec", mode_ == ExecMode::kVectorized ? "vec-run"
+                                                        : "row-run");
+  Table out = [&] {
+    if (mode_ == ExecMode::kVectorized) {
+      return run_vectorized(*db_, plan, s, threads_, *column_cache_);
+    }
+    RunContext ctx;
+    Table t = *run_node(plan, s, ctx);
+    if (publish) publish_op_tallies(engine, ctx.op_blocks, ctx.op_rows);
+    return t;
+  }();
+  if (span.active()) {
+    span.arg("rows_out", static_cast<double>(out.row_count()));
+    if (s != nullptr) {
+      span.arg("blocks_read", s->blocks_read - blocks0);
+      span.arg("rows_scanned", s->rows_scanned - rows0);
+    }
   }
-  std::map<const LogicalOp*, TableRef> memo;
-  return *run_node(plan, stats, memo);
+  if (publish && s != nullptr) {
+    ExecStats run_stats;
+    run_stats.blocks_read = s->blocks_read - blocks0;
+    run_stats.rows_scanned = s->rows_scanned - rows0;
+    run_stats.batches = s->batches - batches0;
+    publish_exec_stats(run_stats, engine);
+  }
+  return out;
 }
 
-Executor::TableRef Executor::run_node(
-    const PlanPtr& plan, ExecStats* stats,
-    std::map<const LogicalOp*, TableRef>& memo) const {
-  if (auto it = memo.find(plan.get()); it != memo.end()) return it->second;
+Executor::TableRef Executor::run_node(const PlanPtr& plan, ExecStats* stats,
+                                      RunContext& ctx) const {
+  if (auto it = ctx.memo.find(plan.get()); it != ctx.memo.end()) {
+    return it->second;
+  }
+  // Children first (left to right, as before), so the operator's span and
+  // per-operator tallies cover only its own work.
+  std::vector<TableRef> in;
+  in.reserve(plan->children().size());
+  for (const PlanPtr& c : plan->children()) {
+    in.push_back(run_node(c, stats, ctx));
+  }
+
+  const double blocks0 = stats != nullptr ? stats->blocks_read : 0;
+  const double rows0 = stats != nullptr ? stats->rows_scanned : 0;
+  TraceSpan span("exec.row", kExecOpNames[static_cast<std::size_t>(
+                                 plan->kind())]);
   TableRef result;
   switch (plan->kind()) {
     case OpKind::kScan:
       result = exec_scan(static_cast<const ScanOp&>(*plan), stats);
       break;
-    case OpKind::kSelect: {
-      const auto in = run_node(plan->children()[0], stats, memo);
-      result = exec_select(static_cast<const SelectOp&>(*plan), in, stats);
+    case OpKind::kSelect:
+      result = exec_select(static_cast<const SelectOp&>(*plan), in[0], stats);
       break;
-    }
-    case OpKind::kProject: {
-      const auto in = run_node(plan->children()[0], stats, memo);
-      result = exec_project(static_cast<const ProjectOp&>(*plan), in);
+    case OpKind::kProject:
+      result = exec_project(static_cast<const ProjectOp&>(*plan), in[0]);
       break;
-    }
-    case OpKind::kJoin: {
-      const auto l = run_node(plan->children()[0], stats, memo);
-      const auto r = run_node(plan->children()[1], stats, memo);
-      result = exec_join(static_cast<const JoinOp&>(*plan), l, r, stats);
+    case OpKind::kJoin:
+      result = exec_join(static_cast<const JoinOp&>(*plan), in[0], in[1],
+                         stats);
       break;
-    }
-    case OpKind::kAggregate: {
-      const auto in = run_node(plan->children()[0], stats, memo);
-      result = exec_aggregate(static_cast<const AggregateOp&>(*plan), in,
+    case OpKind::kAggregate:
+      result = exec_aggregate(static_cast<const AggregateOp&>(*plan), in[0],
                               stats);
       break;
-    }
   }
   MVD_ASSERT(result != nullptr);
   if (stats != nullptr) {
     stats->rows_out[plan->label()] = static_cast<double>(result->row_count());
+    const auto k = static_cast<std::size_t>(plan->kind());
+    ctx.op_blocks[k] += stats->blocks_read - blocks0;
+    ctx.op_rows[k] += stats->rows_scanned - rows0;
   }
-  memo.emplace(plan.get(), result);
+  if (span.active()) {
+    span.arg("label", plan->label());
+    span.arg("rows_out", static_cast<double>(result->row_count()));
+    if (stats != nullptr) {
+      span.arg("blocks_read", stats->blocks_read - blocks0);
+      span.arg("rows_scanned", stats->rows_scanned - rows0);
+    }
+  }
+  ctx.memo.emplace(plan.get(), result);
   return result;
 }
 

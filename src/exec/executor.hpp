@@ -70,8 +70,12 @@ class Executor {
  private:
   using TableRef = std::shared_ptr<const Table>;
 
+  /// Per-run row-engine state: the shared-fragment memo plus per-operator
+  /// work tallies flushed to the MetricsRegistry at the end of run().
+  struct RunContext;
+
   TableRef run_node(const PlanPtr& plan, ExecStats* stats,
-                    std::map<const LogicalOp*, TableRef>& memo) const;
+                    RunContext& ctx) const;
 
   TableRef exec_scan(const ScanOp& op, ExecStats* stats) const;
   TableRef exec_select(const SelectOp& op, const TableRef& in,

@@ -11,6 +11,7 @@
 #include "src/common/hash.hpp"
 #include "src/common/parallel.hpp"
 #include "src/exec/exec_internal.hpp"
+#include "src/obs/trace.hpp"
 
 namespace mvd {
 
@@ -122,6 +123,45 @@ bool column_keys_equal(const ColumnTable& a,
   return true;
 }
 
+/// Scope probe for a morsel worker's stint inside a parallel region:
+/// records a per-thread busy span, samples the "exec/vec/active_workers"
+/// counter track (the morsel pool's occupancy) on entry/exit, and adds
+/// the stint's wall time to "exec/vec/busy_us". Free when tracing is off.
+class WorkerProbe {
+ public:
+  explicit WorkerProbe(const char* what) : span_("exec.vec.worker", what) {
+    timed_ = counters_enabled();
+    if (timed_) t0_ = Tracer::now_us();
+    if (span_.active()) {
+      const int n = active().fetch_add(1, std::memory_order_relaxed) + 1;
+      Tracer::global().counter("exec/vec/active_workers",
+                               static_cast<double>(n));
+    }
+  }
+  WorkerProbe(const WorkerProbe&) = delete;
+  WorkerProbe& operator=(const WorkerProbe&) = delete;
+  ~WorkerProbe() {
+    if (span_.active()) {
+      const int n = active().fetch_sub(1, std::memory_order_relaxed) - 1;
+      Tracer::global().counter("exec/vec/active_workers",
+                               static_cast<double>(n));
+    }
+    if (timed_) {
+      MetricsRegistry::global().counter("exec/vec/busy_us")
+          .add(Tracer::now_us() - t0_);
+    }
+  }
+
+ private:
+  static std::atomic<int>& active() {
+    static std::atomic<int> n{0};
+    return n;
+  }
+  TraceSpan span_;
+  bool timed_ = false;
+  double t0_ = 0;
+};
+
 class VectorizedEngine {
  public:
   VectorizedEngine(const Database& db, ExecStats* stats, std::size_t threads,
@@ -130,7 +170,11 @@ class VectorizedEngine {
 
   Table run(const PlanPtr& plan) {
     MVD_ASSERT(plan != nullptr);
-    return sink(node(plan));
+    Table out = sink(node(plan));
+    if (counters_enabled() && stats_ != nullptr) {
+      publish_op_tallies("vec", op_blocks_, op_rows_);
+    }
+    return out;
   }
 
  private:
@@ -138,31 +182,51 @@ class VectorizedEngine {
     if (auto it = memo_.find(plan.get()); it != memo_.end()) {
       return it->second;
     }
+    // Children first (same order as the switch below used to evaluate
+    // them), so the operator's span and per-op tallies cover its own
+    // work only.
+    std::vector<const VecRel*> in;
+    in.reserve(plan->children().size());
+    for (const PlanPtr& c : plan->children()) in.push_back(&node(c));
+
+    const double blocks0 = stats_ != nullptr ? stats_->blocks_read : 0;
+    const double rows0 = stats_ != nullptr ? stats_->rows_scanned : 0;
+    const double batches0 = stats_ != nullptr ? stats_->batches : 0;
+    TraceSpan span("exec.vec", kExecOpNames[static_cast<std::size_t>(
+                                   plan->kind())]);
     VecRel result;
     switch (plan->kind()) {
       case OpKind::kScan:
         result = scan(static_cast<const ScanOp&>(*plan));
         break;
       case OpKind::kSelect:
-        result = select(static_cast<const SelectOp&>(*plan),
-                        node(plan->children()[0]));
+        result = select(static_cast<const SelectOp&>(*plan), *in[0]);
         break;
       case OpKind::kProject:
-        result = project(static_cast<const ProjectOp&>(*plan),
-                         node(plan->children()[0]));
+        result = project(static_cast<const ProjectOp&>(*plan), *in[0]);
         break;
       case OpKind::kJoin:
-        result = join(static_cast<const JoinOp&>(*plan),
-                      node(plan->children()[0]), node(plan->children()[1]));
+        result = join(static_cast<const JoinOp&>(*plan), *in[0], *in[1]);
         break;
       case OpKind::kAggregate:
-        result = aggregate(static_cast<const AggregateOp&>(*plan),
-                           node(plan->children()[0]));
+        result = aggregate(static_cast<const AggregateOp&>(*plan), *in[0]);
         break;
     }
     if (stats_ != nullptr) {
       stats_->rows_out[plan->label()] =
           static_cast<double>(result.active_rows());
+      const auto k = static_cast<std::size_t>(plan->kind());
+      op_blocks_[k] += stats_->blocks_read - blocks0;
+      op_rows_[k] += stats_->rows_scanned - rows0;
+    }
+    if (span.active()) {
+      span.arg("label", plan->label());
+      span.arg("rows_out", static_cast<double>(result.active_rows()));
+      if (stats_ != nullptr) {
+        span.arg("blocks_read", stats_->blocks_read - blocks0);
+        span.arg("rows_scanned", stats_->rows_scanned - rows0);
+        span.arg("morsels", stats_->batches - batches0);
+      }
     }
     return memo_.emplace(plan.get(), std::move(result)).first->second;
   }
@@ -206,6 +270,7 @@ class VectorizedEngine {
     std::vector<std::vector<std::uint32_t>> parts(morsels);
     parallel_shards(morsels, threads_,
                     [&](std::size_t, std::size_t mb, std::size_t me) {
+                      WorkerProbe wp("filter");
                       for (std::size_t m = mb; m < me; ++m) {
                         const std::size_t lo = m * kMorselRows;
                         const std::size_t hi = std::min(n, lo + kMorselRows);
@@ -270,6 +335,7 @@ class VectorizedEngine {
     const std::size_t nl = left.schema.size();
     const std::size_t total_cols = nl + right.schema.size();
     parallel_for_each_index(total_cols, threads_, [&](std::size_t c) {
+      WorkerProbe wp("join-gather");
       if (c < nl) {
         data->append_gather(c, *left.data, left.cols[c], lrows.data(),
                             lrows.size());
@@ -311,6 +377,7 @@ class VectorizedEngine {
       std::vector<std::uint64_t> build_hash(nb);
       parallel_shards(morsel_count(nb), threads_,
                       [&](std::size_t, std::size_t mb, std::size_t me) {
+                        WorkerProbe wp("join-build-hash");
                         const std::size_t lo = mb * kMorselRows;
                         const std::size_t hi = std::min(nb, me * kMorselRows);
                         for (std::size_t i = lo; i < hi; ++i) {
@@ -334,6 +401,7 @@ class VectorizedEngine {
       std::vector<PairChunk> chunks(pm);
       parallel_shards(
           pm, threads_, [&](std::size_t, std::size_t mb, std::size_t me) {
+            WorkerProbe wp("join-probe");
             for (std::size_t m = mb; m < me; ++m) {
               const std::size_t lo = m * kMorselRows;
               const std::size_t hi = std::min(np, lo + kMorselRows);
@@ -485,6 +553,7 @@ class VectorizedEngine {
       std::vector<Partial> partials(morsels);
       parallel_shards(
           morsels, threads_, [&](std::size_t, std::size_t mb, std::size_t me) {
+            WorkerProbe wp("aggregate-partial");
             std::string key;
             for (std::size_t m = mb; m < me; ++m) {
               const std::size_t lo = m * kMorselRows;
@@ -583,6 +652,10 @@ class VectorizedEngine {
   std::size_t threads_;
   ColumnTableCache* cache_;
   std::map<const LogicalOp*, VecRel> memo_;
+  /// Per-operator work tallies (indexed by OpKind), flushed once at the
+  /// end of run() under the same names as the row engine.
+  double op_blocks_[kExecOpKinds] = {};
+  double op_rows_[kExecOpKinds] = {};
 };
 
 }  // namespace

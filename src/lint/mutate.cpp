@@ -23,6 +23,7 @@ LintContext MutationOutcome::context() const {
   }
   ctx.exec_stats = exec_stats.get();
   ctx.database = database.get();
+  ctx.metrics = metrics.get();
   return ctx;
 }
 
@@ -386,6 +387,26 @@ MutationOutcome tamper_refreshed_view(const MvppGraph& clean,
   unsuitable("tamper-refreshed-view", "an annotated materialized node");
 }
 
+/// A registry snapshot whose cost-ledger gauges disagree with the
+/// attached (clean) selection: the maintenance gauge is faithful but the
+/// query-processing gauge was nudged, as if the ledger were published
+/// for a different design or edited after export.
+MutationOutcome tamper_metrics_ledger(const MvppGraph& clean,
+                                      const CostModel& cm) {
+  MutationOutcome out = with_selection(clean, cm);
+  auto snap = std::make_unique<MetricsSnapshot>();
+  MetricValue qp;
+  qp.kind = MetricKind::kGauge;
+  qp.value = out.selection->costs.query_processing + 1234;
+  snap->metrics["selection/ledger/query_blocks"] = std::move(qp);
+  MetricValue maint;
+  maint.kind = MetricKind::kGauge;
+  maint.value = out.selection->costs.maintenance;
+  snap->metrics["selection/ledger/maintenance_blocks"] = std::move(maint);
+  out.metrics = std::move(snap);
+  return out;
+}
+
 }  // namespace
 
 const std::vector<GraphMutation>& builtin_mutations() {
@@ -415,6 +436,8 @@ const std::vector<GraphMutation>& builtin_mutations() {
        drift_deployed_rows},
       {"tamper-refreshed-view", "maintenance/refresh-consistent",
        tamper_refreshed_view},
+      {"tamper-metrics-ledger", "obs/metrics-consistent",
+       tamper_metrics_ledger},
   };
   return mutations;
 }

@@ -16,6 +16,7 @@
 
 #include "src/exec/executor.hpp"
 #include "src/lint/registry.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/mvpp/closures.hpp"
 #include "src/mvpp/evaluation.hpp"
 #include "src/mvpp/graph.hpp"
@@ -37,6 +38,7 @@ struct MutationOutcome {
   std::unique_ptr<SelectionResult> selection;
   std::unique_ptr<ExecStats> exec_stats;
   std::unique_ptr<Database> database;
+  std::unique_ptr<MetricsSnapshot> metrics;
   std::optional<double> budget_blocks;
   const CostModel* cost_model = nullptr;
 
@@ -55,7 +57,7 @@ struct GraphMutation {
       apply;
 };
 
-/// One mutation per built-in rule (19 total). Requires `clean` to be
+/// One mutation per built-in rule (20 total). Requires `clean` to be
 /// annotated, acyclic, with at least one query, one shared child, and
 /// one select / project node — the Figure 3 MVPP qualifies.
 const std::vector<GraphMutation>& builtin_mutations();

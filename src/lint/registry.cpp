@@ -79,6 +79,7 @@ const LintRegistry& LintRegistry::builtin() {
     register_schema_rules(r);
     register_selection_rules(r);
     register_maintenance_rules(r);
+    register_obs_rules(r);
     return r;
   }();
   return registry;

@@ -37,6 +37,7 @@ namespace mvd {
 
 struct ExecStats;
 class Database;
+struct MetricsSnapshot;
 
 /// Everything a lint pass may inspect. Only `graph` is mandatory; rules
 /// needing an absent optional input skip silently.
@@ -59,6 +60,11 @@ struct LintContext {
   /// needed by selection/exec-rows-consistent.
   const ExecStats* exec_stats = nullptr;
   const Database* database = nullptr;
+
+  /// Optional metrics-registry snapshot taken after the design ran with
+  /// counters on. Needed by obs/metrics-consistent, which reconciles the
+  /// published "selection/ledger/..." gauges with the selection costs.
+  const MetricsSnapshot* metrics = nullptr;
 
   struct SelectionCheck {
     const SelectionResult* result = nullptr;
@@ -126,5 +132,6 @@ void register_annotation_rules(LintRegistry& registry);
 void register_schema_rules(LintRegistry& registry);
 void register_selection_rules(LintRegistry& registry);
 void register_maintenance_rules(LintRegistry& registry);
+void register_obs_rules(LintRegistry& registry);
 
 }  // namespace mvd

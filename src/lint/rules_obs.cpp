@@ -1,0 +1,73 @@
+// Observability rules: when a metrics-registry snapshot rides along in
+// the context, the cost-ledger gauges the design published
+// ("selection/ledger/query_blocks" / "maintenance_blocks") must
+// reconcile with the costs reported by an attached selection result.
+// publish_selection_ledger computes its gauges through the same
+// MvppEvaluator entry points that produced SelectionResult::costs, so a
+// mismatch means the registry and the design drifted apart — stale
+// metrics from an earlier design, a tampered export, or a publisher bug.
+#include <cmath>
+
+#include "src/common/strings.hpp"
+#include "src/common/units.hpp"
+#include "src/lint/registry.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace mvd {
+
+namespace {
+
+bool close_enough(double a, double b) {
+  // The publisher and the selection use the same evaluator entry points,
+  // so agreement is expected bit-for-bit; the epsilon only forgives
+  // text-format round-trips of an exported snapshot.
+  const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+  return std::abs(a - b) <= 1e-9 * scale;
+}
+
+void check_metrics_consistent(const LintContext& ctx, RuleEmitter& out) {
+  if (ctx.metrics == nullptr || ctx.selections.empty()) return;
+  const MetricsSnapshot& snap = *ctx.metrics;
+  const std::optional<double> qp =
+      snap.value_of("selection/ledger/query_blocks");
+  const std::optional<double> maint =
+      snap.value_of("selection/ledger/maintenance_blocks");
+  if (!qp.has_value() && !maint.has_value()) return;  // ledger not published
+
+  // The gauges describe one chosen design; they reconcile when at least
+  // one attached selection reports exactly those costs.
+  for (const LintContext::SelectionCheck& check : ctx.selections) {
+    const SelectionResult& r = *check.result;
+    const bool qp_ok =
+        !qp.has_value() || close_enough(*qp, r.costs.query_processing);
+    const bool maint_ok =
+        !maint.has_value() || close_enough(*maint, r.costs.maintenance);
+    if (qp_ok && maint_ok) return;
+  }
+  const SelectionResult& r = *ctx.selections.front().result;
+  out.emit_selection(
+      r,
+      str_cat("registry cost ledger (query ",
+              qp.has_value() ? format_blocks(*qp) : std::string("absent"),
+              ", maintenance ",
+              maint.has_value() ? format_blocks(*maint)
+                                : std::string("absent"),
+              ") does not reconcile with any attached selection (this one "
+              "reports query ",
+              format_blocks(r.costs.query_processing), ", maintenance ",
+              format_blocks(r.costs.maintenance), ")"),
+      "republish the ledger after (re)running the design — "
+      "publish_selection_ledger and SelectionResult::costs must come from "
+      "the same evaluator and materialized set");
+}
+
+}  // namespace
+
+void register_obs_rules(LintRegistry& registry) {
+  registry.add({"obs/metrics-consistent", LintPhase::kSelection,
+                Severity::kError,
+                "registry cost-ledger gauges reconcile with selection costs",
+                check_metrics_consistent});
+}
+
+}  // namespace mvd

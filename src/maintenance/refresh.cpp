@@ -9,6 +9,8 @@
 #include "src/common/error.hpp"
 #include "src/exec/exec_internal.hpp"
 #include "src/mvpp/rewrite.hpp"
+#include "src/obs/publish.hpp"
+#include "src/obs/trace.hpp"
 
 namespace mvd {
 
@@ -346,12 +348,22 @@ RefreshReport incremental_refresh(const MvppGraph& graph,
                                   ExecStats* stats, ExecMode mode,
                                   std::size_t threads) {
   RefreshReport report;
+  MVD_TRACE_SPAN("maintenance", "incremental-refresh");
+  const auto annotate = [](TraceSpan& span, const ViewRefresh& e) {
+    if (!span.active()) return;
+    span.arg("view", e.view);
+    span.arg("path", to_string(e.path));
+    span.arg("delta_rows", e.delta_rows);
+    span.arg("blocks_read", e.blocks_read);
+    span.arg("stored_rows", e.stored_rows);
+  };
   // Deltas pending at the frontier: base-relation deltas plus, as views
   // refresh, each view's own delta under its node name (the same names
   // refresh_plan gives its scan leaves).
   DeltaSet frontier = base_deltas;
   for (NodeId v : m) {
     const std::string& name = graph.node(v).name;
+    TraceSpan view_span("maintenance", "refresh-view");
     MaterializedSet deps = m;
     deps.erase(v);
     const PlanPtr plan = refresh_plan(graph, v, deps);
@@ -369,6 +381,7 @@ RefreshReport incremental_refresh(const MvppGraph& graph,
         stats->rows_out[name] = entry.stored_rows;
         stats->delta_rows[name] = 0;
       }
+      annotate(view_span, entry);
       report.views.push_back(std::move(entry));
       continue;
     }
@@ -441,8 +454,10 @@ RefreshReport incremental_refresh(const MvppGraph& graph,
     local.rows_out[name] = entry.stored_rows;
     local.delta_rows[name] = entry.delta_rows;
     fold_stats(stats, local);
+    annotate(view_span, entry);
     report.views.push_back(std::move(entry));
   }
+  publish_refresh_report(report);
   return report;
 }
 

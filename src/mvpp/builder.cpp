@@ -9,6 +9,7 @@
 #include "src/common/parallel.hpp"
 #include "src/common/strings.hpp"
 #include "src/lint/lint.hpp"
+#include "src/obs/trace.hpp"
 
 namespace mvd {
 
@@ -299,6 +300,7 @@ MvppBuildResult MvppBuilder::build(const std::vector<QuerySpec>& queries,
       throw PlanError("merge order must be a permutation of the query indices");
     }
   }
+  TraceSpan build_span("mvpp", "build");
 
   const Catalog& catalog = optimizer_->cost_model().catalog();
 
@@ -380,7 +382,22 @@ MvppBuildResult MvppBuilder::build(const std::vector<QuerySpec>& queries,
     g.add_query(q.name(), q.frequency(), top);
   }
 
-  g.annotate(optimizer_->cost_model());
+  {
+    MVD_TRACE_SPAN("mvpp", "annotate");
+    g.annotate(optimizer_->cost_model());
+  }
+  if (build_span.active()) {
+    build_span.arg("queries", static_cast<double>(queries.size()));
+    build_span.arg("nodes", static_cast<double>(g.size()));
+    build_span.arg("patterns", static_cast<double>(merge.patterns().size()));
+  }
+  if (counters_enabled()) {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("mvpp/build/builds").increment();
+    reg.counter("mvpp/build/nodes").add(static_cast<double>(g.size()));
+    reg.counter("mvpp/build/join_patterns")
+        .add(static_cast<double>(merge.patterns().size()));
+  }
   {
     LintContext ctx;
     ctx.graph = &g;
@@ -392,6 +409,11 @@ MvppBuildResult MvppBuilder::build(const std::vector<QuerySpec>& queries,
 
 std::vector<MvppBuildResult> MvppBuilder::build_all_rotations(
     const std::vector<QuerySpec>& queries, std::size_t threads) const {
+  MVD_TRACE_SPAN("mvpp", "build-all-rotations");
+  if (counters_enabled()) {
+    MetricsRegistry::global().counter("mvpp/build/rotations")
+        .add(static_cast<double>(queries.size()));
+  }
   std::vector<std::size_t> order = initial_order(queries);
   std::vector<std::vector<std::size_t>> orders;
   orders.reserve(queries.size());

@@ -1,8 +1,14 @@
 #include "src/mvpp/closures.hpp"
 
+#include "src/obs/trace.hpp"
+
 namespace mvd {
 
 GraphClosures::GraphClosures(const MvppGraph& graph) {
+  MVD_TRACE_SPAN("mvpp", "closures");
+  if (counters_enabled()) {
+    MetricsRegistry::global().counter("mvpp/closures/builds").increment();
+  }
   const std::size_t n = graph.size();
   ancestors_.assign(n, NodeBitset(n));
   descendants_.assign(n, NodeBitset(n));

@@ -4,6 +4,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/cost/cost_model.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace mvd {
 
@@ -86,6 +87,26 @@ FastMvppEvaluator::FastMvppEvaluator(const MvppEvaluator& eval,
   maint_term_value_.assign(node_count_, 0.0);
   current_ = FastMaterializedSet(node_count_);
   scratch_ = FastMaterializedSet(node_count_);
+  tally_ = counters_enabled();
+}
+
+FastMvppEvaluator::~FastMvppEvaluator() {
+  if (!tally_ || evaluations_ == 0) return;
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("selection/fast_eval/evaluations")
+      .add(static_cast<double>(evaluations_));
+  reg.counter("selection/fast_eval/full_evals")
+      .add(static_cast<double>(full_evals_));
+  reg.counter("selection/fast_eval/delta_probes")
+      .add(static_cast<double>(delta_probes_));
+  reg.counter("selection/fast_eval/memo_hits")
+      .add(static_cast<double>(memo_hits_));
+  reg.counter("selection/fast_eval/memo_walks")
+      .add(static_cast<double>(memo_walks_));
+  reg.counter("selection/fast_eval/terms_reused")
+      .add(static_cast<double>(terms_reused_));
+  reg.counter("selection/fast_eval/terms_recomputed")
+      .add(static_cast<double>(terms_recomputed_));
 }
 
 double FastMvppEvaluator::op_contribution(NodeId v,
@@ -121,7 +142,11 @@ double FastMvppEvaluator::op_contribution(NodeId v,
 
 double FastMvppEvaluator::produce(NodeId v, const FastMaterializedSet& m) {
   const std::size_t i = static_cast<std::size_t>(v);
-  if (memo_epoch_[i] == epoch_) return memo_[i];
+  if (memo_epoch_[i] == epoch_) {
+    if (tally_) ++memo_hits_;
+    return memo_[i];
+  }
+  if (tally_) ++memo_walks_;
   double cost = 0;
   if (kind_[i] != MvppNodeKind::kBase) {
     cost = op_contribution(v, m);
@@ -154,6 +179,7 @@ double FastMvppEvaluator::maintenance_term(NodeId v,
 MvppCosts FastMvppEvaluator::evaluate(const FastMaterializedSet& m) {
   ++epoch_;
   ++evaluations_;
+  if (tally_) ++full_evals_;
   MvppCosts costs;
   for (const QueryTerm& q : query_terms_) {
     costs.query_processing += q.frequency * answer(q.result, m);
@@ -167,6 +193,7 @@ void FastMvppEvaluator::load(const FastMaterializedSet& m) {
   current_ = m;
   ++epoch_;
   ++evaluations_;
+  if (tally_) ++full_evals_;
   double qp = 0;
   for (std::size_t qi = 0; qi < query_terms_.size(); ++qi) {
     const QueryTerm& q = query_terms_[qi];
@@ -200,6 +227,7 @@ double FastMvppEvaluator::eval_toggled(const NodeId* toggles,
   for (std::size_t i = 0; i < count; ++i) scratch_.toggle(toggles[i]);
   ++epoch_;
   ++evaluations_;
+  if (tally_) ++delta_probes_;
 
   // Unchanged terms reuse their cached value; affected terms — owners in
   // a toggled node's ancestor cone, plus the toggled members themselves —
@@ -212,6 +240,9 @@ double FastMvppEvaluator::eval_toggled(const NodeId* toggles,
     double term = query_term_value_[qi];
     if (term_affected(q.query, toggles, count)) {
       term = q.frequency * answer(q.result, scratch_);
+      if (tally_) ++terms_recomputed_;
+    } else if (tally_) {
+      ++terms_reused_;
     }
     if (commit) query_term_value_[qi] = term;
     qp += term;
@@ -221,6 +252,9 @@ double FastMvppEvaluator::eval_toggled(const NodeId* toggles,
     double term = maint_term_value_[static_cast<std::size_t>(v)];
     if (term_affected(v, toggles, count)) {
       term = maintenance_term(v, scratch_);
+      if (tally_) ++terms_recomputed_;
+    } else if (tally_) {
+      ++terms_reused_;
     }
     if (commit) maint_term_value_[static_cast<std::size_t>(v)] = term;
     maint += term;

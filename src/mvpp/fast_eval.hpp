@@ -53,6 +53,11 @@ class FastMvppEvaluator {
   /// the same graph and outlive the evaluator.
   FastMvppEvaluator(const MvppEvaluator& eval, const GraphClosures& closures);
 
+  /// Flushes the local work tallies (probes vs full loads, memo epoch
+  /// hits, reused vs recomputed terms) to the global MetricsRegistry
+  /// under "selection/fast_eval/..." when counters are enabled.
+  ~FastMvppEvaluator();
+
   std::size_t universe() const { return node_count_; }
   const GraphClosures& closures() const { return *closures_; }
 
@@ -131,6 +136,18 @@ class FastMvppEvaluator {
   bool loaded_ = false;
 
   std::size_t evaluations_ = 0;
+
+  // Local observability tallies — plain members bumped behind `tally_`
+  // (counters_enabled() sampled once at construction) and flushed to the
+  // registry in the destructor, so the probe hot loop never touches an
+  // atomic. Not thread-safe, like the rest of the evaluator.
+  bool tally_ = false;
+  std::size_t full_evals_ = 0;   // evaluate()/load() walks
+  std::size_t delta_probes_ = 0; // eval_toggled() calls
+  std::size_t memo_hits_ = 0;    // produce() answered by the epoch memo
+  std::size_t memo_walks_ = 0;   // produce() recursions actually taken
+  std::size_t terms_reused_ = 0; // probe terms outside every toggle cone
+  std::size_t terms_recomputed_ = 0;
 };
 
 }  // namespace mvd

@@ -14,6 +14,7 @@
 #include "src/common/units.hpp"
 #include "src/lint/lint.hpp"
 #include "src/mvpp/fast_eval.hpp"
+#include "src/obs/trace.hpp"
 
 namespace mvd {
 
@@ -122,6 +123,15 @@ std::unique_ptr<Prober> make_prober(const MvppEvaluator& eval,
 /// before it escapes the library.
 SelectionResult finish(const MvppEvaluator& eval, SelectionResult r,
                        std::optional<double> budget_blocks = std::nullopt) {
+  if (counters_enabled()) {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("selection/runs").increment();
+    reg.counter(str_cat("selection/", r.algorithm, "/runs")).increment();
+    reg.gauge(str_cat("selection/", r.algorithm, "/best_total"))
+        .set(r.costs.total());
+    reg.gauge(str_cat("selection/", r.algorithm, "/materialized"))
+        .set(static_cast<double>(r.materialized.size()));
+  }
   if (lint_hook_level() != LintHookLevel::kOff) {
     LintContext ctx;
     ctx.graph = &eval.graph();
@@ -131,6 +141,15 @@ SelectionResult finish(const MvppEvaluator& eval, SelectionResult r,
     lint_stage_hook("selection", ctx);
   }
   return r;
+}
+
+/// Per-iteration best-total gauge of one algorithm, or nullptr when
+/// counters are off. The handle is stable, so search loops set() it
+/// freely as the incumbent improves.
+Gauge* best_total_gauge(const char* algorithm) {
+  if (!counters_enabled()) return nullptr;
+  return &MetricsRegistry::global().gauge(
+      str_cat("selection/", algorithm, "/best_total"));
 }
 
 }  // namespace
@@ -165,6 +184,8 @@ SelectionResult select_all_operations(const MvppEvaluator& eval) {
 SelectionResult yang_heuristic(const MvppEvaluator& eval, YangOptions options) {
   const MvppGraph& g = eval.graph();
   const GraphClosures& closures = eval.closures();
+  MVD_TRACE_SPAN("selection", "yang-heuristic");
+  std::size_t pruned_total = 0;
   SelectionResult r;
   r.algorithm = "yang-heuristic";
 
@@ -251,6 +272,7 @@ SelectionResult yang_heuristic(const MvppEvaluator& eval, YangOptions options) {
           }
         }
         if (dropped > 0) {
+          pruned_total += dropped;
           r.trace.push_back("  pruned " + std::to_string(dropped) +
                             " node(s) on the same branch");
         }
@@ -286,6 +308,12 @@ SelectionResult yang_heuristic(const MvppEvaluator& eval, YangOptions options) {
     }
   }
 
+  if (counters_enabled()) {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("selection/yang/candidates").add(static_cast<double>(lv.size()));
+    reg.counter("selection/yang/admitted").add(static_cast<double>(m.size()));
+    reg.counter("selection/yang/pruned").add(static_cast<double>(pruned_total));
+  }
   r.costs = eval.evaluate(m);
   r.materialized = std::move(m);
   return finish(eval, std::move(r));
@@ -366,6 +394,11 @@ SelectionResult exhaustive_optimal(const MvppEvaluator& eval,
                             " candidates exceeds the limit of ",
                             max_candidates));
   }
+  MVD_TRACE_SPAN("selection", "exhaustive-optimal");
+  if (counters_enabled()) {
+    MetricsRegistry::global().counter("selection/exhaustive/masks")
+        .add(static_cast<double>(std::size_t{1} << candidates.size()));
+  }
   SelectionResult r;
   r.algorithm = "exhaustive-optimal";
   MaterializedSet best_set;
@@ -401,6 +434,8 @@ struct BnbContext {
   double best_cost = 0;
   MaterializedSet best_set;
   std::size_t nodes_visited = 0;
+  std::size_t nodes_pruned = 0;
+  Gauge* best_gauge = nullptr;  // per-improvement incumbent gauge
 
   // Lower bound for the current partial decision: included members are
   // fixed in, candidates[depth..] are free. The query side is bounded by
@@ -421,12 +456,16 @@ struct BnbContext {
 
   void visit(std::size_t depth) {
     ++nodes_visited;
-    if (lower_bound(depth) >= best_cost - 1e-9) return;  // prune
+    if (lower_bound(depth) >= best_cost - 1e-9) {
+      ++nodes_pruned;
+      return;
+    }
     if (depth == candidates.size()) {
       const double cost = eval->total_cost(included);
       if (cost < best_cost) {
         best_cost = cost;
         best_set = included;
+        if (best_gauge != nullptr) best_gauge->set(best_cost);
       }
       return;
     }
@@ -460,10 +499,19 @@ SelectionResult branch_and_bound_optimal(const MvppEvaluator& eval,
               if (wa != wb) return wa > wb;
               return a < b;
             });
+  MVD_TRACE_SPAN("selection", "branch-and-bound");
   // Seed the incumbent with the greedy solution.
   ctx.best_set = greedy_incremental(eval).materialized;
   ctx.best_cost = eval.total_cost(ctx.best_set);
+  ctx.best_gauge = best_total_gauge("branch-and-bound");
   ctx.visit(0);
+  if (counters_enabled()) {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("selection/bnb/nodes_visited")
+        .add(static_cast<double>(ctx.nodes_visited));
+    reg.counter("selection/bnb/nodes_pruned")
+        .add(static_cast<double>(ctx.nodes_pruned));
+  }
 
   SelectionResult r;
   r.algorithm = "branch-and-bound";
@@ -477,10 +525,13 @@ SelectionResult branch_and_bound_optimal(const MvppEvaluator& eval,
 }
 
 SelectionResult greedy_incremental(const MvppEvaluator& eval) {
+  MVD_TRACE_SPAN("selection", "greedy-incremental");
   SelectionResult r;
   r.algorithm = "greedy-incremental";
   const std::vector<NodeId> candidates = eval.graph().operation_ids();
   std::unique_ptr<Prober> prober = make_prober(eval, {});
+  Gauge* best_gauge = best_total_gauge("greedy-incremental");
+  std::size_t probes = 0;
   double current = prober->total();
   while (true) {
     std::optional<NodeId> best_v;
@@ -488,6 +539,7 @@ SelectionResult greedy_incremental(const MvppEvaluator& eval) {
     for (NodeId v : candidates) {
       if (prober->contains(v)) continue;
       const double cost = prober->probe_toggle(v);
+      ++probes;
       if (cost < best_cost) {
         best_cost = cost;
         best_v = v;
@@ -495,10 +547,15 @@ SelectionResult greedy_incremental(const MvppEvaluator& eval) {
     }
     if (!best_v.has_value()) break;
     prober->commit_toggle(*best_v, best_cost);
+    if (best_gauge != nullptr) best_gauge->set(best_cost);
     r.trace.push_back(eval.graph().node(*best_v).name + ": total " +
                       format_blocks(current) + " -> " +
                       format_blocks(best_cost));
     current = best_cost;
+  }
+  if (counters_enabled()) {
+    MetricsRegistry::global().counter("selection/greedy/probes")
+        .add(static_cast<double>(probes));
   }
   MaterializedSet m = prober->snapshot();
   r.costs = eval.evaluate(m);
@@ -508,12 +565,15 @@ SelectionResult greedy_incremental(const MvppEvaluator& eval) {
 
 SelectionResult local_search(const MvppEvaluator& eval, MaterializedSet start,
                              std::size_t max_rounds) {
+  MVD_TRACE_SPAN("selection", "local-search");
   SelectionResult r;
   r.algorithm = "local-search";
   eval.check_materializable(start);
   const std::vector<NodeId> candidates = eval.graph().operation_ids();
 
   std::unique_ptr<Prober> prober = make_prober(eval, std::move(start));
+  Gauge* best_gauge = best_total_gauge("local-search");
+  std::size_t rounds_taken = 0;
   double current_cost = prober->total();
   for (std::size_t round = 0; round < max_rounds; ++round) {
     enum class Move { kNone, kToggle, kSwap };
@@ -559,8 +619,14 @@ SelectionResult local_search(const MvppEvaluator& eval, MaterializedSet start,
       prober->commit_toggle(move_a, best_cost);
       prober->commit_toggle(move_b, best_cost);
     }
+    ++rounds_taken;
     current_cost = best_cost;
+    if (best_gauge != nullptr) best_gauge->set(best_cost);
     r.trace.push_back(best_desc + " -> " + format_blocks(best_cost));
+  }
+  if (counters_enabled()) {
+    MetricsRegistry::global().counter("selection/local_search/rounds")
+        .add(static_cast<double>(rounds_taken));
   }
   MaterializedSet m = prober->snapshot();
   r.costs = eval.evaluate(m);
@@ -577,11 +643,14 @@ double total_view_blocks(const MvppGraph& graph, const MaterializedSet& m) {
 SelectionResult budgeted_greedy(const MvppEvaluator& eval,
                                 double budget_blocks) {
   if (!(budget_blocks >= 0)) throw PlanError("negative space budget");
+  MVD_TRACE_SPAN("selection", "budgeted-greedy");
   SelectionResult r;
   r.algorithm = "budgeted-greedy";
   const std::vector<NodeId> candidates = eval.graph().operation_ids();
 
   std::unique_ptr<Prober> prober = make_prober(eval, {});
+  Gauge* best_gauge = best_total_gauge("budgeted-greedy");
+  std::size_t probes = 0;
   double used = 0;
   double current = prober->total();
   while (true) {
@@ -593,6 +662,7 @@ SelectionResult budgeted_greedy(const MvppEvaluator& eval,
       const double blocks = std::max(eval.graph().node(v).blocks, 1e-9);
       if (used + blocks > budget_blocks) continue;
       const double cost = prober->probe_toggle(v);
+      ++probes;
       const double density = (current - cost) / blocks;
       if (cost < current && density > best_density) {
         best_density = density;
@@ -609,6 +679,11 @@ SelectionResult budgeted_greedy(const MvppEvaluator& eval,
                       format_blocks(used) + "/" +
                       format_blocks(budget_blocks));
     current = best_cost;
+    if (best_gauge != nullptr) best_gauge->set(current);
+  }
+  if (counters_enabled()) {
+    MetricsRegistry::global().counter("selection/budgeted_greedy/probes")
+        .add(static_cast<double>(probes));
   }
   MaterializedSet m = prober->snapshot();
   r.costs = eval.evaluate(m);
@@ -627,8 +702,13 @@ SelectionResult budgeted_optimal(const MvppEvaluator& eval,
                             " candidates exceeds the limit of ",
                             max_candidates));
   }
+  MVD_TRACE_SPAN("selection", "budgeted-optimal");
   SelectionResult r;
   r.algorithm = "budgeted-optimal";
+  if (counters_enabled()) {
+    MetricsRegistry::global().counter("selection/budgeted_optimal/masks")
+        .add(static_cast<double>(std::size_t{1} << candidates.size()));
+  }
   MaterializedSet best_set;
   if (has_fast_path(eval)) {
     // Per-candidate block sizes, so the budget filter is a running sum
@@ -679,6 +759,7 @@ SelectionResult budgeted_optimal(const MvppEvaluator& eval,
 
 SelectionResult simulated_annealing(const MvppEvaluator& eval,
                                     AnnealingOptions options) {
+  MVD_TRACE_SPAN("selection", "simulated-annealing");
   SelectionResult r;
   r.algorithm = "simulated-annealing";
   const std::vector<NodeId> candidates = eval.graph().operation_ids();
@@ -689,6 +770,8 @@ SelectionResult simulated_annealing(const MvppEvaluator& eval,
 
   std::unique_ptr<Prober> prober =
       make_prober(eval, greedy_incremental(eval).materialized);
+  Gauge* best_gauge = best_total_gauge("simulated-annealing");
+  std::size_t accepted = 0;
   double current_cost = prober->total();
   MaterializedSet best = prober->snapshot();
   double best_cost = current_cost;
@@ -702,13 +785,22 @@ SelectionResult simulated_annealing(const MvppEvaluator& eval,
     const double delta = next_cost - current_cost;
     if (delta <= 0 || rng.uniform01() < std::exp(-delta / temperature)) {
       prober->commit_toggle(v, next_cost);
+      ++accepted;
       current_cost = next_cost;
       if (current_cost < best_cost) {
         best = prober->snapshot();
         best_cost = current_cost;
+        if (best_gauge != nullptr) best_gauge->set(best_cost);
       }
     }
     temperature *= options.cooling;
+  }
+  if (counters_enabled()) {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("selection/annealing/iterations")
+        .add(static_cast<double>(options.iterations));
+    reg.counter("selection/annealing/accepted")
+        .add(static_cast<double>(accepted));
   }
   r.costs = eval.evaluate(best);
   r.materialized = std::move(best);

@@ -1,0 +1,264 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/assert.hpp"
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+#include "src/common/text_table.hpp"
+
+namespace mvd {
+
+namespace obs_internal {
+
+std::atomic<int> g_trace_level{-1};
+
+namespace {
+std::mutex& level_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::optional<TraceLevel>& level_override() {
+  static std::optional<TraceLevel> value;
+  return value;
+}
+}  // namespace
+
+int resolve_trace_level() {
+  std::lock_guard<std::mutex> lock(level_mutex());
+  int level = static_cast<int>(TraceLevel::kOff);
+  if (level_override().has_value()) {
+    level = static_cast<int>(*level_override());
+  } else if (const char* env = std::getenv("MVD_TRACE"); env != nullptr) {
+    const std::string text(env);
+    if (text == "counters") level = static_cast<int>(TraceLevel::kCounters);
+    if (text == "spans") level = static_cast<int>(TraceLevel::kSpans);
+  }
+  g_trace_level.store(level, std::memory_order_relaxed);
+  return level;
+}
+
+}  // namespace obs_internal
+
+TraceLevel trace_level() {
+  return static_cast<TraceLevel>(obs_internal::trace_level_int());
+}
+
+void set_trace_level(std::optional<TraceLevel> level) {
+  std::lock_guard<std::mutex> lock(obs_internal::level_mutex());
+  obs_internal::level_override() = level;
+  obs_internal::g_trace_level.store(
+      level.has_value() ? static_cast<int>(*level) : -1,
+      std::memory_order_relaxed);
+}
+
+std::string to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+// ---- Histogram --------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  MVD_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+std::size_t Histogram::bucket_index(double value) const {
+  // First bucket whose inclusive upper edge admits the value; everything
+  // above the last edge lands in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::observe(double value) {
+  counts_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::observe_bucketed(const std::vector<std::uint64_t>& counts,
+                                 double sum) {
+  MVD_ASSERT(counts.size() == counts_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    counts_[i].fetch_add(counts[i], std::memory_order_relaxed);
+    total += counts[i];
+  }
+  count_.fetch_add(total, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + sum,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+// ---- Snapshot ---------------------------------------------------------
+
+std::optional<double> MetricsSnapshot::value_of(const std::string& name) const {
+  const auto it = metrics.find(name);
+  if (it == metrics.end()) return std::nullopt;
+  return it->second.value;
+}
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  for (const auto& [name, later] : metrics) {
+    MetricValue d = later;
+    const auto it = earlier.metrics.find(name);
+    if (it != earlier.metrics.end() && it->second.kind == later.kind) {
+      switch (later.kind) {
+        case MetricKind::kCounter:
+          d.value = later.value - it->second.value;
+          break;
+        case MetricKind::kGauge:
+          break;  // latest wins
+        case MetricKind::kHistogram: {
+          d.value = later.value - it->second.value;
+          d.count = later.count - it->second.count;
+          if (it->second.bucket_counts.size() == later.bucket_counts.size()) {
+            for (std::size_t i = 0; i < d.bucket_counts.size(); ++i) {
+              d.bucket_counts[i] =
+                  later.bucket_counts[i] - it->second.bucket_counts[i];
+            }
+          }
+          break;
+        }
+      }
+    }
+    out.metrics.emplace(name, std::move(d));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::render_text() const {
+  TextTable table({"metric", "kind", "value", "count"},
+                  {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight});
+  for (const auto& [name, m] : metrics) {
+    table.add_row({name, to_string(m.kind), format_fixed(m.value, 3),
+                   m.kind == MetricKind::kHistogram
+                       ? std::to_string(m.count)
+                       : std::string("-")});
+  }
+  return table.render();
+}
+
+Json MetricsSnapshot::to_json() const {
+  Json doc = Json::object();
+  Json body = Json::object();
+  for (const auto& [name, m] : metrics) {
+    Json j = Json::object();
+    j.set("kind", Json::string(to_string(m.kind)));
+    j.set("value", Json::number(m.value));
+    if (m.kind == MetricKind::kHistogram) {
+      j.set("count", Json::number(static_cast<double>(m.count)));
+      Json bounds = Json::array();
+      for (double b : m.bucket_bounds) bounds.push_back(Json::number(b));
+      j.set("bucket_bounds", std::move(bounds));
+      Json counts = Json::array();
+      for (std::uint64_t c : m.bucket_counts) {
+        counts.push_back(Json::number(static_cast<double>(c)));
+      }
+      j.set("bucket_counts", std::move(counts));
+    }
+    body.set(name, std::move(j));
+  }
+  doc.set("metrics", std::move(body));
+  return doc;
+}
+
+// ---- Registry ---------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
+                                               MetricKind kind,
+                                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != kind) {
+      throw PlanError(str_cat("metric '", name, "' is a ",
+                              to_string(it->second.kind), ", requested as ",
+                              to_string(kind)));
+    }
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      e.histogram = std::make_unique<Histogram>(std::move(bounds));
+      break;
+  }
+  return metrics_.emplace(name, std::move(e)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *entry(name, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return *entry(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  return *entry(name, MetricKind::kHistogram, std::move(bounds)).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, e] : metrics_) {
+    MetricValue m;
+    m.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        m.value = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        m.value = e.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        m.value = e.histogram->sum();
+        m.count = e.histogram->count();
+        m.bucket_bounds = e.histogram->bounds();
+        m.bucket_counts.resize(e.histogram->bucket_count());
+        for (std::size_t i = 0; i < m.bucket_counts.size(); ++i) {
+          m.bucket_counts[i] = e.histogram->bucket(i);
+        }
+        break;
+      }
+    }
+    snap.metrics.emplace(name, std::move(m));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.clear();
+}
+
+}  // namespace mvd

@@ -1,0 +1,44 @@
+// Bridges from the repo's per-module stat structs into the global
+// MetricsRegistry. ExecStats, RefreshReport and the selection cost
+// ledger keep their existing types and call sites; these helpers are the
+// one place that maps them onto registry names, so metric naming stays
+// consistent across engines and tools.
+//
+// All publishers are no-ops unless counters_enabled() (MVD_TRACE set):
+// the cost when tracing is off is one relaxed atomic load.
+#pragma once
+
+#include <string>
+
+#include "src/exec/executor.hpp"
+#include "src/maintenance/refresh.hpp"
+#include "src/mvpp/evaluation.hpp"
+
+namespace mvd {
+
+/// Publish one run's ExecStats under "exec/<engine>/..." plus the
+/// engine-agnostic "exec/total/..." counters. `engine` is "row" or
+/// "vec".
+void publish_exec_stats(const ExecStats& stats, const std::string& engine);
+
+/// Publish one refresh round under "maintenance/refresh/..." — per-path
+/// view counts, delta rows, block work.
+void publish_refresh_report(const RefreshReport& report);
+
+/// Publish the paper's cost ledger for a chosen materialized set as
+/// gauges:
+///
+///   selection/ledger/query_blocks        Σ fq(qi) · C(M→qi)
+///   selection/ledger/maintenance_blocks  Σ fu-factor(vj) · C(L→vj)
+///   selection/ledger/total_blocks        their sum
+///   selection/ledger/query/<name>        one gauge per query term
+///   selection/ledger/view/<name>         one gauge per maintained view
+///
+/// The totals are computed by the same MvppEvaluator entry points the
+/// selection algorithms report (identical summation order), so the
+/// gauges equal SelectionResult::costs bit-for-bit — mvlint rule
+/// obs/metrics-consistent checks exactly this.
+void publish_selection_ledger(const MvppEvaluator& eval,
+                              const MaterializedSet& m);
+
+}  // namespace mvd

@@ -1,0 +1,168 @@
+#include "src/obs/trace.hpp"
+
+#include <chrono>
+
+namespace mvd {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+// Touch the clock origin at static-init time so the first traced event
+// does not define it mid-run.
+const auto g_clock_anchor = process_start();
+
+}  // namespace
+
+/// Per-thread event buffer. The owning thread appends under the buffer's
+/// own mutex (uncontended in steady state — the gather path only locks
+/// when exporting), so to_chrome_json() from another thread is race-free.
+struct Tracer::ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::vector<std::size_t> open;  // indices of open begin() spans
+};
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+double Tracer::now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - process_start())
+      .count();
+}
+
+Tracer::ThreadBuffer& Tracer::local() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (buffer == nullptr) {
+    buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void Tracer::begin(std::string category, std::string name) {
+  if (!spans_enabled()) return;
+  TraceEvent e;
+  e.category = std::move(category);
+  e.name = std::move(name);
+  e.ts_us = now_us();
+  ThreadBuffer& buf = local();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.open.push_back(buf.events.size());
+  buf.events.push_back(std::move(e));
+}
+
+void Tracer::end(std::vector<std::pair<std::string, double>> num_args,
+                 std::vector<std::pair<std::string, std::string>> str_args) {
+  if (!spans_enabled()) return;
+  const double now = now_us();
+  ThreadBuffer& buf = local();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  if (buf.open.empty()) return;  // unbalanced end(): drop, don't corrupt
+  TraceEvent& e = buf.events[buf.open.back()];
+  buf.open.pop_back();
+  e.dur_us = now - e.ts_us;
+  e.num_args = std::move(num_args);
+  e.str_args = std::move(str_args);
+}
+
+void Tracer::complete(TraceEvent event) {
+  ThreadBuffer& buf = local();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(std::move(event));
+}
+
+void Tracer::counter(std::string name, double value) {
+  if (!spans_enabled()) return;
+  TraceEvent e;
+  e.phase = 'C';
+  e.name = std::move(name);
+  e.ts_us = now_us();
+  e.num_args.emplace_back("value", value);
+  complete(std::move(e));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    total += buf->events.size();
+  }
+  return total;
+}
+
+Json Tracer::to_chrome_json() const {
+  Json events = Json::array();
+  {
+    Json meta = Json::object();
+    meta.set("ph", Json::string("M"));
+    meta.set("pid", Json::number(1));
+    meta.set("tid", Json::number(0));
+    meta.set("name", Json::string("process_name"));
+    Json args = Json::object();
+    args.set("name", Json::string("mvdesign"));
+    meta.set("args", std::move(args));
+    events.push_back(std::move(meta));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    {
+      Json meta = Json::object();
+      meta.set("ph", Json::string("M"));
+      meta.set("pid", Json::number(1));
+      meta.set("tid", Json::number(static_cast<double>(buf->tid)));
+      meta.set("name", Json::string("thread_name"));
+      Json args = Json::object();
+      args.set("name", Json::string(buf->tid == 0
+                                        ? std::string("main")
+                                        : "worker-" + std::to_string(buf->tid)));
+      meta.set("args", std::move(args));
+      events.push_back(std::move(meta));
+    }
+    for (const TraceEvent& e : buf->events) {
+      Json j = Json::object();
+      j.set("ph", Json::string(std::string(1, e.phase)));
+      j.set("pid", Json::number(1));
+      j.set("tid", Json::number(static_cast<double>(buf->tid)));
+      j.set("ts", Json::number(e.ts_us));
+      if (e.phase == 'X') {
+        j.set("dur", Json::number(e.dur_us));
+        j.set("cat", Json::string(e.category.empty() ? "mvd" : e.category));
+      }
+      j.set("name", Json::string(e.name));
+      if (!e.num_args.empty() || !e.str_args.empty()) {
+        Json args = Json::object();
+        for (const auto& [k, v] : e.num_args) args.set(k, Json::number(v));
+        for (const auto& [k, v] : e.str_args) args.set(k, Json::string(v));
+        j.set("args", std::move(args));
+      }
+      events.push_back(std::move(j));
+    }
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", Json::string("ms"));
+  return doc;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+    buf->open.clear();
+  }
+}
+
+}  // namespace mvd

@@ -5,6 +5,8 @@
 #include "src/common/error.hpp"
 #include "src/common/text_table.hpp"
 #include "src/common/units.hpp"
+#include "src/obs/publish.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sql/parser.hpp"
 
 namespace mvd {
@@ -55,6 +57,7 @@ DesignResult WarehouseDesigner::design() const {
   if (queries_.empty()) {
     throw PlanError("no queries registered; add_query first");
   }
+  MVD_TRACE_SPAN("warehouse", "design");
   MvppBuilder builder(optimizer_);
   DesignResult result;
   result.candidates = builder.build_all_rotations(queries_);
@@ -62,6 +65,12 @@ DesignResult WarehouseDesigner::design() const {
                                        selection_algorithm());
   result.mvpp_index = choice.index;
   result.selection = std::move(choice.selection);
+  // The chosen design's cost ledger, as gauges — the numbers mvlint's
+  // obs/metrics-consistent rule reconciles against the SelectionResult.
+  if (counters_enabled()) {
+    const MvppEvaluator eval(result.graph(), options_.maintenance);
+    publish_selection_ledger(eval, result.selection.materialized);
+  }
   return result;
 }
 
@@ -101,13 +110,24 @@ std::string WarehouseDesigner::report(const DesignResult& design) const {
 void WarehouseDesigner::deploy(const DesignResult& design, Database& db,
                                ExecStats* stats) const {
   const MvppGraph& g = design.graph();
+  MVD_TRACE_SPAN("warehouse", "deploy");
   // Node ids ascend topologically, so iterating the ordered set stores
   // every view after the views it reads.
   for (NodeId v : design.selection.materialized) {
     MaterializedSet deps = design.selection.materialized;
     deps.erase(v);
     const Executor exec(db);
+    TraceSpan span("warehouse", "deploy-view");
     Table view = exec.run(refresh_plan(g, v, deps), stats);
+    if (span.active()) {
+      span.arg("view", g.node(v).name);
+      span.arg("rows", static_cast<double>(view.row_count()));
+    }
+    if (counters_enabled()) {
+      MetricsRegistry::global().counter("warehouse/deploy/views").increment();
+      MetricsRegistry::global().counter("warehouse/deploy/rows")
+          .add(static_cast<double>(view.row_count()));
+    }
     if (stats != nullptr) {
       stats->rows_out[g.node(v).name] = static_cast<double>(view.row_count());
     }
@@ -131,6 +151,7 @@ RefreshReport WarehouseDesigner::refresh(const DesignResult& design,
     return incremental_refresh(g, design.selection.materialized, db,
                                base_deltas, stats);
   }
+  MVD_TRACE_SPAN("maintenance", "recompute-refresh");
   deploy(design, db, stats);
   RefreshReport report;
   for (NodeId v : design.selection.materialized) {
@@ -141,6 +162,7 @@ RefreshReport WarehouseDesigner::refresh(const DesignResult& design,
     entry.stored_rows = static_cast<double>(db.table(entry.view).row_count());
     report.views.push_back(std::move(entry));
   }
+  publish_refresh_report(report);
   return report;
 }
 
@@ -151,6 +173,11 @@ Table WarehouseDesigner::answer(const DesignResult& design,
   const NodeId q = g.find_by_name(query_name);
   if (q < 0 || g.node(q).kind != MvppNodeKind::kQuery) {
     throw PlanError("unknown query '" + query_name + "'");
+  }
+  TraceSpan span("warehouse", "answer");
+  span.arg("query", query_name);
+  if (counters_enabled()) {
+    MetricsRegistry::global().counter("warehouse/answer/queries").increment();
   }
   const Executor exec(db);
   return exec.run(answer_plan(g, q, design.selection.materialized), stats);

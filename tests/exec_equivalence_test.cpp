@@ -7,6 +7,7 @@
 
 #include "src/algebra/query_spec.hpp"
 #include "src/exec/executor.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/optimizer/optimizer.hpp"
 #include "src/workload/generator.hpp"
 
@@ -178,6 +179,63 @@ TEST_F(ExecEquivalenceEdgeTest, MinMaxOnStringsAndDoubles) {
       {AggSpec{AggFn::kMin, "T.name", ""}, AggSpec{AggFn::kMax, "T.x", ""},
        AggSpec{AggFn::kSum, "T.x", ""}});
   expect_engines_agree(db_, plan);
+}
+
+// Per-operator accounting parity through the metrics registry: with
+// counters on, both engines publish engine-agnostic totals under
+// "exec/op/<name>/..." — the registry diff around a run must agree
+// exactly between the row and vectorized engines, operator by operator
+// (a finer-grained check than the whole-run ExecStats asserts above).
+TEST(ExecEquivalenceTest, RegistryPerOperatorStatsParity) {
+  set_trace_level(TraceLevel::kCounters);
+  StarSchemaOptions schema;
+  schema.dimensions = 2;
+  schema.fact_rows = 1'500;
+  schema.dimension_rows = 120;
+  const Database db = populate_star_database(schema, 11);
+  const Catalog catalog = catalog_from_database(db, 10.0);
+
+  StarQueryOptions queries;
+  queries.count = 4;
+  queries.max_dimensions = 2;
+  queries.aggregation_probability = 0.5;
+  queries.seed = 7;
+  const CostModel cost_model(catalog, {});
+  const Optimizer optimizer(cost_model);
+
+  const Executor row_exec(db, ExecMode::kRow);
+  const Executor vec_exec(db, ExecMode::kVectorized, 4);
+  const auto run_delta = [&](const Executor& exec, const PlanPtr& plan) {
+    const MetricsSnapshot before = MetricsRegistry::global().snapshot();
+    exec.run(plan);
+    return MetricsRegistry::global().snapshot().diff(before);
+  };
+
+  for (const QuerySpec& q : generate_star_queries(catalog, schema, queries)) {
+    for (const PlanPtr& plan :
+         {canonical_plan(catalog, q), optimizer.optimize(q)}) {
+      SCOPED_TRACE(plan_tree_string(plan));
+      const MetricsSnapshot r = run_delta(row_exec, plan);
+      const MetricsSnapshot v = run_delta(vec_exec, plan);
+      for (const char* op : {"scan", "select", "project", "join",
+                             "aggregate"}) {
+        for (const char* stat : {"blocks_read", "rows_scanned"}) {
+          const std::string name =
+              std::string("exec/op/") + op + "/" + stat;
+          EXPECT_DOUBLE_EQ(r.value_of(name).value_or(0),
+                           v.value_of(name).value_or(0))
+              << name;
+        }
+      }
+      EXPECT_DOUBLE_EQ(r.value_of("exec/total/blocks_read").value_or(0),
+                       v.value_of("exec/total/blocks_read").value_or(0));
+      EXPECT_DOUBLE_EQ(r.value_of("exec/total/rows_scanned").value_or(0),
+                       v.value_of("exec/total/rows_scanned").value_or(0));
+      EXPECT_DOUBLE_EQ(r.value_of("exec/row/runs").value_or(0), 1.0);
+      EXPECT_DOUBLE_EQ(v.value_of("exec/vec/runs").value_or(0), 1.0);
+    }
+  }
+  set_trace_level(std::nullopt);
 }
 
 // Small fixture exercised under ThreadSanitizer in CI: a join + aggregate

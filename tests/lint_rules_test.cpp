@@ -40,6 +40,34 @@ TEST_F(LintCleanTest, Figure3FullGraphPassIsClean) {
   EXPECT_TRUE(report.clean()) << report.render_text();
 }
 
+TEST_F(LintCleanTest, FaithfulMetricsLedgerIsClean) {
+  // A registry snapshot whose ledger gauges equal the selection costs
+  // must pass obs/metrics-consistent; snapshots with no ledger (or no
+  // snapshot at all) make the rule skip rather than fire.
+  const SelectionResult selection = yang_heuristic(eval_);
+  MetricsSnapshot snap;
+  MetricValue qp;
+  qp.kind = MetricKind::kGauge;
+  qp.value = selection.costs.query_processing;
+  snap.metrics["selection/ledger/query_blocks"] = qp;
+  MetricValue maint;
+  maint.kind = MetricKind::kGauge;
+  maint.value = selection.costs.maintenance;
+  snap.metrics["selection/ledger/maintenance_blocks"] = maint;
+
+  LintContext ctx;
+  ctx.graph = &graph_;
+  ctx.evaluator = &eval_;
+  ctx.cost_model = &cost_model_;
+  ctx.selections.push_back({&selection, std::nullopt});
+  ctx.metrics = &snap;
+  EXPECT_TRUE(LintRegistry::builtin().run(ctx).clean());
+
+  const MetricsSnapshot empty;
+  ctx.metrics = &empty;
+  EXPECT_TRUE(LintRegistry::builtin().run(ctx).clean());
+}
+
 TEST_F(LintCleanTest, EverySelectionAlgorithmProducesLintCleanResults) {
   const std::vector<SelectionResult> results = {
       select_nothing(eval_),

@@ -1,0 +1,328 @@
+// mvprof — end-to-end profiler for the warehouse-design pipeline.
+//
+//   mvprof                      profile the paper workload (design,
+//                               populate, deploy, answer, update+refresh)
+//   mvprof --paper              same, explicitly
+//   mvprof --input FILE         profile selection over a serialized MVPP
+//                               (to_json output; paper catalog relations)
+//   mvprof --scale X            database scale for --paper (default 0.01)
+//   mvprof --out DIR            where trace.json / metrics.json go
+//                               (default ".")
+//   mvprof --json               machine-readable phase summary on stdout
+//
+// Runs with full tracing on (MVD_TRACE=spans equivalent), prints a
+// phase-by-phase table of wall time and registry deltas, then writes
+//
+//   trace.json    Chrome trace-event document — load in chrome://tracing
+//                 or https://ui.perfetto.dev
+//   metrics.json  final MetricsRegistry snapshot
+//
+// and reconciles the published "selection/ledger/..." gauges against the
+// design's reported selection costs (the obs/metrics-consistent
+// contract). Exit status: 0 ok, 1 reconciliation failure, 2 usage/load
+// problems.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/random.hpp"
+#include "src/common/text_table.hpp"
+#include "src/common/units.hpp"
+#include "src/maintenance/update_stream.hpp"
+#include "src/mvpp/serialize.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/warehouse/designer.hpp"
+#include "src/workload/paper_example.hpp"
+
+namespace {
+
+using namespace mvd;
+
+int usage(const std::string& problem) {
+  std::cerr << "mvprof: " << problem << "\n"
+            << "usage: mvprof [--paper | --input FILE] [--scale X]\n"
+            << "              [--out DIR] [--json]\n";
+  return 2;
+}
+
+struct PhaseRow {
+  std::string name;
+  double wall_ms = 0;
+  std::size_t events = 0;       // trace events recorded during the phase
+  MetricsSnapshot delta;        // registry activity during the phase
+};
+
+/// Run `fn` as one named phase: a top-level span plus wall time, trace
+/// event count and registry snapshot deltas.
+template <typename Fn>
+void run_phase(std::vector<PhaseRow>& rows, const char* name, Fn&& fn) {
+  PhaseRow row;
+  row.name = name;
+  const MetricsSnapshot before = MetricsRegistry::global().snapshot();
+  const std::size_t events_before = Tracer::global().event_count();
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    TraceSpan span("mvprof", name);
+    fn();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  row.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.events = Tracer::global().event_count() - events_before;
+  row.delta = MetricsRegistry::global().snapshot().diff(before);
+  rows.push_back(std::move(row));
+}
+
+double counter_of(const MetricsSnapshot& s, const std::string& name) {
+  return s.value_of(name).value_or(0);
+}
+
+void print_phase_table(const std::vector<PhaseRow>& rows) {
+  TextTable table({"phase", "wall ms", "trace events", "blocks read",
+                   "rows scanned", "cost evals"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight});
+  for (const PhaseRow& row : rows) {
+    std::ostringstream ms;
+    ms.setf(std::ios::fixed);
+    ms.precision(2);
+    ms << row.wall_ms;
+    table.add_row(
+        {row.name, ms.str(), std::to_string(row.events),
+         format_blocks(counter_of(row.delta, "exec/total/blocks_read")),
+         format_blocks(counter_of(row.delta, "exec/total/rows_scanned")),
+         format_blocks(
+             counter_of(row.delta, "selection/fast_eval/evaluations"))});
+  }
+  std::cout << table.render();
+}
+
+Json phases_to_json(const std::vector<PhaseRow>& rows) {
+  Json arr = Json::array();
+  for (const PhaseRow& row : rows) {
+    Json p = Json::object();
+    p.set("phase", Json::string(row.name));
+    p.set("wall_ms", Json::number(row.wall_ms));
+    p.set("trace_events", Json::number(row.events));
+    p.set("metrics", row.delta.to_json().at("metrics"));
+    arr.push_back(std::move(p));
+  }
+  return arr;
+}
+
+bool close_enough(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+  return std::abs(a - b) <= 1e-9 * scale;
+}
+
+/// The acceptance gate: the gauges the design published must equal the
+/// selection costs it reported — same contract obs/metrics-consistent
+/// enforces in mvlint.
+bool reconcile_ledger(const MetricsSnapshot& snap, const MvppCosts& costs,
+                      Json& out) {
+  const double qp =
+      snap.value_of("selection/ledger/query_blocks").value_or(-1);
+  const double maint =
+      snap.value_of("selection/ledger/maintenance_blocks").value_or(-1);
+  const bool ok = close_enough(qp, costs.query_processing) &&
+                  close_enough(maint, costs.maintenance);
+  out = Json::object();
+  out.set("ledger_query_blocks", Json::number(qp));
+  out.set("selection_query_blocks", Json::number(costs.query_processing));
+  out.set("ledger_maintenance_blocks", Json::number(maint));
+  out.set("selection_maintenance_blocks", Json::number(costs.maintenance));
+  out.set("consistent", Json::boolean(ok));
+  return ok;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write '" + path + "'");
+  out << text;
+}
+
+/// Full pipeline over the paper workload.
+int profile_paper(double scale, const std::string& out_dir, bool as_json) {
+  const PaperExample example = make_paper_example();
+  DesignerOptions options;
+  options.cost = paper_cost_config();
+  WarehouseDesigner designer(example.catalog, options);
+  for (const QuerySpec& q : example.queries) designer.add_query(q);
+
+  std::vector<PhaseRow> rows;
+  DesignResult design;
+  run_phase(rows, "design", [&] { design = designer.design(); });
+  const MetricsSnapshot after_design = MetricsRegistry::global().snapshot();
+
+  Database db;
+  run_phase(rows, "populate",
+            [&] { db = populate_paper_database(scale, 17); });
+
+  ExecStats deploy_stats;
+  run_phase(rows, "deploy",
+            [&] { designer.deploy(design, db, &deploy_stats); });
+
+  run_phase(rows, "answer", [&] {
+    for (const QuerySpec& q : example.queries) {
+      (void)designer.answer(design, q.name(), db);
+    }
+  });
+
+  DeltaSet deltas;
+  Rng rng(99);
+  run_phase(rows, "update", [&] {
+    for (const char* relation : {"Order", "Customer"}) {
+      (void)apply_update_batch(db, relation, UpdateStreamOptions{}, rng,
+                               &deltas);
+    }
+  });
+
+  RefreshReport refresh;
+  run_phase(rows, "refresh", [&] {
+    refresh = designer.refresh(design, db, deltas, RefreshMode::kIncremental);
+  });
+
+  const MetricsSnapshot final_snap = MetricsRegistry::global().snapshot();
+  Json reconciliation;
+  const bool consistent =
+      reconcile_ledger(after_design, design.selection.costs, reconciliation);
+
+  const std::string trace_path = out_dir + "/trace.json";
+  const std::string metrics_path = out_dir + "/metrics.json";
+  write_file(trace_path, Tracer::global().to_chrome_json().dump(2) + "\n");
+  write_file(metrics_path, final_snap.to_json().dump(2) + "\n");
+
+  if (as_json) {
+    Json doc = Json::object();
+    doc.set("workload", Json::string("paper"));
+    doc.set("scale", Json::number(scale));
+    doc.set("phases", phases_to_json(rows));
+    doc.set("ledger", std::move(reconciliation));
+    doc.set("refreshed_views", Json::number(refresh.views.size()));
+    doc.set("trace_file", Json::string(trace_path));
+    doc.set("metrics_file", Json::string(metrics_path));
+    std::cout << doc.dump(2) << "\n";
+  } else {
+    print_phase_table(rows);
+    std::cout << "\nledger reconciliation: "
+              << (consistent ? "ok" : "MISMATCH") << " (query "
+              << format_blocks(counter_of(after_design,
+                                          "selection/ledger/query_blocks"))
+              << " vs " << format_blocks(design.selection.costs.query_processing)
+              << ", maintenance "
+              << format_blocks(counter_of(
+                     after_design, "selection/ledger/maintenance_blocks"))
+              << " vs " << format_blocks(design.selection.costs.maintenance)
+              << ")\n";
+    std::cout << "trace:   " << trace_path << "  (chrome://tracing or "
+              << "ui.perfetto.dev)\n";
+    std::cout << "metrics: " << metrics_path << "\n";
+  }
+  return consistent ? 0 : 1;
+}
+
+/// Selection-only profile over a serialized MVPP.
+int profile_file(const std::string& path, const std::string& out_dir,
+                 bool as_json) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+  const Json& graph_doc =
+      doc.kind() == Json::Kind::kObject && !doc.contains("nodes") &&
+              doc.contains("graph")
+          ? doc.at("graph")
+          : doc;
+  const Catalog catalog = make_paper_catalog();
+  const MvppGraph graph = mvpp_from_json(graph_doc, catalog);
+
+  std::vector<PhaseRow> rows;
+  const MvppEvaluator eval(graph);
+  SelectionResult selection;
+  run_phase(rows, "select-yang",
+            [&] { selection = yang_heuristic(eval); });
+  run_phase(rows, "select-greedy", [&] { (void)greedy_incremental(eval); });
+
+  const MetricsSnapshot final_snap = MetricsRegistry::global().snapshot();
+  const std::string trace_path = out_dir + "/trace.json";
+  const std::string metrics_path = out_dir + "/metrics.json";
+  write_file(trace_path, Tracer::global().to_chrome_json().dump(2) + "\n");
+  write_file(metrics_path, final_snap.to_json().dump(2) + "\n");
+
+  if (as_json) {
+    Json out = Json::object();
+    out.set("workload", Json::string(path));
+    out.set("phases", phases_to_json(rows));
+    out.set("trace_file", Json::string(trace_path));
+    out.set("metrics_file", Json::string(metrics_path));
+    std::cout << out.dump(2) << "\n";
+  } else {
+    print_phase_table(rows);
+    std::cout << "\nselected: " << to_string(graph, selection.materialized)
+              << " (total " << format_blocks(selection.costs.total())
+              << ")\ntrace:   " << trace_path << "\nmetrics: " << metrics_path
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kPaper, kInput };
+  Mode mode = Mode::kPaper;
+  std::string input_path;
+  std::string out_dir = ".";
+  double scale = 0.01;
+  bool as_json = false;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--paper") {
+      mode = Mode::kPaper;
+    } else if (arg == "--input") {
+      if (i + 1 >= args.size()) return usage("--input needs a file path");
+      mode = Mode::kInput;
+      input_path = args[++i];
+    } else if (arg == "--scale") {
+      if (i + 1 >= args.size()) return usage("--scale needs a number");
+      try {
+        scale = std::stod(args[++i]);
+      } catch (const std::exception&) {
+        return usage("bad --scale value '" + args[i] + "'");
+      }
+      if (!(scale > 0)) return usage("--scale must be positive");
+    } else if (arg == "--out") {
+      if (i + 1 >= args.size()) return usage("--out needs a directory");
+      out_dir = args[++i];
+    } else if (arg == "--json") {
+      as_json = true;
+    } else {
+      return usage("unknown argument '" + arg + "'");
+    }
+  }
+
+  // Full instrumentation regardless of MVD_TRACE — profiling is the
+  // point of this tool.
+  set_trace_level(TraceLevel::kSpans);
+
+  try {
+    switch (mode) {
+      case Mode::kPaper:
+        return profile_paper(scale, out_dir, as_json);
+      case Mode::kInput:
+        return profile_file(input_path, out_dir, as_json);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "mvprof: " << e.what() << "\n";
+    return 2;
+  }
+  return 2;
+}
