@@ -160,14 +160,17 @@ Value CompiledExpr::evaluate_at(const ColumnTable& data,
 namespace {
 
 /// Run the comparison loop with both sides inlined; the selection shrinks
-/// in place, order preserved.
+/// in place, order preserved. The unconditional-store form (write the
+/// row, bump the cursor by the predicate result) keeps the loop free of
+/// data-dependent branches, so it autovectorizes.
 template <typename GetL, typename GetR>
 void filter_compare(CompareOp op, const GetL& lhs, const GetR& rhs,
                     std::vector<std::uint32_t>& sel) {
   auto keep = [&](auto pred) {
     std::size_t out = 0;
     for (const std::uint32_t r : sel) {
-      if (pred(lhs(r), rhs(r))) sel[out++] = r;
+      sel[out] = r;
+      out += pred(lhs(r), rhs(r)) ? 1 : 0;
     }
     sel.resize(out);
   };

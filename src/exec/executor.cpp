@@ -42,11 +42,25 @@ void publish_op_tallies(const char* engine, const double* blocks,
 }
 
 ExecMode default_exec_mode() {
-  const char* env = std::getenv("MVD_EXEC_MODE");
-  if (env == nullptr) return ExecMode::kRow;
-  const std::string mode(env);
-  if (mode == "vectorized" || mode == "vec") return ExecMode::kVectorized;
-  return ExecMode::kRow;
+  ExecMode mode = ExecMode::kRow;
+  if (const char* env = std::getenv("MVD_EXEC_MODE")) {
+    const std::string m(env);
+    if (m == "vectorized" || m == "vec") mode = ExecMode::kVectorized;
+    if (m == "fused") mode = ExecMode::kFused;
+  }
+  // MVD_EXEC_FUSED toggles the kernel layer on top of whatever engine
+  // MVD_EXEC_MODE picked: on upgrades vectorized (or row) to fused, off
+  // forces fused back to the interpreted vectorized path.
+  if (const char* env = std::getenv("MVD_EXEC_FUSED")) {
+    const std::string f(env);
+    if (f == "1" || f == "true" || f == "on") {
+      mode = ExecMode::kFused;
+    } else if ((f == "0" || f == "false" || f == "off") &&
+               mode == ExecMode::kFused) {
+      mode = ExecMode::kVectorized;
+    }
+  }
+  return mode;
 }
 
 std::size_t default_exec_threads() {
@@ -62,7 +76,7 @@ Executor::Executor(const Database& db, ExecMode mode, std::size_t threads)
     : db_(&db),
       mode_(mode),
       threads_(threads),
-      column_cache_(mode == ExecMode::kVectorized
+      column_cache_(mode != ExecMode::kRow
                         ? std::make_shared<ColumnTableCache>()
                         : nullptr) {}
 
@@ -81,12 +95,16 @@ Table Executor::run(const PlanPtr& plan, ExecStats* stats) const {
   const double rows0 = s != nullptr ? s->rows_scanned : 0;
   const double batches0 = s != nullptr ? s->batches : 0;
 
-  const char* engine = mode_ == ExecMode::kVectorized ? "vec" : "row";
-  TraceSpan span("exec", mode_ == ExecMode::kVectorized ? "vec-run"
-                                                        : "row-run");
+  const char* engine = mode_ == ExecMode::kFused        ? "fused"
+                       : mode_ == ExecMode::kVectorized ? "vec"
+                                                        : "row";
+  TraceSpan span("exec", mode_ == ExecMode::kFused        ? "fused-run"
+                         : mode_ == ExecMode::kVectorized ? "vec-run"
+                                                          : "row-run");
   Table out = [&] {
-    if (mode_ == ExecMode::kVectorized) {
-      return run_vectorized(*db_, plan, s, threads_, *column_cache_);
+    if (mode_ != ExecMode::kRow) {
+      return run_vectorized(*db_, plan, s, threads_, *column_cache_,
+                            mode_ == ExecMode::kFused);
     }
     RunContext ctx;
     Table t = *run_node(plan, s, ctx);

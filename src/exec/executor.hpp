@@ -4,7 +4,8 @@
 // operator's result bottom-up as tuple vectors (shared plan fragments are
 // computed once per run); the vectorized engine (ExecMode::kVectorized,
 // src/exec/vectorized.hpp) runs the same plans over columnar batches with
-// selection vectors and morsel parallelism. Both split equi-join
+// selection vectors and morsel parallelism — ExecMode::kFused adds its
+// typed kernel layer (src/exec/fused.hpp). Both split equi-join
 // conjuncts into a build/probe hash join and fall back to a nested loop
 // otherwise, and both exist to (a) ground-truth the optimizer and MVPP
 // rewrites — every rewritten plan must return the same bag of tuples as
@@ -42,11 +43,18 @@ struct ExecStats {
   std::map<std::string, double> delta_rows;
 };
 
-/// Which engine Executor::run uses.
-enum class ExecMode { kRow, kVectorized };
+/// Which engine Executor::run uses. kFused is the vectorized engine with
+/// the typed kernel layer (src/exec/fused) enabled: fusable
+/// select/project chains, numeric equi-joins and COUNT/SUM/AVG
+/// aggregates run through specialized loops, everything else falls back
+/// to the interpreted operators per node.
+enum class ExecMode { kRow, kVectorized, kFused };
 
-/// Engine selected by the MVD_EXEC_MODE environment variable ("row" or
-/// "vectorized"/"vec"); kRow when unset or unrecognized.
+/// Engine selected by the MVD_EXEC_MODE environment variable ("row",
+/// "vectorized"/"vec", or "fused"); kRow when unset or unrecognized.
+/// MVD_EXEC_FUSED then overrides the kernel layer independently: truthy
+/// ("1"/"true"/"on") upgrades any vectorized selection to kFused, falsy
+/// ("0"/"false"/"off") demotes kFused back to plain kVectorized.
 ExecMode default_exec_mode();
 
 /// Vectorized-engine worker count from MVD_EXEC_THREADS (0 = hardware
@@ -90,7 +98,7 @@ class Executor {
   ExecMode mode_;
   std::size_t threads_;
   /// Columnar conversions, shared across runs of this Executor (filled
-  /// lazily, vectorized mode only).
+  /// lazily, vectorized/fused modes only).
   std::shared_ptr<ColumnTableCache> column_cache_;
 };
 

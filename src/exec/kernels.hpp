@@ -1,0 +1,338 @@
+// Typed operator kernels for the fused execution path (src/exec/fused).
+//
+// Each kernel is a template expanded per (compare-op, column-type)
+// combination, so the inner loop the compiler sees is a monomorphic,
+// branch-free pass over raw column arrays — the shape auto-vectorizers
+// recognize. Two loop families cover predicate evaluation:
+//
+//   * range kernels    — dense row ranges: out[k] = i; k += (lhs(i) OP
+//     rhs(i)). The first conjunct over an identity source never
+//     materializes a full selection vector — survivor ids are emitted
+//     directly in one pass over the raw columns.
+//   * sel kernels      — selection vectors: out[k] = sel[i]; k += pred.
+//     The branchless-append form of the shrinking-selection filter;
+//     conjuncts after the first run here so the scan narrows like the
+//     interpreted engine's short-circuit, minus its per-node overhead.
+//
+// Join build/probe and aggregation share PackedKey, a fixed-width (two
+// word) group/join key holding double bit patterns — the same encoding
+// exec_internal.hpp's packed string keys use, minus the allocation — and
+// two open-addressing tables (JoinKeyMap, GroupKeyMap) whose iteration
+// order is fully determined by insertion order, preserving the engines'
+// deterministic first-seen/active-order contracts.
+//
+// Numeric comparison semantics match Value::compare: both sides evaluate
+// through double (int64 1 equals double 1.0). Callers guarantee operands
+// are type-compatible; mixed or non-simple predicates never reach these
+// kernels (the chain detector refuses them and the interpreted path runs
+// instead).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/algebra/expr.hpp"
+#include "src/common/assert.hpp"
+
+namespace mvd {
+
+// ---- Comparison core --------------------------------------------------
+
+template <CompareOp Op, typename T>
+inline bool kernel_cmp(const T& a, const T& b) {
+  if constexpr (Op == CompareOp::kEq) {
+    return a == b;
+  } else if constexpr (Op == CompareOp::kNe) {
+    return a != b;
+  } else if constexpr (Op == CompareOp::kLt) {
+    return a < b;
+  } else if constexpr (Op == CompareOp::kLe) {
+    return a <= b;
+  } else if constexpr (Op == CompareOp::kGt) {
+    return a > b;
+  } else {
+    return a >= b;
+  }
+}
+
+// ---- Operand accessors ------------------------------------------------
+// Tiny value types (pointer + nothing else) so the expanded loops index
+// raw arrays directly. Numeric accessors return double, matching
+// Value::compare's numeric semantics for every column type.
+
+template <typename TCol>
+struct NumColAcc {
+  const TCol* p;
+  double operator()(std::uint32_t r) const {
+    return static_cast<double>(p[r]);
+  }
+};
+
+struct NumLitAcc {
+  double v;
+  double operator()(std::uint32_t) const { return v; }
+};
+
+// Pure-int64 accessors for the exact literal-rewrite fast path (see
+// int_cmp_rewrite in fused.cpp): no per-row int→double conversion, so the
+// expanded loop is a plain integer compare over the raw column.
+struct IntColAcc {
+  const std::int64_t* p;
+  std::int64_t operator()(std::uint32_t r) const { return p[r]; }
+};
+
+struct IntLitAcc {
+  std::int64_t v;
+  std::int64_t operator()(std::uint32_t) const { return v; }
+};
+
+struct StrColAcc {
+  const std::string* p;
+  const std::string& operator()(std::uint32_t r) const { return p[r]; }
+};
+
+struct StrLitAcc {
+  const std::string* v;
+  const std::string& operator()(std::uint32_t) const { return *v; }
+};
+
+// ---- Range kernels (dense row ranges) ---------------------------------
+
+/// Filter the dense physical row range [lo, hi) through one comparison,
+/// writing surviving row ids to `out` in ascending order. Returns the
+/// survivor count. One branch-free pass: the ids of a dense range are
+/// implicit, so nothing is materialized for rows that fail.
+template <CompareOp Op, typename L, typename R>
+inline std::size_t kernel_filter_range(L lhs, R rhs, std::uint32_t lo,
+                                       std::uint32_t hi, std::uint32_t* out) {
+  std::size_t k = 0;
+  for (std::uint32_t i = lo; i < hi; ++i) {
+    out[k] = i;
+    k += kernel_cmp<Op>(lhs(i), rhs(i)) ? 1 : 0;
+  }
+  return k;
+}
+
+// ---- Selection-vector kernels -----------------------------------------
+
+/// Filter `sel[0, n)` through one comparison, writing survivors to `out`
+/// in order (out may alias sel: the write index never passes the read
+/// index). Returns the survivor count.
+template <CompareOp Op, typename L, typename R>
+inline std::size_t kernel_filter_sel(L lhs, R rhs, const std::uint32_t* sel,
+                                     std::size_t n, std::uint32_t* out) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t r = sel[i];
+    out[k] = r;
+    k += kernel_cmp<Op>(lhs(r), rhs(r)) ? 1 : 0;
+  }
+  return k;
+}
+
+/// Expand a runtime CompareOp into the six template instantiations of a
+/// dense range filter kernel over fixed accessor types.
+template <typename L, typename R>
+inline std::size_t dispatch_filter_range(CompareOp op, L lhs, R rhs,
+                                         std::uint32_t lo, std::uint32_t hi,
+                                         std::uint32_t* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return kernel_filter_range<CompareOp::kEq>(lhs, rhs, lo, hi, out);
+    case CompareOp::kNe:
+      return kernel_filter_range<CompareOp::kNe>(lhs, rhs, lo, hi, out);
+    case CompareOp::kLt:
+      return kernel_filter_range<CompareOp::kLt>(lhs, rhs, lo, hi, out);
+    case CompareOp::kLe:
+      return kernel_filter_range<CompareOp::kLe>(lhs, rhs, lo, hi, out);
+    case CompareOp::kGt:
+      return kernel_filter_range<CompareOp::kGt>(lhs, rhs, lo, hi, out);
+    case CompareOp::kGe:
+      return kernel_filter_range<CompareOp::kGe>(lhs, rhs, lo, hi, out);
+  }
+  MVD_ASSERT(false);
+  return 0;
+}
+
+/// Expand a runtime CompareOp into the six instantiations of a sel-vector
+/// filter kernel over fixed accessor types.
+template <typename L, typename R>
+inline std::size_t dispatch_filter_sel(CompareOp op, L lhs, R rhs,
+                                       const std::uint32_t* sel, std::size_t n,
+                                       std::uint32_t* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      return kernel_filter_sel<CompareOp::kEq>(lhs, rhs, sel, n, out);
+    case CompareOp::kNe:
+      return kernel_filter_sel<CompareOp::kNe>(lhs, rhs, sel, n, out);
+    case CompareOp::kLt:
+      return kernel_filter_sel<CompareOp::kLt>(lhs, rhs, sel, n, out);
+    case CompareOp::kLe:
+      return kernel_filter_sel<CompareOp::kLe>(lhs, rhs, sel, n, out);
+    case CompareOp::kGt:
+      return kernel_filter_sel<CompareOp::kGt>(lhs, rhs, sel, n, out);
+    case CompareOp::kGe:
+      return kernel_filter_sel<CompareOp::kGe>(lhs, rhs, sel, n, out);
+  }
+  MVD_ASSERT(false);
+  return 0;
+}
+
+// ---- Packed fixed-width keys ------------------------------------------
+
+/// A join/group key of up to two columns packed into two words. Numeric
+/// columns contribute their double bit pattern (so int64 1 and double 1.0
+/// key equal, as in Value::operator== and the packed string keys), bools
+/// one 0/1 word.
+struct PackedKey {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  bool operator==(const PackedKey&) const = default;
+};
+
+/// Raw double bit pattern — the aggregation key encoding (identical
+/// grouping to exec_internal.hpp's append_packed_f64, -0.0 and NaN bits
+/// included).
+inline std::uint64_t key_bits_raw(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Join-key bit pattern: -0.0 folds onto +0.0 so bit equality matches
+/// numeric equality. NaN keys are the caller's problem (join kernels skip
+/// NaN rows entirely — NaN joins nothing under numeric equality).
+inline std::uint64_t key_bits_join(double v) {
+  if (v == 0.0) v = 0.0;  // -0.0 == 0.0 numerically; normalize the bits
+  return key_bits_raw(v);
+}
+
+inline std::uint64_t mix_key_word(std::uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct PackedKeyHash {
+  std::size_t operator()(const PackedKey& k) const {
+    return static_cast<std::size_t>(mix_key_word(k.a ^ mix_key_word(k.b)));
+  }
+};
+
+// ---- Join hash table --------------------------------------------------
+
+/// Open-addressing multimap from PackedKey to build-row chains. Rows with
+/// equal keys chain in insertion order, so a probe emits matches in
+/// exactly the active-row order the interpreted engine produces. Exact
+/// keys (not hashes) are stored: probe hits need no equality re-check.
+class JoinKeyMap {
+ public:
+  explicit JoinKeyMap(std::size_t expected_rows) {
+    std::size_t cap = 16;
+    while (cap < expected_rows * 2) cap <<= 1;
+    slots_.assign(cap, Slot{});
+    entries_.reserve(expected_rows);
+  }
+
+  void insert(const PackedKey& key, std::uint32_t row) {
+    Slot& s = slot_for(key);
+    const std::int32_t e = static_cast<std::int32_t>(entries_.size());
+    entries_.push_back({row, -1});
+    if (s.head < 0) {
+      s.key = key;
+      s.used = true;
+      s.head = e;
+    } else {
+      entries_[static_cast<std::size_t>(s.tail)].next = e;
+    }
+    s.tail = e;
+  }
+
+  /// Head entry index for `key`, or -1. Walk with entry().
+  std::int32_t find(const PackedKey& key) const {
+    std::size_t i = PackedKeyHash{}(key) & (slots_.size() - 1);
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return slots_[i].head;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return -1;
+  }
+
+  struct Entry {
+    std::uint32_t row;
+    std::int32_t next;
+  };
+  const Entry& entry(std::int32_t i) const {
+    return entries_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  struct Slot {
+    PackedKey key;
+    std::int32_t head = -1;
+    std::int32_t tail = -1;
+    bool used = false;
+  };
+
+  Slot& slot_for(const PackedKey& key) {
+    std::size_t i = PackedKeyHash{}(key) & (slots_.size() - 1);
+    while (slots_[i].used && !(slots_[i].key == key)) {
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return slots_[i];
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<Entry> entries_;
+};
+
+// ---- Aggregation group index ------------------------------------------
+
+/// Open-addressing map from PackedKey to a dense group index, growing as
+/// groups appear. Group numbering is assignment order (first seen), which
+/// the caller keeps deterministic.
+class GroupKeyMap {
+ public:
+  GroupKeyMap() { slots_.assign(64, Slot{}); }
+
+  /// Index of `key`'s group, inserting `next_group` when unseen. Returns
+  /// the (existing or new) group index.
+  std::int32_t find_or_insert(const PackedKey& key, std::int32_t next_group) {
+    if ((used_ + 1) * 4 >= slots_.size() * 3) grow();
+    std::size_t i = PackedKeyHash{}(key) & (slots_.size() - 1);
+    while (slots_[i].group >= 0) {
+      if (slots_[i].key == key) return slots_[i].group;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    slots_[i].key = key;
+    slots_[i].group = next_group;
+    ++used_;
+    return next_group;
+  }
+
+ private:
+  struct Slot {
+    PackedKey key;
+    std::int32_t group = -1;
+  };
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    for (const Slot& s : old) {
+      if (s.group < 0) continue;
+      std::size_t i = PackedKeyHash{}(s.key) & (slots_.size() - 1);
+      while (slots_[i].group >= 0) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace mvd

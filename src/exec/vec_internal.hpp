@@ -1,0 +1,176 @@
+// Internals shared by the interpreted vectorized engine (vectorized.cpp)
+// and the fused kernel layer (fused.cpp): the selection-vector batch
+// representation, key hashing/equality with Value semantics, and the
+// per-worker observability probe. Formerly private to vectorized.cpp;
+// split out when the fused path (PR 6) needed the same plumbing.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/catalog/schema.hpp"
+#include "src/common/hash.hpp"
+#include "src/obs/trace.hpp"
+#include "src/storage/column_table.hpp"
+
+namespace mvd {
+
+/// A batch-operator result: shared columnar data viewed through a
+/// selection vector of physical row ids (order-significant) and a
+/// logical-to-physical column map. Scan/select/project never copy cell
+/// data; join and aggregate compact into fresh ColumnTables.
+struct VecRel {
+  std::shared_ptr<const ColumnTable> data;
+  bool identity = false;           // all physical rows, in order
+  std::vector<std::uint32_t> sel;  // used when !identity
+  std::vector<std::size_t> cols;   // logical col -> physical col
+  Schema schema;                   // logical schema of this result
+  double blocking_factor = 10.0;
+
+  std::size_t active_rows() const {
+    return identity ? data->row_count() : sel.size();
+  }
+  /// Same accounting as Table::blocks() over the active row count.
+  double blocks() const {
+    const std::size_t n = active_rows();
+    if (n == 0) return 0;
+    return std::max(1.0,
+                    std::ceil(static_cast<double>(n) / blocking_factor));
+  }
+  std::uint32_t physical(std::size_t i) const {
+    return identity ? static_cast<std::uint32_t>(i) : sel[i];
+  }
+};
+
+inline std::uint64_t column_hash_keys(const ColumnTable& data,
+                                      const std::vector<std::size_t>& key_cols,
+                                      std::uint32_t row) {
+  std::size_t seed = 0x51ed5eedULL;
+  for (std::size_t c : key_cols) {
+    std::size_t h = 0;
+    switch (data.kind(c)) {
+      case ColumnKind::kInt64Col:
+        // Numerics hash through double so int and double keys that
+        // compare equal also hash equal (same rule as Value::hash).
+        hash_combine(h, static_cast<double>(data.i64(c)[row]));
+        break;
+      case ColumnKind::kDoubleCol:
+        hash_combine(h, data.f64(c)[row]);
+        break;
+      case ColumnKind::kStringCol:
+        hash_combine(h, data.str(c)[row]);
+        break;
+      case ColumnKind::kBoolCol:
+        hash_combine(h, data.b8(c)[row] != 0);
+        break;
+    }
+    seed ^= h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+inline bool numeric_cell(const ColumnTable& data, std::size_t col,
+                         std::uint32_t row, double& out) {
+  switch (data.kind(col)) {
+    case ColumnKind::kInt64Col:
+      out = static_cast<double>(data.i64(col)[row]);
+      return true;
+    case ColumnKind::kDoubleCol:
+      out = data.f64(col)[row];
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Equality with Value::operator== semantics: numerics compare as double
+/// across int/double kinds, other kinds must match exactly.
+inline bool column_keys_equal(const ColumnTable& a,
+                              const std::vector<std::size_t>& ak,
+                              std::uint32_t ar, const ColumnTable& b,
+                              const std::vector<std::size_t>& bk,
+                              std::uint32_t br) {
+  for (std::size_t k = 0; k < ak.size(); ++k) {
+    double x = 0, y = 0;
+    if (numeric_cell(a, ak[k], ar, x)) {
+      if (!numeric_cell(b, bk[k], br, y) || x != y) return false;
+      continue;
+    }
+    if (a.kind(ak[k]) != b.kind(bk[k])) return false;
+    switch (a.kind(ak[k])) {
+      case ColumnKind::kStringCol:
+        if (a.str(ak[k])[ar] != b.str(bk[k])[br]) return false;
+        break;
+      case ColumnKind::kBoolCol:
+        if (a.b8(ak[k])[ar] != b.b8(bk[k])[br]) return false;
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Names one worker pool for observability: the span category its stints
+/// record under plus the counter track / busy counter they publish to.
+/// Each engine layer has its own track so mvprof separates interpreted
+/// morsel workers from kernel workers.
+struct WorkerTrack {
+  const char* span_category;
+  const char* active_track;
+  const char* busy_counter;
+  std::atomic<int> active{0};
+};
+
+inline WorkerTrack& vec_worker_track() {
+  static WorkerTrack t{"exec.vec.worker", "exec/vec/active_workers",
+                       "exec/vec/busy_us"};
+  return t;
+}
+
+inline WorkerTrack& kernel_worker_track() {
+  static WorkerTrack t{"exec.kernel.worker", "exec/kernel/active_workers",
+                       "exec/kernel/busy_us"};
+  return t;
+}
+
+/// Scope probe for a morsel worker's stint inside a parallel region:
+/// records a per-thread busy span, samples the track's active-worker
+/// counter (the morsel pool's occupancy) on entry/exit, and adds the
+/// stint's wall time to the track's busy counter. Free when tracing is
+/// off.
+class WorkerProbe {
+ public:
+  WorkerProbe(WorkerTrack& track, const char* what)
+      : track_(track), span_(track.span_category, what) {
+    timed_ = counters_enabled();
+    if (timed_) t0_ = Tracer::now_us();
+    if (span_.active()) {
+      const int n = track_.active.fetch_add(1, std::memory_order_relaxed) + 1;
+      Tracer::global().counter(track_.active_track, static_cast<double>(n));
+    }
+  }
+  WorkerProbe(const WorkerProbe&) = delete;
+  WorkerProbe& operator=(const WorkerProbe&) = delete;
+  ~WorkerProbe() {
+    if (span_.active()) {
+      const int n = track_.active.fetch_sub(1, std::memory_order_relaxed) - 1;
+      Tracer::global().counter(track_.active_track, static_cast<double>(n));
+    }
+    if (timed_) {
+      MetricsRegistry::global().counter(track_.busy_counter)
+          .add(Tracer::now_us() - t0_);
+    }
+  }
+
+ private:
+  WorkerTrack& track_;
+  TraceSpan span_;
+  bool timed_ = false;
+  double t0_ = 0;
+};
+
+}  // namespace mvd

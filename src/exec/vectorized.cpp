@@ -11,6 +11,8 @@
 #include "src/common/hash.hpp"
 #include "src/common/parallel.hpp"
 #include "src/exec/exec_internal.hpp"
+#include "src/exec/fused.hpp"
+#include "src/exec/vec_internal.hpp"
 #include "src/obs/trace.hpp"
 
 namespace mvd {
@@ -28,151 +30,22 @@ std::shared_ptr<const ColumnTable> ColumnTableCache::get(const Table& table) {
 
 namespace {
 
-/// A batch-operator result: shared columnar data viewed through a
-/// selection vector of physical row ids (order-significant) and a
-/// logical-to-physical column map. Scan/select/project never copy cell
-/// data; join and aggregate compact into fresh ColumnTables.
-struct VecRel {
-  std::shared_ptr<const ColumnTable> data;
-  bool identity = false;           // all physical rows, in order
-  std::vector<std::uint32_t> sel;  // used when !identity
-  std::vector<std::size_t> cols;   // logical col -> physical col
-  Schema schema;                   // logical schema of this result
-  double blocking_factor = 10.0;
-
-  std::size_t active_rows() const {
-    return identity ? data->row_count() : sel.size();
-  }
-  /// Same accounting as Table::blocks() over the active row count.
-  double blocks() const {
-    const std::size_t n = active_rows();
-    if (n == 0) return 0;
-    return std::max(1.0,
-                    std::ceil(static_cast<double>(n) / blocking_factor));
-  }
-  std::uint32_t physical(std::size_t i) const {
-    return identity ? static_cast<std::uint32_t>(i) : sel[i];
-  }
-};
-
-std::uint64_t column_hash_keys(const ColumnTable& data,
-                               const std::vector<std::size_t>& key_cols,
-                               std::uint32_t row) {
-  std::size_t seed = 0x51ed5eedULL;
-  for (std::size_t c : key_cols) {
-    std::size_t h = 0;
-    switch (data.kind(c)) {
-      case ColumnKind::kInt64Col:
-        // Numerics hash through double so int and double keys that
-        // compare equal also hash equal (same rule as Value::hash).
-        hash_combine(h, static_cast<double>(data.i64(c)[row]));
-        break;
-      case ColumnKind::kDoubleCol:
-        hash_combine(h, data.f64(c)[row]);
-        break;
-      case ColumnKind::kStringCol:
-        hash_combine(h, data.str(c)[row]);
-        break;
-      case ColumnKind::kBoolCol:
-        hash_combine(h, data.b8(c)[row] != 0);
-        break;
-    }
-    seed ^= h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
-  }
-  return seed;
-}
-
-bool numeric_cell(const ColumnTable& data, std::size_t col, std::uint32_t row,
-                  double& out) {
-  switch (data.kind(col)) {
-    case ColumnKind::kInt64Col:
-      out = static_cast<double>(data.i64(col)[row]);
-      return true;
-    case ColumnKind::kDoubleCol:
-      out = data.f64(col)[row];
-      return true;
-    default:
-      return false;
-  }
-}
-
-/// Equality with Value::operator== semantics: numerics compare as double
-/// across int/double kinds, other kinds must match exactly.
-bool column_keys_equal(const ColumnTable& a,
-                       const std::vector<std::size_t>& ak, std::uint32_t ar,
-                       const ColumnTable& b,
-                       const std::vector<std::size_t>& bk, std::uint32_t br) {
-  for (std::size_t k = 0; k < ak.size(); ++k) {
-    double x = 0, y = 0;
-    if (numeric_cell(a, ak[k], ar, x)) {
-      if (!numeric_cell(b, bk[k], br, y) || x != y) return false;
-      continue;
-    }
-    if (a.kind(ak[k]) != b.kind(bk[k])) return false;
-    switch (a.kind(ak[k])) {
-      case ColumnKind::kStringCol:
-        if (a.str(ak[k])[ar] != b.str(bk[k])[br]) return false;
-        break;
-      case ColumnKind::kBoolCol:
-        if (a.b8(ak[k])[ar] != b.b8(bk[k])[br]) return false;
-        break;
-      default:
-        return false;
-    }
-  }
-  return true;
-}
-
-/// Scope probe for a morsel worker's stint inside a parallel region:
-/// records a per-thread busy span, samples the "exec/vec/active_workers"
-/// counter track (the morsel pool's occupancy) on entry/exit, and adds
-/// the stint's wall time to "exec/vec/busy_us". Free when tracing is off.
-class WorkerProbe {
- public:
-  explicit WorkerProbe(const char* what) : span_("exec.vec.worker", what) {
-    timed_ = counters_enabled();
-    if (timed_) t0_ = Tracer::now_us();
-    if (span_.active()) {
-      const int n = active().fetch_add(1, std::memory_order_relaxed) + 1;
-      Tracer::global().counter("exec/vec/active_workers",
-                               static_cast<double>(n));
-    }
-  }
-  WorkerProbe(const WorkerProbe&) = delete;
-  WorkerProbe& operator=(const WorkerProbe&) = delete;
-  ~WorkerProbe() {
-    if (span_.active()) {
-      const int n = active().fetch_sub(1, std::memory_order_relaxed) - 1;
-      Tracer::global().counter("exec/vec/active_workers",
-                               static_cast<double>(n));
-    }
-    if (timed_) {
-      MetricsRegistry::global().counter("exec/vec/busy_us")
-          .add(Tracer::now_us() - t0_);
-    }
-  }
-
- private:
-  static std::atomic<int>& active() {
-    static std::atomic<int> n{0};
-    return n;
-  }
-  TraceSpan span_;
-  bool timed_ = false;
-  double t0_ = 0;
-};
-
 class VectorizedEngine {
  public:
   VectorizedEngine(const Database& db, ExecStats* stats, std::size_t threads,
-                   ColumnTableCache& cache)
-      : db_(&db), stats_(stats), threads_(threads), cache_(&cache) {}
+                   ColumnTableCache& cache, bool fused)
+      : db_(&db),
+        stats_(stats),
+        threads_(threads),
+        cache_(&cache),
+        fused_(fused) {}
 
   Table run(const PlanPtr& plan) {
     MVD_ASSERT(plan != nullptr);
+    if (fused_) uses_ = plan_use_counts(plan);
     Table out = sink(node(plan));
     if (counters_enabled() && stats_ != nullptr) {
-      publish_op_tallies("vec", op_blocks_, op_rows_);
+      publish_op_tallies(fused_ ? "fused" : "vec", op_blocks_, op_rows_);
     }
     return out;
   }
@@ -181,6 +54,18 @@ class VectorizedEngine {
   const VecRel& node(const PlanPtr& plan) {
     if (auto it = memo_.find(plan.get()); it != memo_.end()) {
       return it->second;
+    }
+    if (fused_) {
+      if (auto chain = detect_fused_chain(plan, uses_)) {
+        const VecRel& src = node(chain->source);
+        VecRel result =
+            run_fused_chain(*chain, src, threads_, stats_, op_blocks_,
+                            op_rows_);
+        return memo_.emplace(plan.get(), std::move(result)).first->second;
+      }
+      if (plan->kind() == OpKind::kSelect && counters_enabled()) {
+        MetricsRegistry::global().counter("exec/kernel/fallbacks").add(1);
+      }
     }
     // Children first (same order as the switch below used to evaluate
     // them), so the operator's span and per-op tallies cover its own
@@ -270,7 +155,7 @@ class VectorizedEngine {
     std::vector<std::vector<std::uint32_t>> parts(morsels);
     parallel_shards(morsels, threads_,
                     [&](std::size_t, std::size_t mb, std::size_t me) {
-                      WorkerProbe wp("filter");
+                      WorkerProbe wp(vec_worker_track(), "filter");
                       for (std::size_t m = mb; m < me; ++m) {
                         const std::size_t lo = m * kMorselRows;
                         const std::size_t hi = std::min(n, lo + kMorselRows);
@@ -335,7 +220,7 @@ class VectorizedEngine {
     const std::size_t nl = left.schema.size();
     const std::size_t total_cols = nl + right.schema.size();
     parallel_for_each_index(total_cols, threads_, [&](std::size_t c) {
-      WorkerProbe wp("join-gather");
+      WorkerProbe wp(vec_worker_track(), "join-gather");
       if (c < nl) {
         data->append_gather(c, *left.data, left.cols[c], lrows.data(),
                             lrows.size());
@@ -355,6 +240,70 @@ class VectorizedEngine {
     return r;
   }
 
+  /// The interpreted equi-join: hash key columns morsel-parallel, insert
+  /// serially in active order (deterministic chain order), probe
+  /// morsel-parallel with matches concatenated in morsel order.
+  JoinPairs hash_join_pairs(const VecRel& build,
+                            const std::vector<std::size_t>& build_keys,
+                            const VecRel& probe,
+                            const std::vector<std::size_t>& probe_keys) {
+    const std::size_t nb = build.active_rows();
+    std::vector<std::uint64_t> build_hash(nb);
+    parallel_shards(morsel_count(nb), threads_,
+                    [&](std::size_t, std::size_t mb, std::size_t me) {
+                      WorkerProbe wp(vec_worker_track(), "join-build-hash");
+                      const std::size_t lo = mb * kMorselRows;
+                      const std::size_t hi = std::min(nb, me * kMorselRows);
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        build_hash[i] = column_hash_keys(
+                            *build.data, build_keys, build.physical(i));
+                      }
+                    });
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> table;
+    table.reserve(nb);
+    for (std::size_t i = 0; i < nb; ++i) {
+      table[build_hash[i]].push_back(build.physical(i));
+    }
+
+    const std::size_t np = probe.active_rows();
+    const std::size_t pm = morsel_count(np);
+    std::vector<JoinPairs> chunks(pm);
+    parallel_shards(
+        pm, threads_, [&](std::size_t, std::size_t mb, std::size_t me) {
+          WorkerProbe wp(vec_worker_track(), "join-probe");
+          for (std::size_t m = mb; m < me; ++m) {
+            const std::size_t lo = m * kMorselRows;
+            const std::size_t hi = std::min(np, lo + kMorselRows);
+            JoinPairs& ch = chunks[m];
+            for (std::size_t i = lo; i < hi; ++i) {
+              const std::uint32_t pr = probe.physical(i);
+              const auto it = table.find(
+                  column_hash_keys(*probe.data, probe_keys, pr));
+              if (it == table.end()) continue;
+              for (const std::uint32_t br : it->second) {
+                if (column_keys_equal(*probe.data, probe_keys, pr,
+                                      *build.data, build_keys, br)) {
+                  ch.probe_rows.push_back(pr);
+                  ch.build_rows.push_back(br);
+                }
+              }
+            }
+          }
+        });
+    JoinPairs out;
+    std::size_t total = 0;
+    for (const JoinPairs& ch : chunks) total += ch.probe_rows.size();
+    out.probe_rows.reserve(total);
+    out.build_rows.reserve(total);
+    for (const JoinPairs& ch : chunks) {
+      out.probe_rows.insert(out.probe_rows.end(), ch.probe_rows.begin(),
+                            ch.probe_rows.end());
+      out.build_rows.insert(out.build_rows.end(), ch.build_rows.begin(),
+                            ch.build_rows.end());
+    }
+    return out;
+  }
+
   VecRel join(const JoinOp& op, const VecRel& left, const VecRel& right) {
     const JoinSplit split =
         split_join_predicate(op, left.schema, right.schema);
@@ -371,71 +320,31 @@ class VectorizedEngine {
         probe_keys.push_back(build_right ? left.cols[li] : right.cols[ri]);
       }
 
-      // Build phase: hash key columns morsel-parallel, then insert
-      // serially in active order (deterministic chain order).
       const std::size_t nb = build.active_rows();
-      std::vector<std::uint64_t> build_hash(nb);
-      parallel_shards(morsel_count(nb), threads_,
-                      [&](std::size_t, std::size_t mb, std::size_t me) {
-                        WorkerProbe wp("join-build-hash");
-                        const std::size_t lo = mb * kMorselRows;
-                        const std::size_t hi = std::min(nb, me * kMorselRows);
-                        for (std::size_t i = lo; i < hi; ++i) {
-                          build_hash[i] = column_hash_keys(
-                              *build.data, build_keys, build.physical(i));
-                        }
-                      });
-      std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> table;
-      table.reserve(nb);
-      for (std::size_t i = 0; i < nb; ++i) {
-        table[build_hash[i]].push_back(build.physical(i));
-      }
-
-      // Probe phase: morsel-parallel, matches concatenated in morsel
-      // order.
       const std::size_t np = probe.active_rows();
-      const std::size_t pm = morsel_count(np);
-      struct PairChunk {
-        std::vector<std::uint32_t> probe_rows, build_rows;
-      };
-      std::vector<PairChunk> chunks(pm);
-      parallel_shards(
-          pm, threads_, [&](std::size_t, std::size_t mb, std::size_t me) {
-            WorkerProbe wp("join-probe");
-            for (std::size_t m = mb; m < me; ++m) {
-              const std::size_t lo = m * kMorselRows;
-              const std::size_t hi = std::min(np, lo + kMorselRows);
-              PairChunk& ch = chunks[m];
-              for (std::size_t i = lo; i < hi; ++i) {
-                const std::uint32_t pr = probe.physical(i);
-                const auto it = table.find(
-                    column_hash_keys(*probe.data, probe_keys, pr));
-                if (it == table.end()) continue;
-                for (const std::uint32_t br : it->second) {
-                  if (column_keys_equal(*probe.data, probe_keys, pr,
-                                        *build.data, build_keys, br)) {
-                    ch.probe_rows.push_back(pr);
-                    ch.build_rows.push_back(br);
-                  }
-                }
-              }
-            }
-          });
-      std::size_t total = 0;
-      for (const PairChunk& ch : chunks) total += ch.probe_rows.size();
-      lrows.reserve(total);
-      rrows.reserve(total);
-      for (const PairChunk& ch : chunks) {
-        const auto& lsrc = build_right ? ch.probe_rows : ch.build_rows;
-        const auto& rsrc = build_right ? ch.build_rows : ch.probe_rows;
-        lrows.insert(lrows.end(), lsrc.begin(), lsrc.end());
-        rrows.insert(rrows.end(), rsrc.begin(), rsrc.end());
+      JoinPairs pairs;
+      if (fused_ && fused_join_keys_ok(*build.data, build_keys, *probe.data,
+                                       probe_keys)) {
+        // Packed-key kernel path: emits (probe, build) pairs in exactly
+        // the interpreted engine's order (insertion-ordered per-key
+        // chains, probe in morsel order).
+        pairs = run_fused_join(build, build_keys, probe, probe_keys, threads_);
+      } else {
+        if (fused_ && counters_enabled()) {
+          MetricsRegistry::global().counter("exec/kernel/fallbacks").add(1);
+        }
+        pairs = hash_join_pairs(build, build_keys, probe, probe_keys);
       }
+      lrows = build_right ? std::move(pairs.probe_rows)
+                          : std::move(pairs.build_rows);
+      rrows = build_right ? std::move(pairs.build_rows)
+                          : std::move(pairs.probe_rows);
       if (stats_ != nullptr) {
         stats_->blocks_read += left.blocks() + right.blocks();
         stats_->rows_scanned +=
             static_cast<double>(left.active_rows() + right.active_rows());
-        stats_->batches += static_cast<double>(morsel_count(nb) + pm);
+        stats_->batches +=
+            static_cast<double>(morsel_count(nb) + morsel_count(np));
       }
       VecRel out = gather_join(op, left, right, lrows, rrows);
       if (!split.residual.empty()) {
@@ -497,6 +406,18 @@ class VectorizedEngine {
     const std::size_t morsels = morsel_count(n);
     const ColumnTable& data = *in.data;
 
+    if (fused_ && fused_aggregate_ok(op, data, group_cols, agg_cols)) {
+      VecRel r = run_fused_aggregate(op, in, group_cols, agg_cols, threads_);
+      if (stats_ != nullptr) {
+        stats_->rows_scanned += static_cast<double>(n);
+        stats_->batches += static_cast<double>(morsels);
+      }
+      return r;
+    }
+    if (fused_ && counters_enabled()) {
+      MetricsRegistry::global().counter("exec/kernel/fallbacks").add(1);
+    }
+
     const auto pack_key = [&](std::string& key, std::uint32_t r) {
       key.clear();
       for (const std::size_t c : group_cols) {
@@ -553,7 +474,7 @@ class VectorizedEngine {
       std::vector<Partial> partials(morsels);
       parallel_shards(
           morsels, threads_, [&](std::size_t, std::size_t mb, std::size_t me) {
-            WorkerProbe wp("aggregate-partial");
+            WorkerProbe wp(vec_worker_track(), "aggregate-partial");
             std::string key;
             for (std::size_t m = mb; m < me; ++m) {
               const std::size_t lo = m * kMorselRows;
@@ -651,6 +572,8 @@ class VectorizedEngine {
   ExecStats* stats_;
   std::size_t threads_;
   ColumnTableCache* cache_;
+  bool fused_ = false;
+  std::map<const LogicalOp*, std::size_t> uses_;  // fused_ only
   std::map<const LogicalOp*, VecRel> memo_;
   /// Per-operator work tallies (indexed by OpKind), flushed once at the
   /// end of run() under the same names as the row engine.
@@ -661,8 +584,9 @@ class VectorizedEngine {
 }  // namespace
 
 Table run_vectorized(const Database& db, const PlanPtr& plan, ExecStats* stats,
-                     std::size_t threads, ColumnTableCache& cache) {
-  VectorizedEngine engine(db, stats, threads, cache);
+                     std::size_t threads, ColumnTableCache& cache,
+                     bool fused) {
+  VectorizedEngine engine(db, stats, threads, cache, fused);
   return engine.run(plan);
 }
 

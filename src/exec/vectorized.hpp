@@ -38,8 +38,14 @@ class ColumnTableCache {
 /// same bag of tuples, same ExecStats block accounting, same rows_out
 /// entries; only row order may differ between the two engines (and is
 /// itself deterministic per engine). `threads` is the morsel worker
-/// count (1 = serial, 0 = hardware auto).
+/// count (1 = serial, 0 = hardware auto). With `fused` set, fusable
+/// select/project chains, numeric equi-joins and COUNT/SUM/AVG
+/// aggregates run through the typed kernels of src/exec/fused instead of
+/// the interpreted operators — same output bit for bit, same stats; the
+/// interpreted path remains the fallback per operator (see DESIGN.md
+/// §13).
 Table run_vectorized(const Database& db, const PlanPtr& plan, ExecStats* stats,
-                     std::size_t threads, ColumnTableCache& cache);
+                     std::size_t threads, ColumnTableCache& cache,
+                     bool fused = false);
 
 }  // namespace mvd

@@ -1,9 +1,13 @@
-// Differential tests between the row engine and the vectorized engine:
-// every generated workload must produce the same bag of rows under both,
-// the vectorized engine must be bit-identical (including row order)
-// across thread counts, and the two engines must agree on the stats the
-// cost-model validation relies on (blocks_read, rows_out).
+// Differential tests between the row engine, the interpreted vectorized
+// engine, and the fused kernel engine: every generated workload must
+// produce the same bag of rows under all three, the batch engines must be
+// bit-identical (including row order) to each other and across thread
+// counts, and all engines must agree on the stats the cost-model
+// validation relies on (blocks_read, rows_out).
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
 
 #include "src/algebra/query_spec.hpp"
 #include "src/exec/executor.hpp"
@@ -14,28 +18,48 @@
 namespace mvd {
 namespace {
 
-/// Runs `plan` under the row engine and the vectorized engine at one and
-/// four threads, asserting bag equivalence, cross-thread determinism and
-/// stats parity.
+void expect_rows_identical(const Table& a, const Table& b, const char* what) {
+  ASSERT_EQ(a.row_count(), b.row_count()) << what;
+  for (std::size_t i = 0; i < a.row_count(); ++i) {
+    ASSERT_TRUE(a.row(i) == b.row(i)) << what << ": row " << i << " differs";
+  }
+}
+
+void expect_stats_identical(const ExecStats& a, const ExecStats& b,
+                            const char* what) {
+  EXPECT_DOUBLE_EQ(a.blocks_read, b.blocks_read) << what;
+  EXPECT_DOUBLE_EQ(a.rows_scanned, b.rows_scanned) << what;
+  EXPECT_DOUBLE_EQ(a.batches, b.batches) << what;
+  EXPECT_EQ(a.rows_out, b.rows_out) << what;
+}
+
+/// Runs `plan` under the row engine and both batch engines (interpreted
+/// and fused) at one and four threads, asserting bag equivalence,
+/// cross-engine and cross-thread bit-identical output, and stats parity.
 void expect_engines_agree(const Database& db, const PlanPtr& plan) {
   SCOPED_TRACE(plan_tree_string(plan));
   const Executor row(db, ExecMode::kRow);
   const Executor vec1(db, ExecMode::kVectorized, 1);
   const Executor vec4(db, ExecMode::kVectorized, 4);
+  const Executor fused1(db, ExecMode::kFused, 1);
+  const Executor fused4(db, ExecMode::kFused, 4);
 
-  ExecStats row_stats, vec1_stats, vec4_stats;
+  ExecStats row_stats, vec1_stats, vec4_stats, fused1_stats, fused4_stats;
   const Table r = row.run(plan, &row_stats);
   const Table v1 = vec1.run(plan, &vec1_stats);
   const Table v4 = vec4.run(plan, &vec4_stats);
+  const Table f1 = fused1.run(plan, &fused1_stats);
+  const Table f4 = fused4.run(plan, &fused4_stats);
 
   EXPECT_TRUE(same_bag(r, v1));
+  EXPECT_TRUE(same_bag(r, f1));
 
   // Determinism: morsel boundaries are fixed and all merges happen in
-  // morsel order, so thread count must not change even the row order.
-  ASSERT_EQ(v1.row_count(), v4.row_count());
-  for (std::size_t i = 0; i < v1.row_count(); ++i) {
-    EXPECT_TRUE(v1.row(i) == v4.row(i)) << "row " << i << " differs";
-  }
+  // morsel order, so neither thread count nor the kernel layer may change
+  // even the row order of the batch engines.
+  expect_rows_identical(v1, v4, "vec 1 vs 4 threads");
+  expect_rows_identical(v1, f1, "vec vs fused");
+  expect_rows_identical(f1, f4, "fused 1 vs 4 threads");
 
   // Both engines charge the same block formulas per operator, so the
   // validation bench sees identical I/O accounting either way.
@@ -43,11 +67,10 @@ void expect_engines_agree(const Database& db, const PlanPtr& plan) {
   EXPECT_EQ(row_stats.rows_out, vec1_stats.rows_out);
   EXPECT_DOUBLE_EQ(row_stats.rows_scanned, vec1_stats.rows_scanned);
 
-  // Thread count must not change any recorded stat.
-  EXPECT_DOUBLE_EQ(vec1_stats.blocks_read, vec4_stats.blocks_read);
-  EXPECT_DOUBLE_EQ(vec1_stats.rows_scanned, vec4_stats.rows_scanned);
-  EXPECT_DOUBLE_EQ(vec1_stats.batches, vec4_stats.batches);
-  EXPECT_EQ(vec1_stats.rows_out, vec4_stats.rows_out);
+  // Neither thread count nor the kernel layer may change a recorded stat.
+  expect_stats_identical(vec1_stats, vec4_stats, "vec 1 vs 4 threads");
+  expect_stats_identical(vec1_stats, fused1_stats, "vec vs fused");
+  expect_stats_identical(fused1_stats, fused4_stats, "fused 1 vs 4 threads");
 }
 
 TEST(ExecEquivalenceTest, StarWorkloadCanonicalAndOptimizedPlans) {
@@ -238,6 +261,143 @@ TEST(ExecEquivalenceTest, RegistryPerOperatorStatsParity) {
   set_trace_level(std::nullopt);
 }
 
+// Randomized differential fuzzing across all three engines: random
+// select/project chains (fusable and unfusable predicates alike),
+// equi-joins and aggregates over mixed column types, run row vs
+// interpreted-vec vs fused at 1 and 4 threads via expect_engines_agree.
+// NaN is deliberately excluded from the data (Value::compare ordering on
+// NaN is unspecified between engines); -0.0 is included.
+TEST(ExecEquivalenceTest, RandomizedChainFuzz) {
+  std::mt19937 rng(20260807);
+
+  Database db;
+  Table f(Schema({{"a", ValueType::kInt64, ""},
+                  {"b", ValueType::kDouble, ""},
+                  {"s", ValueType::kString, ""},
+                  {"flag", ValueType::kBool, ""},
+                  {"c", ValueType::kInt64, ""},
+                  {"d", ValueType::kDate, ""}}),
+          10.0);
+  const char* words[] = {"red", "green", "blue", "cyan", "teal"};
+  std::uniform_int_distribution<int> ai(0, 50), ci(-20, 20), wi(0, 4),
+      bi(0, 1), di(18'000, 18'030);
+  std::uniform_real_distribution<double> bd(-5.0, 5.0);
+  for (int i = 0; i < 5'000; ++i) {  // three morsels
+    double b = bd(rng);
+    if (i % 97 == 0) b = -0.0;  // exercise signed-zero key handling
+    f.append({Value::int64(ai(rng)), Value::real(b),
+              Value::string(words[wi(rng)]), Value::boolean(bi(rng) == 1),
+              Value::int64(ci(rng)), Value::date(di(rng))});
+  }
+  db.add_table("F", std::move(f));
+  Table d(Schema({{"key", ValueType::kInt64, ""},
+                  {"weight", ValueType::kDouble, ""},
+                  {"tag", ValueType::kString, ""}}),
+          10.0);
+  for (int i = 0; i < 300; ++i) {
+    d.append({Value::int64(i % 60), Value::real(bd(rng)),
+              Value::string(words[wi(rng)])});
+  }
+  db.add_table("D", std::move(d));
+  Catalog catalog(10.0);
+  for (const char* name : {"F", "D"}) {
+    catalog.add_relation(name, db.table(name).schema(),
+                         db.table(name).compute_stats());
+  }
+
+  const CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                           CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+  auto any_op = [&] { return ops[rng() % 6]; };
+  const std::vector<std::string> f_cols = {"F.a", "F.b", "F.s",
+                                           "F.flag", "F.c", "F.d"};
+
+  for (int iter = 0; iter < 40; ++iter) {
+    SCOPED_TRACE("fuzz iteration " + std::to_string(iter));
+    PlanPtr plan = make_scan(catalog, "F");
+    // Random select/project chain, 1-4 operators deep. Projects drop a
+    // random suffix of the live columns ("F.a" always survives, the join
+    // below needs it); selects draw conjuncts over whatever is live.
+    std::vector<std::string> live = f_cols;
+    auto has = [&](const char* c) {
+      return std::find(live.begin(), live.end(), c) != live.end();
+    };
+    // One random conjunct over the live columns: mostly typed kernel
+    // shapes, sometimes a bool comparison (interpreted fallback inside
+    // the vec engine, refused by the chain detector).
+    auto random_conjunct = [&]() -> ExprPtr {
+      while (true) {
+        switch (rng() % 8) {
+          case 0:
+            return cmp(any_op(), col("F.a"), lit_i64(ai(rng)));
+          case 1:
+            if (has("F.b")) return cmp(any_op(), col("F.b"),
+                                       lit_real(bd(rng)));
+            break;
+          case 2:
+            if (has("F.s")) return cmp(any_op(), col("F.s"),
+                                       lit_str(words[wi(rng)]));
+            break;
+          case 3:
+            if (has("F.c")) return cmp(any_op(), col("F.a"), col("F.c"));
+            break;
+          case 4:
+            if (has("F.b")) return cmp(any_op(), col("F.b"), col("F.a"));
+            break;
+          case 5:  // flipped literal-first date comparison
+            if (has("F.d")) return cmp(any_op(), lit_i64(di(rng)),
+                                       col("F.d"));
+            break;
+          case 6:
+            if (has("F.flag")) return cmp(any_op(), col("F.flag"),
+                                          lit(Value::boolean(true)));
+            break;
+          default:
+            if (has("F.c")) return cmp(any_op(), col("F.c"),
+                                       lit_i64(ci(rng)));
+            break;
+        }
+      }
+    };
+    const int chain_len = 1 + static_cast<int>(rng() % 4);
+    for (int o = 0; o < chain_len; ++o) {
+      if (rng() % 3 == 0 && live.size() > 2) {
+        std::shuffle(live.begin() + 1, live.end(), rng);
+        live.resize(2 + rng() % (live.size() - 1));
+        plan = make_project(plan, live);
+      } else {
+        std::vector<ExprPtr> cs;
+        const int nc = 1 + static_cast<int>(rng() % 3);
+        for (int c = 0; c < nc; ++c) cs.push_back(random_conjunct());
+        plan = make_select(plan, conj(std::move(cs)));
+      }
+    }
+    if (rng() % 2 == 0) {
+      plan = make_join(plan, make_scan(catalog, "D"),
+                       eq(col("F.a"), col("D.key")));
+      if (rng() % 2 == 0) {
+        plan = make_select(plan, cmp(any_op(), col("D.weight"),
+                                     lit_real(bd(rng))));
+      }
+    }
+    if (rng() % 3 == 0) {
+      const AggFn fns[] = {AggFn::kCount, AggFn::kSum, AggFn::kAvg,
+                           AggFn::kMin, AggFn::kMax};
+      const AggFn fn = fns[rng() % 5];
+      const std::string agg_col =
+          fn == AggFn::kCount ? std::string()
+                              : (has("F.b") ? "F.b" : "F.a");
+      std::vector<std::string> group_candidates = {"F.a"};
+      for (const char* g : {"F.b", "F.flag", "F.c"}) {
+        if (has(g)) group_candidates.push_back(g);
+      }
+      plan = make_aggregate(
+          plan, {group_candidates[rng() % group_candidates.size()]},
+          {AggSpec{fn, agg_col, "agg"}});
+    }
+    expect_engines_agree(db, plan);
+  }
+}
+
 // Small fixture exercised under ThreadSanitizer in CI: a join + aggregate
 // pipeline over enough rows for several morsels, run at four threads.
 TEST(ExecEngineTsanTest, ParallelPipelineIsRaceFreeAndDeterministic) {
@@ -261,6 +421,37 @@ TEST(ExecEngineTsanTest, ParallelPipelineIsRaceFreeAndDeterministic) {
   const Executor vec4(db, ExecMode::kVectorized, 4);
   const Table a = vec1.run(plan);
   const Table b = vec4.run(plan);
+  ASSERT_EQ(a.row_count(), b.row_count());
+  for (std::size_t i = 0; i < a.row_count(); ++i) {
+    EXPECT_TRUE(a.row(i) == b.row(i));
+  }
+}
+
+// Same shape for the fused kernel path, also in the CI TSan filter: the
+// select runs through the fused chain kernels, the join through the
+// packed-key probe, the aggregate through the packed-key accumulators —
+// all morsel-parallel at four threads.
+TEST(ExecKernelTsanTest, FusedPipelineIsRaceFreeAndDeterministic) {
+  StarSchemaOptions schema;
+  schema.dimensions = 2;
+  schema.fact_rows = 6'000;  // three morsels of fact rows
+  schema.dimension_rows = 100;
+  const Database db = populate_star_database(schema, 9);
+  const Catalog catalog = catalog_from_database(db, 10.0);
+
+  const PlanPtr plan = make_aggregate(
+      make_select(make_join(make_scan(catalog, "Fact"),
+                            make_scan(catalog, "Dim0"),
+                            eq(col("Fact.d0"), col("Dim0.id"))),
+                  gt(col("Fact.measure"), lit_i64(200))),
+      {"Fact.d0"},  // int key: stays on the packed-key aggregate kernel
+      {AggSpec{AggFn::kSum, "Fact.measure", ""},
+       AggSpec{AggFn::kCount, "", ""}});
+
+  const Executor fused1(db, ExecMode::kFused, 1);
+  const Executor fused4(db, ExecMode::kFused, 4);
+  const Table a = fused1.run(plan);
+  const Table b = fused4.run(plan);
   ASSERT_EQ(a.row_count(), b.row_count());
   for (std::size_t i = 0; i < a.row_count(); ++i) {
     EXPECT_TRUE(a.row(i) == b.row(i));

@@ -46,7 +46,7 @@ using namespace mvd;
 int usage(const std::string& problem) {
   std::cerr << "mvprof: " << problem << "\n"
             << "usage: mvprof [--paper | --input FILE] [--scale X]\n"
-            << "              [--out DIR] [--json]\n";
+            << "              [--out DIR] [--json] [--exec row|vec|fused]\n";
   return 2;
 }
 
@@ -304,6 +304,17 @@ int main(int argc, char** argv) {
       out_dir = args[++i];
     } else if (arg == "--json") {
       as_json = true;
+    } else if (arg == "--exec") {
+      // Pick the execution engine for every plan the profile runs —
+      // exec/kernel/* counters and exec.kernel spans only appear under
+      // "fused". Same values MVD_EXEC_MODE takes; the flag wins.
+      if (i + 1 >= args.size()) return usage("--exec needs row|vec|fused");
+      const std::string& engine = args[++i];
+      if (engine != "row" && engine != "vec" && engine != "vectorized" &&
+          engine != "fused") {
+        return usage("bad --exec value '" + engine + "'");
+      }
+      ::setenv("MVD_EXEC_MODE", engine.c_str(), 1);
     } else {
       return usage("unknown argument '" + arg + "'");
     }
