@@ -1,0 +1,63 @@
+// Static fusability prediction — a pure mirror of the fused engine's
+// detect_fused_chain acceptance rules (src/exec/fused.cpp) that never
+// touches data and explains its refusals.
+//
+// The runtime detector answers yes/no; this predictor reproduces that
+// verdict bit-for-bit (the differential tests assert equality on every
+// node of every fuzzed plan) and, on refusal, names the first rule that
+// failed: OR/NOT/non-comparison conjuncts, boolean or mixed-type
+// comparisons, unresolved columns, shared interior DAG nodes, degenerate
+// predicates, pure-projection chains. Keeping the two in lockstep is a
+// maintenance contract: any relaxation of the kernel layer must land in
+// both places or the agreement tests fail.
+//
+// This header intentionally does not include src/exec (the Executor's
+// pre-execution hook includes us); the few acceptance constants it needs
+// (ColumnKind classification) come from the storage layer.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/algebra/logical_plan.hpp"
+
+namespace mvd {
+
+/// Verdict for the chain rooted at one node. `fusable` matches
+/// detect_fused_chain(node).has_value(); the remaining fields mirror the
+/// FusedChain it would compile.
+struct FusePrediction {
+  bool fusable = false;
+  /// Why not — empty when fusable. For nodes that are not select/project
+  /// roots this is the generic "not a select/project" refusal.
+  std::string refusal;
+  /// The chain's source node (executed by the normal engine).
+  PlanPtr source;
+  std::size_t stage_count = 0;   // chain nodes (selects + projects)
+  std::size_t select_count = 0;  // fused select stages
+  Schema out_schema;             // chain output schema
+};
+
+/// Mirror of plan_use_counts + detect_fused_chain. `use_count` must come
+/// from the *root* plan the engine would run (sharing is a property of
+/// the whole DAG, not the subtree).
+FusePrediction predict_fused_chain(
+    const PlanPtr& plan,
+    const std::map<const LogicalOp*, std::size_t>& use_count);
+
+/// One fused segment the vectorized engine's fused walk would form.
+struct ChainSegment {
+  const LogicalOp* head = nullptr;
+  FusePrediction prediction;
+};
+
+/// Replay the fused engine's plan walk (vectorized.cpp node()): from the
+/// root, each select/project either heads a fused chain (walk resumes at
+/// the chain source) or falls back to interpreted execution (walk resumes
+/// at its children). Returns every select/project head the walk visits,
+/// with its prediction — the per-segment fusability report.
+std::vector<ChainSegment> predict_engine_segments(const PlanPtr& plan);
+
+}  // namespace mvd

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "src/algebra/eval.hpp"
+#include "src/check/check.hpp"
 #include "src/common/assert.hpp"
 #include "src/common/error.hpp"
 #include "src/common/strings.hpp"
@@ -82,6 +83,9 @@ Executor::Executor(const Database& db, ExecMode mode, std::size_t threads)
 
 Table Executor::run(const PlanPtr& plan, ExecStats* stats) const {
   MVD_ASSERT(plan != nullptr);
+  // Static pre-flight (MVD_CHECK=off|warn|error): reject plans that would
+  // die row-by-row before any engine touches data.
+  check_stage_hook("exec", plan, db_);
   // With counters on, always account into an ExecStats — the registry
   // sees the same numbers whether or not the caller asked for a copy.
   const bool publish = counters_enabled();

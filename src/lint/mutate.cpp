@@ -286,6 +286,29 @@ MutationOutcome bogus_project_column(const MvppGraph& clean,
   return out;
 }
 
+MutationOutcome plan_references_dropped_column(const MvppGraph& clean,
+                                               const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  for (const MvppNode& n : out.graph->nodes()) {
+    if (n.expr == nullptr || n.expr->kind() != OpKind::kProject) continue;
+    const auto& proj = static_cast<const ProjectOp&>(*n.expr);
+    // Rebuild the plan node with one projection column replaced by a name
+    // no child produces. The recorded output schema and the graph-side
+    // n.columns stay untouched, so the annotation and schema/* rules see
+    // nothing wrong — only the plan tree itself is dirty.
+    std::vector<std::string> columns = proj.columns();
+    if (columns.empty()) continue;
+    columns.front() = "mvlint_ghost_column";
+    MvppGraphMutator(*out.graph).node(n.id).expr =
+        std::make_shared<ProjectOp>(proj.children()[0], proj.output_schema(),
+                                    std::move(columns));
+    with_closures(out);
+    return out;
+  }
+  unsuitable("plan-references-dropped-column",
+             "an annotated node whose plan is a projection");
+}
+
 // ---- Selection-phase mutations ---------------------------------------
 
 /// Copy + evaluator + a genuinely clean selection result to corrupt.
@@ -427,6 +450,8 @@ const std::vector<GraphMutation>& builtin_mutations() {
        bogus_predicate_column},
       {"bogus-project-column", "schema/projection-columns",
        bogus_project_column},
+      {"plan-references-dropped-column", "plan/check-clean",
+       plan_references_dropped_column},
       {"foreign-materialized-node", "selection/materialized-set",
        foreign_materialized_node},
       {"perturb-reported-cost", "selection/cost-reproducible",

@@ -77,6 +77,7 @@ const LintRegistry& LintRegistry::builtin() {
     register_structure_rules(r);
     register_annotation_rules(r);
     register_schema_rules(r);
+    register_plan_rules(r);
     register_selection_rules(r);
     register_maintenance_rules(r);
     register_obs_rules(r);

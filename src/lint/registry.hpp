@@ -130,6 +130,7 @@ class LintRegistry {
 void register_structure_rules(LintRegistry& registry);
 void register_annotation_rules(LintRegistry& registry);
 void register_schema_rules(LintRegistry& registry);
+void register_plan_rules(LintRegistry& registry);
 void register_selection_rules(LintRegistry& registry);
 void register_maintenance_rules(LintRegistry& registry);
 void register_obs_rules(LintRegistry& registry);

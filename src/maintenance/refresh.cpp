@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/check/check.hpp"
 #include "src/common/error.hpp"
 #include "src/exec/exec_internal.hpp"
 #include "src/mvpp/rewrite.hpp"
@@ -367,6 +368,8 @@ RefreshReport incremental_refresh(const MvppGraph& graph,
     MaterializedSet deps = m;
     deps.erase(v);
     const PlanPtr plan = refresh_plan(graph, v, deps);
+    // Static pre-flight of the refresh plan (MVD_CHECK=off|warn|error).
+    check_stage_hook("refresh", plan, &db);
 
     ViewRefresh entry;
     entry.id = v;

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 
+#include "src/algebra/aggregate.hpp"
+#include "src/check/implication.hpp"
 #include "src/common/assert.hpp"
 #include "src/common/error.hpp"
 
@@ -183,12 +186,137 @@ std::vector<std::string> Optimizer::optimal_join_order(
 }
 
 PlanPtr Optimizer::optimize(const QuerySpec& spec) const {
-  return build_plan(spec, optimal_join_order(spec), PlanPlacement{true, true});
+  return simplify_plan_predicates(
+      build_plan(spec, optimal_join_order(spec), PlanPlacement{true, true}));
 }
 
 PlanPtr Optimizer::optimize_pushed_up(const QuerySpec& spec) const {
   return build_plan(spec, optimal_join_order(spec),
                     PlanPlacement{false, false});
+}
+
+namespace {
+
+ExprPtr literal_false() { return lit(Value::boolean(false)); }
+
+bool is_bool_literal(const ExprPtr& e, bool value) {
+  if (e->kind() != ExprKind::kLiteral) return false;
+  const Value& v = static_cast<const LiteralExpr&>(*e).value();
+  return v.type() == ValueType::kBool && v.as_bool() == value;
+}
+
+/// Facts guaranteed on rows flowing out of `plan`, collected from the
+/// select chain at its top (selects are schema-preserving, so every
+/// predicate binds against plan->output_schema()).
+void chain_facts(const PlanPtr& plan, PredicateFacts& facts) {
+  const LogicalOp* n = plan.get();
+  while (n->kind() == OpKind::kSelect) {
+    const auto& sel = static_cast<const SelectOp&>(*n);
+    for (const ExprPtr& c : conjuncts_of(sel.predicate())) facts.add(c);
+    n = n->children()[0].get();
+  }
+}
+
+struct Simplifier {
+  std::map<const LogicalOp*, PlanPtr> memo;  // keeps shared nodes shared
+
+  PlanPtr simplify(const PlanPtr& plan) {
+    const auto hit = memo.find(plan.get());
+    if (hit != memo.end()) return hit->second;
+    PlanPtr out = rewrite(plan);
+    memo.emplace(plan.get(), out);
+    return out;
+  }
+
+  PlanPtr rewrite(const PlanPtr& plan) {
+    switch (plan->kind()) {
+      case OpKind::kScan:
+        return plan;
+      case OpKind::kSelect: {
+        const auto& sel = static_cast<const SelectOp&>(*plan);
+        PlanPtr child = simplify(plan->children()[0]);
+        PredicateFacts facts(child->output_schema());
+        chain_facts(child, facts);
+        bool changed = child != plan->children()[0];
+        std::vector<ExprPtr> kept;
+        for (const ExprPtr& raw : conjuncts_of(sel.predicate())) {
+          const ExprPtr c = fold_constants(raw);
+          if (c != raw) changed = true;
+          if (is_bool_literal(c, true)) {
+            changed = true;
+            continue;
+          }
+          if (is_bool_literal(c, false)) {
+            return make_select(std::move(child), literal_false());
+          }
+          if (c->kind() != ExprKind::kLiteral && facts.entails(c)) {
+            changed = true;
+            continue;
+          }
+          facts.add(c);
+          kept.push_back(c);
+        }
+        if (facts.contradictory()) {
+          return make_select(std::move(child), literal_false());
+        }
+        if (kept.empty()) return child;  // every conjunct was a no-op here
+        if (!changed) return plan;
+        return make_select(std::move(child), conj(std::move(kept)));
+      }
+      case OpKind::kProject: {
+        const auto& proj = static_cast<const ProjectOp&>(*plan);
+        PlanPtr child = simplify(plan->children()[0]);
+        if (child == plan->children()[0]) return plan;
+        return make_project(std::move(child), proj.columns());
+      }
+      case OpKind::kJoin: {
+        const auto& join = static_cast<const JoinOp&>(*plan);
+        PlanPtr left = simplify(plan->children()[0]);
+        PlanPtr right = simplify(plan->children()[1]);
+        bool changed =
+            left != plan->children()[0] || right != plan->children()[1];
+        std::vector<ExprPtr> kept;
+        bool contradiction = false;
+        for (const ExprPtr& raw : conjuncts_of(join.predicate())) {
+          const ExprPtr c = fold_constants(raw);
+          if (c != raw) changed = true;
+          if (is_bool_literal(c, true)) {
+            changed = true;
+            continue;
+          }
+          if (is_bool_literal(c, false)) {
+            contradiction = true;
+            break;
+          }
+          kept.push_back(c);
+        }
+        if (contradiction) {
+          return make_join(std::move(left), std::move(right), literal_false());
+        }
+        if (!changed) return plan;
+        // A join needs a predicate; an all-true one degenerates to the
+        // cross-join literal the optimizer itself uses.
+        ExprPtr pred = kept.empty() ? lit(Value::boolean(true))
+                                    : conj(std::move(kept));
+        return make_join(std::move(left), std::move(right), std::move(pred));
+      }
+      case OpKind::kAggregate: {
+        const auto& agg = static_cast<const AggregateOp&>(*plan);
+        PlanPtr child = simplify(plan->children()[0]);
+        if (child == plan->children()[0]) return plan;
+        return make_aggregate(std::move(child), agg.group_by(),
+                              agg.aggregates());
+      }
+    }
+    return plan;
+  }
+};
+
+}  // namespace
+
+PlanPtr simplify_plan_predicates(const PlanPtr& plan) {
+  Simplifier s;
+  return s.simplify(plan);
 }
 
 }  // namespace mvd

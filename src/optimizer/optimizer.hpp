@@ -65,4 +65,17 @@ class Optimizer {
   OptimizerConfig config_;
 };
 
+/// Predicate simplification over a built plan, using the mvcheck
+/// implication oracle (src/check/implication):
+///   - conjuncts are constant-folded; literal-true conjuncts drop;
+///   - a select conjunct entailed by the select chain directly below it
+///     drops (it can never filter anything there);
+///   - a select whose every conjunct drops is removed entirely;
+///   - a statically-false select (or join) keeps a single literal-false
+///     predicate, so no per-row comparisons run at all.
+/// Shared DAG nodes stay shared; an unchanged subtree returns the same
+/// PlanPtr (callers can detect "no change" by pointer equality).
+/// optimize() applies this to its output.
+PlanPtr simplify_plan_predicates(const PlanPtr& plan);
+
 }  // namespace mvd

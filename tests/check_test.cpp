@@ -1,0 +1,466 @@
+// Unit tests for the mvcheck static analyzer (src/check): the interval
+// implication oracle, constant folding, plan findings and cardinality
+// intervals, self-maintainability certification, the MVD_CHECK execution
+// hook, and the optimizer's implication-based predicate pruning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/algebra/query_spec.hpp"
+#include "src/check/check.hpp"
+#include "src/check/implication.hpp"
+#include "src/check/maintainability.hpp"
+#include "src/common/error.hpp"
+#include "src/exec/executor.hpp"
+#include "src/optimizer/optimizer.hpp"
+
+namespace mvd {
+namespace {
+
+Schema t_schema() {
+  return Schema({Attribute{"id", ValueType::kInt64, "T"},
+                 Attribute{"name", ValueType::kString, "T"},
+                 Attribute{"qty", ValueType::kInt64, "T"},
+                 Attribute{"x", ValueType::kDouble, "T"}});
+}
+
+// ---- ValueInterval ---------------------------------------------------------
+
+TEST(ValueIntervalTest, PointAndContainment) {
+  const ValueInterval p = ValueInterval::point(5);
+  EXPECT_TRUE(p.contains_point(5));
+  EXPECT_FALSE(p.contains_point(5.5));
+  EXPECT_EQ(p.singleton(), 5);
+
+  const ValueInterval ge = ValueInterval::at_least(3, /*open=*/false);
+  EXPECT_TRUE(ge.contains(p));
+  EXPECT_FALSE(p.contains(ge));
+  EXPECT_FALSE(ge.singleton().has_value());
+}
+
+TEST(ValueIntervalTest, OpenEndpointsAndDisjointness) {
+  const ValueInterval gt5 = ValueInterval::at_least(5, /*open=*/true);
+  const ValueInterval le5 = ValueInterval::at_most(5, /*open=*/false);
+  EXPECT_TRUE(gt5.disjoint(le5));
+  EXPECT_TRUE(le5.weakly_below(gt5));
+  EXPECT_TRUE(le5.strictly_below(gt5));
+  EXPECT_TRUE(gt5.intersect(le5).empty());
+
+  const ValueInterval ge5 = ValueInterval::at_least(5, /*open=*/false);
+  EXPECT_FALSE(ge5.disjoint(le5));  // they share the point 5
+  EXPECT_FALSE(le5.strictly_below(ge5));
+  EXPECT_TRUE(le5.weakly_below(ge5));
+}
+
+TEST(ValueIntervalTest, IntegralTightening) {
+  // x > 5 over an integral column means x >= 6.
+  ValueInterval gt5 = ValueInterval::at_least(5, /*open=*/true);
+  const ValueInterval t = gt5.integral_tightened();
+  EXPECT_FALSE(t.lo_open);
+  EXPECT_EQ(t.lo, 6);
+  // x > 5.5 also tightens to x >= 6.
+  const ValueInterval t2 =
+      ValueInterval::at_least(5.5, /*open=*/true).integral_tightened();
+  EXPECT_EQ(t2.lo, 6);
+}
+
+// ---- implication oracle ----------------------------------------------------
+
+TEST(ImplicationTest, RangeImplication) {
+  const Schema s = t_schema();
+  EXPECT_TRUE(implies(gt(col("id"), lit_i64(5)), gt(col("id"), lit_i64(3)), s));
+  EXPECT_FALSE(implies(gt(col("id"), lit_i64(3)), gt(col("id"), lit_i64(5)), s));
+  // Integral tightening: id > 5 implies id >= 6.
+  EXPECT_TRUE(implies(gt(col("id"), lit_i64(5)),
+                      cmp(CompareOp::kGe, col("id"), lit_i64(6)), s));
+}
+
+TEST(ImplicationTest, EqualityClassesCarryBounds) {
+  const Schema s = t_schema();
+  // id = qty and id > 5 implies qty > 5.
+  EXPECT_TRUE(implies(conj({eq(col("id"), col("qty")),
+                            gt(col("id"), lit_i64(5))}),
+                      gt(col("qty"), lit_i64(5)), s));
+}
+
+TEST(ImplicationTest, StringsAndDisequalities) {
+  const Schema s = t_schema();
+  EXPECT_TRUE(implies(eq(col("name"), lit_str("red")),
+                      cmp(CompareOp::kNe, col("name"), lit_str("blue")), s));
+  EXPECT_FALSE(implies(cmp(CompareOp::kNe, col("name"), lit_str("blue")),
+                       eq(col("name"), lit_str("red")), s));
+}
+
+TEST(ImplicationTest, ContradictionAndExFalso) {
+  const Schema s = t_schema();
+  const ExprPtr impossible =
+      conj({gt(col("id"), lit_i64(5)), lt(col("id"), lit_i64(3))});
+  EXPECT_TRUE(contradictory(impossible, s));
+  EXPECT_FALSE(contradictory(gt(col("id"), lit_i64(5)), s));
+  // Ex falso quodlibet: a contradictory premise implies anything.
+  EXPECT_TRUE(implies(impossible, eq(col("name"), lit_str("zzz")), s));
+  // Conflicting string bindings are contradictory too.
+  EXPECT_TRUE(contradictory(conj({eq(col("name"), lit_str("a")),
+                                  eq(col("name"), lit_str("b"))}),
+                            s));
+}
+
+TEST(ImplicationTest, Tautology) {
+  const Schema s = t_schema();
+  EXPECT_TRUE(tautological(lit(Value::boolean(true)), s));
+  EXPECT_TRUE(tautological(eq(col("id"), col("id")), s));
+  EXPECT_FALSE(tautological(gt(col("id"), lit_i64(0)), s));
+}
+
+TEST(ImplicationTest, SyntacticFallbackOutsideTheFragment) {
+  const Schema s = t_schema();
+  // A disjunction entails itself ...
+  const ExprPtr disjunction = disj({gt(col("id"), lit_i64(5)),
+                                    lt(col("id"), lit_i64(0))});
+  EXPECT_TRUE(implies(disjunction, disjunction, s));
+  // ... and a genuinely weaker premise proves nothing (id = 3 satisfies
+  // id > -1 but neither disjunct).
+  EXPECT_FALSE(implies(gt(col("id"), lit_i64(-1)), disjunction, s));
+}
+
+TEST(FoldConstantsTest, FoldsLiteralAndSameColumnComparisons) {
+  const ExprPtr lt_lit = lt(lit_i64(2), lit_i64(3));
+  const ExprPtr folded = fold_constants(lt_lit);
+  ASSERT_EQ(folded->kind(), ExprKind::kLiteral);
+  EXPECT_TRUE(static_cast<const LiteralExpr&>(*folded).value().as_bool());
+
+  const ExprPtr self_lt = lt(col("id"), col("id"));
+  const ExprPtr folded2 = fold_constants(self_lt);
+  ASSERT_EQ(folded2->kind(), ExprKind::kLiteral);
+  EXPECT_FALSE(static_cast<const LiteralExpr&>(*folded2).value().as_bool());
+}
+
+TEST(FoldConstantsTest, IdentityPreservingWhenNothingFolds) {
+  const ExprPtr e = gt(col("id"), lit_i64(5));
+  EXPECT_EQ(fold_constants(e).get(), e.get());
+  const ExprPtr c = conj({gt(col("id"), lit_i64(5)),
+                          eq(col("name"), lit_str("a"))});
+  EXPECT_EQ(fold_constants(c).get(), c.get());
+}
+
+TEST(FoldConstantsTest, AndOrAbsorbLiterals) {
+  const ExprPtr keep = gt(col("id"), lit_i64(5));
+  const ExprPtr a = fold_constants(conj({lit(Value::boolean(true)), keep}));
+  EXPECT_EQ(a.get(), keep.get());  // true AND p == p
+  const ExprPtr b = fold_constants(conj({lit(Value::boolean(false)), keep}));
+  ASSERT_EQ(b->kind(), ExprKind::kLiteral);
+  EXPECT_FALSE(static_cast<const LiteralExpr&>(*b).value().as_bool());
+}
+
+// ---- check_plan ------------------------------------------------------------
+
+class CheckPlanTest : public ::testing::Test {
+ protected:
+  CheckPlanTest() {
+    Table t(Schema({{"id", ValueType::kInt64, ""},
+                    {"name", ValueType::kString, ""},
+                    {"qty", ValueType::kInt64, ""},
+                    {"x", ValueType::kDouble, ""}}),
+            10.0);
+    for (int i = 0; i < 20; ++i) {
+      t.append({Value::int64(i), Value::string(i % 2 == 0 ? "even" : "odd"),
+                Value::int64(i % 5), Value::real(i * 0.5)});
+    }
+    db_.add_table("T", std::move(t));
+    Table s(Schema({{"id", ValueType::kInt64, ""},
+                    {"tag", ValueType::kString, ""}}),
+            10.0);
+    for (int i = 0; i < 5; ++i) {
+      s.append({Value::int64(i), Value::string("tag")});
+    }
+    db_.add_table("S", std::move(s));
+    for (const char* name : {"T", "S"}) {
+      catalog_.add_relation(name, db_.table(name).schema(),
+                            db_.table(name).compute_stats());
+    }
+  }
+
+  PlanPtr scan() const { return make_scan(catalog_, "T"); }
+
+  Database db_;
+  Catalog catalog_{10.0};
+};
+
+TEST_F(CheckPlanTest, CleanPlanHasNoFindings) {
+  const PlanPtr plan = make_project(
+      make_select(scan(), gt(col("T.id"), lit_i64(5))), {"T.id", "T.name"});
+  CheckOptions opts;
+  opts.database = &db_;
+  const CheckReport report = check_plan(plan, opts);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.findings.clean());
+  EXPECT_EQ(report.nodes.size(), 3u);  // scan, select, project
+  EXPECT_TRUE(report.maintainability.has_value());
+}
+
+TEST_F(CheckPlanTest, NeverThrowsOnMalformedPlans) {
+  // Raw constructor: the factories would reject this plan eagerly.
+  const PlanPtr bad =
+      std::make_shared<SelectOp>(scan(), gt(col("ghost"), lit_i64(1)));
+  const CheckReport report = check_plan(bad);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.findings.fired_rules().contains("check/column-resolve"));
+}
+
+TEST_F(CheckPlanTest, CardinalityIntervalsGroundedInTheDatabase) {
+  CheckOptions opts;
+  opts.database = &db_;
+
+  // Scan: exactly the stored row count.
+  const CheckReport s = check_plan(scan(), opts);
+  const auto scan_card = s.card_of(scan()->label());
+  ASSERT_TRUE(scan_card.has_value());
+  EXPECT_EQ(scan_card->lo, 20);
+  EXPECT_EQ(scan_card->hi, 20);
+
+  // Select: [0, child hi]; a contradictory select pins [0, 0].
+  const PlanPtr empty = make_select(
+      scan(), conj({gt(col("T.id"), lit_i64(5)), lt(col("T.id"), lit_i64(3))}));
+  const CheckReport e = check_plan(empty, opts);
+  const auto empty_card = e.card_of(empty->label());
+  ASSERT_TRUE(empty_card.has_value());
+  EXPECT_EQ(empty_card->hi, 0);
+
+  // Global aggregate: always exactly one row.
+  const PlanPtr global =
+      make_aggregate(scan(), {}, {AggSpec{AggFn::kCount, "", "n"}});
+  const CheckReport g = check_plan(global, opts);
+  const auto global_card = g.card_of(global->label());
+  ASSERT_TRUE(global_card.has_value());
+  EXPECT_EQ(global_card->lo, 1);
+  EXPECT_EQ(global_card->hi, 1);
+}
+
+TEST_F(CheckPlanTest, PredicateFindingsBySeverity) {
+  CheckOptions opts;
+  opts.database = &db_;
+  // Contradiction is a warning (the plan still runs, it is just empty).
+  const PlanPtr contra = make_select(
+      scan(), conj({gt(col("T.id"), lit_i64(5)), lt(col("T.id"), lit_i64(3))}));
+  const CheckReport c = check_plan(contra, opts);
+  EXPECT_TRUE(c.ok());
+  EXPECT_TRUE(c.findings.fired_rules().contains("check/contradiction"));
+
+  // A redundant conjunct is informational.
+  const PlanPtr redundant =
+      make_select(make_select(scan(), gt(col("T.id"), lit_i64(5))),
+                  gt(col("T.id"), lit_i64(3)));
+  const CheckReport r = check_plan(redundant, opts);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.findings.fired_rules().contains("check/redundant-conjunct"));
+}
+
+TEST_F(CheckPlanTest, ReportRendersAndSerializes) {
+  CheckOptions opts;
+  opts.database = &db_;
+  const CheckReport report =
+      check_plan(make_select(scan(), gt(col("T.id"), lit_i64(5))), opts);
+  EXPECT_FALSE(report.render_text().empty());
+  const Json j = report.to_json();
+  EXPECT_FALSE(j.dump().empty());
+}
+
+// ---- maintainability certification ----------------------------------------
+
+class CertifyTest : public CheckPlanTest {};
+
+TEST_F(CertifyTest, SpjPlansAreSelfMaintainable) {
+  const PlanPtr plan = make_project(
+      make_select(scan(), gt(col("T.id"), lit_i64(3))), {"T.id", "T.qty"});
+  EXPECT_EQ(certify_refresh_plan(plan).verdict,
+            MaintVerdict::kSelfMaintainable);
+}
+
+TEST_F(CertifyTest, AggregateVerdictLattice) {
+  const auto agg = [&](std::vector<AggSpec> specs) {
+    return make_aggregate(scan(), {"T.name"}, std::move(specs));
+  };
+  // COUNT + SUM + AVG over the same column: fully self-maintainable.
+  EXPECT_EQ(certify_refresh_plan(agg({{AggFn::kCount, "", "n"},
+                                      {AggFn::kSum, "T.qty", "s"},
+                                      {AggFn::kAvg, "T.qty", "a"}}))
+                .verdict,
+            MaintVerdict::kSelfMaintainable);
+  // SUM without a COUNT: inserts maintain, deletes cannot detect emptied
+  // groups.
+  EXPECT_EQ(certify_refresh_plan(agg({{AggFn::kSum, "T.qty", "s"}})).verdict,
+            MaintVerdict::kInsertOnly);
+  // MIN with a COUNT: maintainable unless a delete reaches the extremum.
+  EXPECT_EQ(certify_refresh_plan(agg({{AggFn::kCount, "", "n"},
+                                      {AggFn::kMin, "T.qty", "m"}}))
+                .verdict,
+            MaintVerdict::kExtremumHazard);
+  // AVG without a same-column SUM cannot be reconstructed.
+  EXPECT_EQ(certify_refresh_plan(agg({{AggFn::kCount, "", "n"},
+                                      {AggFn::kAvg, "T.qty", "a"}}))
+                .verdict,
+            MaintVerdict::kNotMaintainable);
+}
+
+TEST_F(CertifyTest, StructuralRefusals) {
+  // Theta join: the delta algebra joins deltas by key.
+  const PlanPtr theta = make_join(scan(), make_scan(catalog_, "S"),
+                                  lt(col("T.id"), col("S.id")));
+  EXPECT_EQ(certify_refresh_plan(theta).verdict,
+            MaintVerdict::kNotMaintainable);
+
+  // Interior aggregate: outside the delta algebra.
+  const PlanPtr interior = make_select(
+      make_aggregate(scan(), {"T.name"}, {AggSpec{AggFn::kCount, "", "n"}}),
+      gt(col("n"), lit_i64(1)));
+  EXPECT_EQ(certify_refresh_plan(interior).verdict,
+            MaintVerdict::kNotMaintainable);
+}
+
+TEST_F(CertifyTest, PredictedPathOverDeltas) {
+  const PlanPtr plan = make_select(scan(), gt(col("T.id"), lit_i64(3)));
+
+  DeltaSet none;
+  EXPECT_EQ(predict_refresh_path(plan, none).path, PredictedPath::kSkip);
+
+  DeltaSet inserts;
+  DeltaTable d(db_.table("T").schema(), 10.0);
+  d.add_insert({Value::int64(99), Value::string("new"), Value::int64(1),
+                Value::real(0.5)});
+  inserts.emplace("T", std::move(d));
+  EXPECT_EQ(predict_refresh_path(plan, inserts).path,
+            PredictedPath::kIncremental);
+
+  // An interior aggregate under pending deltas must recompute.
+  const PlanPtr interior = make_select(
+      make_aggregate(scan(), {"T.name"}, {AggSpec{AggFn::kCount, "", "n"}}),
+      gt(col("n"), lit_i64(1)));
+  EXPECT_EQ(predict_refresh_path(interior, inserts).path,
+            PredictedPath::kRecompute);
+}
+
+// ---- MVD_CHECK hook --------------------------------------------------------
+
+class CheckHookTest : public CheckPlanTest {
+ protected:
+  ~CheckHookTest() override { set_check_hook_level(std::nullopt); }
+
+  /// A plan that *executes* without error but that mvcheck flags: the
+  /// string-vs-int comparison is a static type error, yet the inner
+  /// select filters out every row, so the row engine never evaluates it.
+  PlanPtr typed_defect() const {
+    return make_select(make_select(scan(), gt(col("T.id"), lit_i64(100))),
+                       gt(col("T.name"), lit_i64(5)));
+  }
+};
+
+TEST_F(CheckHookTest, OffAndWarnLevelsDoNotBlockExecution) {
+  const Executor exec(db_, ExecMode::kRow);
+  set_check_hook_level(CheckHookLevel::kOff);
+  EXPECT_EQ(exec.run(typed_defect()).row_count(), 0u);
+  set_check_hook_level(CheckHookLevel::kWarn);
+  EXPECT_EQ(exec.run(typed_defect()).row_count(), 0u);
+}
+
+TEST_F(CheckHookTest, ErrorLevelAbortsBeforeExecution) {
+  const Executor exec(db_, ExecMode::kRow);
+  set_check_hook_level(CheckHookLevel::kError);
+  EXPECT_THROW(exec.run(typed_defect()), ExecError);
+  // Resolution failures abort with BindError — the class the runtime
+  // itself would eventually throw.
+  const PlanPtr unresolved =
+      std::make_shared<SelectOp>(scan(), gt(col("ghost"), lit_i64(1)));
+  EXPECT_THROW(exec.run(unresolved), BindError);
+}
+
+TEST_F(CheckHookTest, CleanPlansPassAtErrorLevel) {
+  const Executor exec(db_, ExecMode::kVectorized);
+  set_check_hook_level(CheckHookLevel::kError);
+  const PlanPtr plan = make_select(scan(), gt(col("T.id"), lit_i64(5)));
+  EXPECT_EQ(exec.run(plan).row_count(), 14u);
+}
+
+// ---- optimizer predicate pruning -------------------------------------------
+
+std::size_t plan_conjunct_count(const PlanPtr& plan) {
+  std::size_t n = 0;
+  if (plan->kind() == OpKind::kSelect) {
+    n += conjuncts_of(static_cast<const SelectOp&>(*plan).predicate()).size();
+  } else if (plan->kind() == OpKind::kJoin) {
+    n += conjuncts_of(static_cast<const JoinOp&>(*plan).predicate()).size();
+  }
+  for (const PlanPtr& c : plan->children()) n += plan_conjunct_count(c);
+  return n;
+}
+
+class SimplifyTest : public CheckPlanTest {};
+
+TEST_F(SimplifyTest, UnchangedPlansComeBackPointerEqual) {
+  const PlanPtr plan = make_project(
+      make_select(scan(), gt(col("T.id"), lit_i64(5))), {"T.id"});
+  EXPECT_EQ(simplify_plan_predicates(plan).get(), plan.get());
+}
+
+TEST_F(SimplifyTest, EntailedConjunctsDropFewerConjunctsSameRows) {
+  // id > 5 below already guarantees id > 3 and id >= 6 above.
+  const PlanPtr inner = make_select(scan(), gt(col("T.id"), lit_i64(5)));
+  const PlanPtr before =
+      make_select(inner, conj({gt(col("T.id"), lit_i64(3)),
+                               cmp(CompareOp::kGe, col("T.id"), lit_i64(6))}));
+  const PlanPtr after = simplify_plan_predicates(before);
+  // The whole outer select was a no-op: simplify returns the inner select.
+  EXPECT_EQ(after.get(), inner.get());
+  EXPECT_LT(plan_conjunct_count(after), plan_conjunct_count(before));
+
+  const Executor exec(db_);
+  EXPECT_TRUE(same_bag(exec.run(before), exec.run(after)));
+}
+
+TEST_F(SimplifyTest, ContradictionPinsALiteralFalseSelect) {
+  const PlanPtr before = make_select(
+      scan(), conj({gt(col("T.id"), lit_i64(5)), lt(col("T.id"), lit_i64(3))}));
+  const PlanPtr after = simplify_plan_predicates(before);
+  ASSERT_EQ(after->kind(), OpKind::kSelect);
+  const ExprPtr& pred = static_cast<const SelectOp&>(*after).predicate();
+  ASSERT_EQ(pred->kind(), ExprKind::kLiteral);
+  EXPECT_FALSE(static_cast<const LiteralExpr&>(*pred).value().as_bool());
+
+  const Executor exec(db_);
+  EXPECT_EQ(exec.run(after).row_count(), 0u);
+  EXPECT_TRUE(same_bag(exec.run(before), exec.run(after)));
+}
+
+TEST_F(SimplifyTest, LiteralTrueConjunctsDropFromJoins) {
+  const PlanPtr before = make_join(
+      scan(), make_scan(catalog_, "S"),
+      conj({eq(col("T.id"), col("T.id")), lit(Value::boolean(true))}));
+  // id = id folds to true, so the join degenerates to the cross join.
+  const PlanPtr after = simplify_plan_predicates(before);
+  ASSERT_EQ(after->kind(), OpKind::kJoin);
+  const ExprPtr& pred = static_cast<const JoinOp&>(*after).predicate();
+  ASSERT_EQ(pred->kind(), ExprKind::kLiteral);
+  EXPECT_TRUE(static_cast<const LiteralExpr&>(*pred).value().as_bool());
+}
+
+TEST_F(SimplifyTest, OptimizerPrunesRedundantSelections) {
+  // qty > 1 and qty >= 2 describe the same int64 rows (integral
+  // tightening), so one of the two conjuncts must drop.
+  const QuerySpec spec = QuerySpec::bind(
+      catalog_, "q_redundant", 1.0, {"T"},
+      conj({gt(col("T.qty"), lit_i64(1)),
+            cmp(CompareOp::kGe, col("T.qty"), lit_i64(2))}),
+      {"T.id", "T.qty"});
+  const CostModel cost_model(catalog_, {});
+  const Optimizer optimizer(cost_model);
+
+  const PlanPtr raw = optimizer.build_plan(spec, spec.relations(),
+                                           PlanPlacement{true, true});
+  const PlanPtr optimized = optimizer.optimize(spec);
+  EXPECT_LT(plan_conjunct_count(optimized), plan_conjunct_count(raw));
+
+  const Executor exec(db_);
+  EXPECT_TRUE(same_bag(exec.run(raw), exec.run(optimized)));
+}
+
+}  // namespace
+}  // namespace mvd

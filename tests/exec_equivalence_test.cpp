@@ -7,16 +7,73 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <random>
+#include <set>
 
 #include "src/algebra/query_spec.hpp"
+#include "src/check/check.hpp"
 #include "src/exec/executor.hpp"
+#include "src/exec/fused.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/optimizer/optimizer.hpp"
 #include "src/workload/generator.hpp"
 
 namespace mvd {
 namespace {
+
+/// mvcheck's static fusability verdicts must agree with the runtime
+/// detector on *every* node of the plan DAG, and when a chain compiles
+/// the prediction must mirror its shape exactly.
+void expect_fusability_agreement(const PlanPtr& plan) {
+  const auto uses = plan_use_counts(plan);
+  std::set<const LogicalOp*> seen;
+  std::function<void(const PlanPtr&)> walk = [&](const PlanPtr& node) {
+    if (!seen.insert(node.get()).second) return;
+    for (const PlanPtr& child : node->children()) walk(child);
+    const FusePrediction pred = predict_fused_chain(node, uses);
+    const std::optional<FusedChain> chain = detect_fused_chain(node, uses);
+    ASSERT_EQ(pred.fusable, chain.has_value())
+        << node->label() << ": " << pred.refusal;
+    if (chain.has_value()) {
+      EXPECT_TRUE(pred.refusal.empty());
+      EXPECT_EQ(pred.source.get(), chain->source.get()) << node->label();
+      EXPECT_EQ(pred.stage_count, chain->stages.size()) << node->label();
+      EXPECT_EQ(pred.select_count, chain->select_count) << node->label();
+      EXPECT_TRUE(pred.out_schema == chain->out_schema) << node->label();
+    } else {
+      EXPECT_FALSE(pred.refusal.empty()) << node->label();
+    }
+  };
+  walk(plan);
+
+  // The per-segment walk must name exactly the select/project heads the
+  // fused engine would visit, each agreeing with the direct detector.
+  for (const ChainSegment& seg : predict_engine_segments(plan)) {
+    ASSERT_NE(seg.head, nullptr);
+    EXPECT_TRUE(seg.head->kind() == OpKind::kSelect ||
+                seg.head->kind() == OpKind::kProject);
+  }
+}
+
+/// The static cardinality intervals must contain the rows every engine
+/// actually produced, node by node.
+void expect_cardinality_bounds(const Database& db, const PlanPtr& plan,
+                               const ExecStats& stats) {
+  CheckOptions opts;
+  opts.database = &db;
+  opts.fusability = false;
+  opts.maintainability = false;
+  const CheckReport report = check_plan(plan, opts);
+  EXPECT_TRUE(report.ok()) << report.render_text();
+  for (const auto& [label, rows] : stats.rows_out) {
+    const auto bounds = report.card_of(label);
+    ASSERT_TRUE(bounds.has_value()) << label;
+    EXPECT_TRUE(bounds->contains(rows))
+        << label << ": " << rows << " outside [" << bounds->lo << ", "
+        << bounds->hi << "]";
+  }
+}
 
 void expect_rows_identical(const Table& a, const Table& b, const char* what) {
   ASSERT_EQ(a.row_count(), b.row_count()) << what;
@@ -71,6 +128,12 @@ void expect_engines_agree(const Database& db, const PlanPtr& plan) {
   expect_stats_identical(vec1_stats, vec4_stats, "vec 1 vs 4 threads");
   expect_stats_identical(vec1_stats, fused1_stats, "vec vs fused");
   expect_stats_identical(fused1_stats, fused4_stats, "fused 1 vs 4 threads");
+
+  // Static analysis rides along on every differential plan: fusability
+  // verdicts match the runtime detector, and the recorded per-node rows
+  // land inside mvcheck's cardinality intervals.
+  expect_fusability_agreement(plan);
+  expect_cardinality_bounds(db, plan, row_stats);
 }
 
 TEST(ExecEquivalenceTest, StarWorkloadCanonicalAndOptimizedPlans) {

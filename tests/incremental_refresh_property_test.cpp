@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "src/algebra/query_spec.hpp"
+#include "src/check/maintainability.hpp"
 #include "src/maintenance/refresh.hpp"
 #include "src/maintenance/update_stream.hpp"
+#include "src/mvpp/rewrite.hpp"
 #include "src/warehouse/designer.hpp"
 #include "src/workload/generator.hpp"
 #include "src/workload/paper_example.hpp"
@@ -86,6 +88,55 @@ struct PathCounts {
   std::size_t recomputed = 0;
 };
 
+/// mvcheck's static refresh-path predictions must agree with the paths
+/// incremental_refresh actually took. The per-view frontier is replayed
+/// from the before/after stored states: each refreshed view contributes
+/// its bag diff under its node name, exactly as the runtime records its
+/// own delta for ancestors.
+void expect_predictions_agree(const MvppGraph& g, const MaterializedSet& m,
+                              const Database& before, const Database& after,
+                              const DeltaSet& batch,
+                              const RefreshReport& report) {
+  DeltaSet frontier = batch;
+  for (const ViewRefresh& e : report.views) {
+    MaterializedSet deps = m;
+    deps.erase(e.id);
+    const PlanPtr plan = refresh_plan(g, e.id, deps);
+    const RefreshPrediction pred =
+        predict_refresh_path(plan, frontier, &before, e.view);
+    SCOPED_TRACE(e.view + ": predicted " + to_string(pred.path) + " (" +
+                 pred.reason + "), runtime took " + to_string(e.path));
+    switch (pred.path) {
+      case PredictedPath::kSkip:
+        EXPECT_EQ(e.path, RefreshPath::kSkipped);
+        break;
+      case PredictedPath::kIncremental:
+        EXPECT_TRUE(e.path == RefreshPath::kApplied ||
+                    e.path == RefreshPath::kGroupApplied);
+        break;
+      case PredictedPath::kRecompute:
+        EXPECT_EQ(e.path, RefreshPath::kRecomputed);
+        break;
+      case PredictedPath::kDataDependent:
+        EXPECT_NE(e.path, RefreshPath::kSkipped);
+        break;
+    }
+    // Skips are predicted exactly, never merely permitted.
+    if (e.path == RefreshPath::kSkipped) {
+      EXPECT_EQ(pred.path, PredictedPath::kSkip);
+    }
+    // Certificate cross-check: a fully self-maintainable plan never falls
+    // back to recomputation, whatever the batch.
+    if (certify_refresh_plan(plan).verdict ==
+        MaintVerdict::kSelfMaintainable) {
+      EXPECT_NE(e.path, RefreshPath::kRecomputed);
+    }
+    frontier.insert_or_assign(
+        e.view,
+        DeltaTable::diff(before.table(e.view), after.table(e.view)));
+  }
+}
+
 /// Drive `rounds` update batches through two copies of the warehouse —
 /// one maintained incrementally under (mode, threads), one by full
 /// recomputation — asserting bag-identity of every stored view and query
@@ -123,8 +174,10 @@ PathCounts run_differential(Workload w, ExecMode mode, std::size_t threads,
     }
 
     ExecStats stats;
+    const Database before_refresh = w.db;
     const RefreshReport report =
         incremental_refresh(g, m, w.db, batch, &stats, mode, threads);
+    expect_predictions_agree(g, m, before_refresh, w.db, batch, report);
     paths.skipped += report.count(RefreshPath::kSkipped);
     paths.applied += report.count(RefreshPath::kApplied);
     paths.group_applied += report.count(RefreshPath::kGroupApplied);
