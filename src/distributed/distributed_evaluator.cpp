@@ -114,6 +114,46 @@ double DistributedMvppEvaluator::produce_cost(NodeId v,
   return produce_cost_memo(v, m, memo);
 }
 
+double DistributedMvppEvaluator::produce_transfer_memo(
+    NodeId v, const MaterializedSet& m, std::map<NodeId, double>& memo) const {
+  if (auto it = memo.find(v); it != memo.end()) return it->second;
+  const MvppNode& n = graph().node(v);
+  MVD_ASSERT(n.kind != MvppNodeKind::kQuery);
+  double blocks = 0;
+  if (n.kind != MvppNodeKind::kBase) {
+    for (NodeId c : n.children) {
+      const MvppNode& child = graph().node(c);
+      const bool stored = child.kind == MvppNodeKind::kBase || m.contains(c);
+      if (!stored) blocks += produce_transfer_memo(c, m, memo);
+      const std::string& from =
+          m.contains(c) ? storage_site_of(c) : site_of(c);
+      if (from != site_of(v)) blocks += child.blocks;
+    }
+  }
+  memo.emplace(v, blocks);
+  return blocks;
+}
+
+double DistributedMvppEvaluator::produce_transfer_blocks(
+    NodeId v, const MaterializedSet& m) const {
+  std::map<NodeId, double> memo;
+  return produce_transfer_memo(v, m, memo);
+}
+
+double DistributedMvppEvaluator::answer_transfer_blocks(
+    NodeId query, const MaterializedSet& m) const {
+  const MvppNode& q = graph().node(query);
+  MVD_ASSERT(q.kind == MvppNodeKind::kQuery);
+  const NodeId result = q.children[0];
+  const MvppNode& r = graph().node(result);
+  if (m.contains(result)) {
+    return storage_site_of(result) != site_of(query) ? r.blocks : 0.0;
+  }
+  double blocks = produce_transfer_blocks(result, m);
+  if (site_of(result) != site_of(query)) blocks += r.blocks;
+  return blocks;
+}
+
 double DistributedMvppEvaluator::answer_cost(NodeId query,
                                              const MaterializedSet& m) const {
   const MvppNode& q = graph().node(query);

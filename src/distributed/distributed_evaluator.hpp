@@ -40,11 +40,24 @@ class DistributedMvppEvaluator : public MvppEvaluator {
   double answer_cost(NodeId query, const MaterializedSet& m) const override;
   double maintenance_cost(NodeId v, const MaterializedSet& m) const override;
 
+  /// Predicted blocks shipped across sites while producing v's result
+  /// over the materialized frontier `m` — the raw transfer volume,
+  /// independent of per-link costs (every cross-site edge counts its
+  /// child's blocks once). The §4.1 validation test compares this against
+  /// the measured exchange-block log of the in-process sharded engine.
+  double produce_transfer_blocks(NodeId v, const MaterializedSet& m) const;
+
+  /// Predicted blocks shipped while answering `query`, including shipping
+  /// the result (or the stored view) to the query's issue site.
+  double answer_transfer_blocks(NodeId query, const MaterializedSet& m) const;
+
   const SiteTopology& topology() const { return topology_; }
 
  private:
   double produce_cost_memo(NodeId v, const MaterializedSet& m,
                            std::map<NodeId, double>& memo) const;
+  double produce_transfer_memo(NodeId v, const MaterializedSet& m,
+                               std::map<NodeId, double>& memo) const;
 
   SiteTopology topology_;
   std::vector<std::string> node_site_;     // compute sites

@@ -73,6 +73,15 @@ std::size_t default_exec_threads() {
   return static_cast<std::size_t>(n);
 }
 
+std::size_t default_exec_shards() {
+  const char* env = std::getenv("MVD_EXEC_SHARDS");
+  if (env == nullptr) return 0;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<std::size_t>(n);
+}
+
 Executor::Executor(const Database& db, ExecMode mode, std::size_t threads)
     : db_(&db),
       mode_(mode),

@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "src/algebra/aggregate.hpp"
 #include "src/algebra/logical_plan.hpp"
@@ -41,6 +42,15 @@ struct ExecStats {
   /// Incremental maintenance only: compacted delta rows (inserts + deletes)
   /// applied to each refreshed view, keyed by the view's MVPP node name.
   std::map<std::string, double> delta_rows;
+  /// Sharded execution only: rows/blocks moved by exchange operators
+  /// (shuffle + broadcast + gather) during this run or refresh round.
+  double rows_exchanged = 0;
+  double blocks_exchanged = 0;
+  /// Sharded execution only: one entry per shard with that shard's own
+  /// counters (blocks read, rows out per node, ...). Empty for
+  /// single-site runs. Totals above include every shard plus coordinator
+  /// work (final merges, remainder plans).
+  std::vector<ExecStats> per_shard;
 };
 
 /// Which engine Executor::run uses. kFused is the vectorized engine with
@@ -60,6 +70,13 @@ ExecMode default_exec_mode();
 /// Vectorized-engine worker count from MVD_EXEC_THREADS (0 = hardware
 /// auto); 1 (serial) when unset or unparsable.
 std::size_t default_exec_threads();
+
+/// Shard count from MVD_EXEC_SHARDS; 0 (single-site execution, no
+/// sharded layer) when unset or unparsable. N >= 1 selects the sharded
+/// execution layer (src/exec/sharded.hpp) in shard-aware drivers (mvprof,
+/// benches) — N = 1 is the degenerate one-shard layout, still
+/// bucket-partitioned and bit-identical to any other shard count.
+std::size_t default_exec_shards();
 
 class ColumnTableCache;
 

@@ -1,0 +1,442 @@
+#include "src/exec/sharded.hpp"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/algebra/expr.hpp"
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/exec/exec_internal.hpp"
+#include "src/obs/trace.hpp"
+
+namespace mvd {
+
+namespace {
+
+// Path count (not node count): a DAG node shared under two parents is
+// reached twice, which is exactly what matters — each reference would
+// need its own exchange.
+std::size_t count_partitioned_paths(const PlanPtr& node,
+                                    const ShardedDatabase& db,
+                                    const ScanOp** leaf) {
+  if (node->kind() == OpKind::kScan) {
+    const auto& scan = static_cast<const ScanOp&>(*node);
+    if (db.is_partitioned(scan.relation())) {
+      *leaf = &scan;
+      return 1;
+    }
+    return 0;
+  }
+  std::size_t refs = 0;
+  for (const PlanPtr& c : node->children()) {
+    refs += count_partitioned_paths(c, db, leaf);
+  }
+  return refs;
+}
+
+// Root-to-leaf path; unique when the leaf has exactly one reference.
+bool find_spine(const PlanPtr& node, const LogicalOp* leaf,
+                std::vector<const LogicalOp*>& path) {
+  path.push_back(node.get());
+  if (node.get() == leaf) return true;
+  for (const PlanPtr& c : node->children()) {
+    if (find_spine(c, leaf, path)) return true;
+  }
+  path.pop_back();
+  return false;
+}
+
+std::optional<std::size_t> try_find(const Schema& schema,
+                                    const std::string& name) {
+  try {
+    return schema.find(name);
+  } catch (const BindError&) {
+    return std::nullopt;  // ambiguous bare name: not the key
+  }
+}
+
+// `partition_key == literal` in the select chain directly above the leaf
+// routes the query to the key's owning bucket (hence shard). Conservative:
+// equality conjuncts higher up the spine are not inspected.
+std::optional<std::size_t> find_route(
+    const std::vector<const LogicalOp*>& spine, const ShardedDatabase& db,
+    const ScanOp& leaf) {
+  const std::string* key = db.partition_key(leaf.relation());
+  if (key == nullptr) return std::nullopt;
+  auto key_idx = try_find(leaf.output_schema(), *key);
+  if (!key_idx.has_value()) return std::nullopt;
+  for (std::size_t i = spine.size() - 1; i-- > 0;) {
+    if (spine[i]->kind() != OpKind::kSelect) break;
+    const auto& sel = static_cast<const SelectOp&>(*spine[i]);
+    for (const ExprPtr& c : conjuncts_of(sel.predicate())) {
+      if (c->kind() != ExprKind::kComparison) continue;
+      const auto& cmp = static_cast<const ComparisonExpr&>(*c);
+      if (cmp.op() != CompareOp::kEq) continue;
+      const Expr* col = nullptr;
+      const Expr* lit = nullptr;
+      if (cmp.lhs()->kind() == ExprKind::kColumn &&
+          cmp.rhs()->kind() == ExprKind::kLiteral) {
+        col = cmp.lhs().get();
+        lit = cmp.rhs().get();
+      } else if (cmp.lhs()->kind() == ExprKind::kLiteral &&
+                 cmp.rhs()->kind() == ExprKind::kColumn) {
+        col = cmp.rhs().get();
+        lit = cmp.lhs().get();
+      } else {
+        continue;
+      }
+      auto idx = try_find(leaf.output_schema(),
+                          static_cast<const ColumnExpr&>(*col).name());
+      if (idx.has_value() && *idx == *key_idx) {
+        return ShardedTable::bucket_of(
+            static_cast<const LiteralExpr&>(*lit).value());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// Everything except per_shard (the caller owns that layout).
+void add_stats(ExecStats& into, const ExecStats& from) {
+  into.blocks_read += from.blocks_read;
+  into.rows_scanned += from.rows_scanned;
+  into.batches += from.batches;
+  for (const auto& [k, v] : from.rows_out) into.rows_out[k] += v;
+  for (const auto& [k, v] : from.delta_rows) into.delta_rows[k] += v;
+  into.rows_exchanged += from.rows_exchanged;
+  into.blocks_exchanged += from.blocks_exchanged;
+}
+
+}  // namespace
+
+ShardPlanAnalysis analyze_shard_plan(const PlanPtr& plan,
+                                     const ShardedDatabase& db) {
+  ShardPlanAnalysis a;
+  const ScanOp* leaf = nullptr;
+  a.refs = count_partitioned_paths(plan, db, &leaf);
+  a.leaf = leaf;
+  if (a.refs != 1) return a;
+  std::vector<const LogicalOp*> spine;
+  find_spine(plan, leaf, spine);
+  for (std::size_t i = spine.size(); i-- > 0;) {
+    if (spine[i]->kind() == OpKind::kAggregate) {
+      a.spine_aggregate = static_cast<const AggregateOp*>(spine[i]);
+      break;
+    }
+  }
+  a.route_bucket = find_route(spine, db, *leaf);
+  return a;
+}
+
+PlanPtr replace_subtree(const PlanPtr& plan, const LogicalOp* target,
+                        const PlanPtr& repl) {
+  if (plan.get() == target) return repl;
+  const std::vector<PlanPtr>& children = plan->children();
+  std::vector<PlanPtr> rebuilt;
+  rebuilt.reserve(children.size());
+  bool changed = false;
+  for (const PlanPtr& c : children) {
+    PlanPtr nc = replace_subtree(c, target, repl);
+    changed = changed || nc != c;
+    rebuilt.push_back(std::move(nc));
+  }
+  if (!changed) return plan;
+  switch (plan->kind()) {
+    case OpKind::kScan:
+      return plan;
+    case OpKind::kSelect:
+      return make_select(rebuilt[0],
+                         static_cast<const SelectOp&>(*plan).predicate());
+    case OpKind::kProject:
+      return make_project(rebuilt[0],
+                          static_cast<const ProjectOp&>(*plan).columns());
+    case OpKind::kJoin:
+      return make_join(rebuilt[0], rebuilt[1],
+                       static_cast<const JoinOp&>(*plan).predicate());
+    case OpKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateOp&>(*plan);
+      return make_aggregate(rebuilt[0], agg.group_by(), agg.aggregates());
+    }
+  }
+  throw ExecError("replace_subtree: unknown operator kind");
+}
+
+ShardedExecutor::ShardedExecutor(ShardedDatabase& db, ExecMode mode,
+                                 std::size_t threads)
+    : db_(&db), mode_(mode), threads_(threads) {
+  bucket_exec_.resize(ShardedDatabase::kBuckets);
+}
+
+void ShardedExecutor::refresh_executors() const {
+  if (cached_generation_ == db_->generation()) return;
+  db_->sync_replicas();
+  for (std::size_t b = 0; b < ShardedDatabase::kBuckets; ++b) {
+    bucket_exec_[b] =
+        std::make_unique<Executor>(db_->bucket(b), mode_, threads_);
+  }
+  coord_exec_ =
+      std::make_unique<Executor>(db_->coordinator(), mode_, threads_);
+  cached_generation_ = db_->generation();
+}
+
+std::pair<std::size_t, std::size_t> ShardedExecutor::shard_span(
+    const ShardPlanAnalysis& a) const {
+  if (a.route_bucket.has_value()) {
+    const std::size_t s = db_->shard_of_bucket(*a.route_bucket);
+    return {s, s + 1};
+  }
+  return {0, db_->shards()};
+}
+
+void ShardedExecutor::merge_shard_stats(
+    ExecStats* stats, std::vector<ExecStats> shard_stats) const {
+  if (stats == nullptr) return;
+  for (const ExecStats& s : shard_stats) add_stats(*stats, s);
+  if (stats->per_shard.size() != shard_stats.size()) {
+    stats->per_shard = std::move(shard_stats);
+  } else {
+    for (std::size_t s = 0; s < shard_stats.size(); ++s) {
+      add_stats(stats->per_shard[s], shard_stats[s]);
+    }
+  }
+}
+
+Table ShardedExecutor::run(const PlanPtr& plan, ExecStats* stats) const {
+  refresh_executors();
+  const ShardPlanAnalysis a = analyze_shard_plan(plan, *db_);
+  if (a.refs == 0) return coord_exec_->run(plan, stats);
+  if (a.refs > 1) {
+    throw ExecError("sharded execution supports one partitioned-leaf "
+                    "reference per plan (cross-shard repartitioning is not "
+                    "implemented); plan references " +
+                    std::to_string(a.refs));
+  }
+  if (a.spine_aggregate != nullptr) {
+    return run_spine_aggregate(plan, a, stats);
+  }
+
+  // Non-aggregate spine: full plan per bucket, bucket-order concat.
+  const auto [s_begin, s_end] = shard_span(a);
+  std::vector<std::optional<Table>> results(ShardedDatabase::kBuckets);
+  std::vector<ExecStats> shard_stats(db_->shards());
+  parallel_shards(s_end - s_begin, threads_,
+                  [&](std::size_t, std::size_t wb, std::size_t we) {
+                    for (std::size_t s = s_begin + wb; s < s_begin + we; ++s) {
+                      const auto [b0, b1] = db_->bucket_range(s);
+                      for (std::size_t b = b0; b < b1; ++b) {
+                        // Fresh stats per bucket run: Executor::run
+                        // assigns rows_out by label, so sharing a slot
+                        // would keep only the last bucket's counts.
+                        ExecStats bucket_stats;
+                        results[b].emplace(
+                            bucket_exec_[b]->run(plan, &bucket_stats));
+                        add_stats(shard_stats[s], bucket_stats);
+                      }
+                    }
+                  });
+
+  MVD_TRACE_SPAN("exec.exchange", "gather");
+  const auto [b_first, b_last] = db_->bucket_range(s_begin);
+  (void)b_last;
+  Table out(results[b_first]->schema(), results[b_first]->blocking_factor());
+  double gather_blocks = 0;
+  for (std::size_t b = 0; b < ShardedDatabase::kBuckets; ++b) {
+    if (!results[b].has_value()) continue;
+    gather_blocks += results[b]->blocks();
+    for (const Tuple& row : results[b]->rows()) out.append(row);
+  }
+  record_gather(db_->exchange_log(), static_cast<double>(out.row_count()),
+                gather_blocks);
+  if (stats != nullptr) {
+    stats->rows_exchanged += static_cast<double>(out.row_count());
+    stats->blocks_exchanged += gather_blocks;
+  }
+  merge_shard_stats(stats, std::move(shard_stats));
+  return out;
+}
+
+std::vector<Table> ShardedExecutor::run_partitioned(const PlanPtr& plan,
+                                                    ExecStats* stats) const {
+  refresh_executors();
+  const ShardPlanAnalysis a = analyze_shard_plan(plan, *db_);
+  if (a.refs != 1 || a.spine_aggregate != nullptr) {
+    throw ExecError("run_partitioned needs exactly one partitioned leaf and "
+                    "no aggregate on its spine");
+  }
+  std::vector<std::optional<Table>> results(ShardedDatabase::kBuckets);
+  std::vector<ExecStats> shard_stats(db_->shards());
+  parallel_shards(db_->shards(), threads_,
+                  [&](std::size_t, std::size_t sb, std::size_t se) {
+                    for (std::size_t s = sb; s < se; ++s) {
+                      const auto [b0, b1] = db_->bucket_range(s);
+                      for (std::size_t b = b0; b < b1; ++b) {
+                        // Fresh stats per bucket run: Executor::run
+                        // assigns rows_out by label, so sharing a slot
+                        // would keep only the last bucket's counts.
+                        ExecStats bucket_stats;
+                        results[b].emplace(
+                            bucket_exec_[b]->run(plan, &bucket_stats));
+                        add_stats(shard_stats[s], bucket_stats);
+                      }
+                    }
+                  });
+  merge_shard_stats(stats, std::move(shard_stats));
+  std::vector<Table> out;
+  out.reserve(ShardedDatabase::kBuckets);
+  for (std::size_t b = 0; b < ShardedDatabase::kBuckets; ++b) {
+    out.push_back(std::move(*results[b]));
+  }
+  return out;
+}
+
+Table ShardedExecutor::run_spine_aggregate(const PlanPtr& plan,
+                                           const ShardPlanAnalysis& a,
+                                           ExecStats* stats) const {
+  const AggregateOp& agg = *a.spine_aggregate;
+  const PlanPtr& child = agg.children()[0];
+  const Schema& is = child->output_schema();
+
+  std::vector<std::size_t> group_idx;
+  for (const std::string& g : agg.group_by()) {
+    group_idx.push_back(is.index_of(g));
+  }
+  std::vector<std::size_t> agg_idx;  // SIZE_MAX for COUNT(*)
+  for (const AggSpec& spec : agg.aggregates()) {
+    agg_idx.push_back(spec.column.empty() ? SIZE_MAX
+                                          : is.index_of(spec.column));
+  }
+
+  // Per-bucket partial: packed-key hash aggregation in first-seen order —
+  // exactly the engines' aggregation, restricted to this bucket's rows.
+  struct Partial {
+    std::vector<Tuple> keys;
+    std::vector<std::vector<Accumulator>> accs;
+    double bf = 10.0;
+  };
+  std::vector<std::optional<Partial>> partials(ShardedDatabase::kBuckets);
+  std::vector<ExecStats> shard_stats(db_->shards());
+  const auto [s_begin, s_end] = shard_span(a);
+  parallel_shards(
+      s_end - s_begin, threads_,
+      [&](std::size_t, std::size_t wb, std::size_t we) {
+        for (std::size_t s = s_begin + wb; s < s_begin + we; ++s) {
+          const auto [b0, b1] = db_->bucket_range(s);
+          for (std::size_t b = b0; b < b1; ++b) {
+            ExecStats bucket_stats;
+            const Table in = bucket_exec_[b]->run(child, &bucket_stats);
+            add_stats(shard_stats[s], bucket_stats);
+            shard_stats[s].rows_scanned +=
+                static_cast<double>(in.row_count());
+            shard_stats[s].batches += 1;
+            Partial p;
+            p.bf = in.blocking_factor();
+            std::unordered_map<std::string, std::size_t> index;
+            std::string key;
+            for (const Tuple& t : in.rows()) {
+              key.clear();
+              for (std::size_t gi : group_idx) append_packed_key(key, t[gi]);
+              auto [it, inserted] = index.try_emplace(key, p.keys.size());
+              if (inserted) {
+                Tuple kv;
+                kv.reserve(group_idx.size());
+                for (std::size_t gi : group_idx) kv.push_back(t[gi]);
+                p.keys.push_back(std::move(kv));
+                p.accs.emplace_back(agg.aggregates().size());
+              }
+              std::vector<Accumulator>& accs = p.accs[it->second];
+              for (std::size_t j = 0; j < agg_idx.size(); ++j) {
+                accs[j].feed(agg_idx[j] == SIZE_MAX ? Value::int64(1)
+                                                    : t[agg_idx[j]]);
+              }
+            }
+            shard_stats[s].rows_out["partial(" + agg.label() + ")"] +=
+                static_cast<double>(p.keys.size());
+            partials[b].emplace(std::move(p));
+          }
+        }
+      });
+
+  // Final merge on the calling thread, buckets in ascending order: group
+  // order is first-seen across the bucket-order concatenation, partials
+  // fold via Accumulator::merge — deterministic at any (shards, threads).
+  MVD_TRACE_SPAN("exec.exchange", "gather");
+  std::vector<Tuple> keys;
+  std::vector<std::vector<Accumulator>> accs;
+  std::unordered_map<std::string, std::size_t> index;
+  double partial_rows = 0;
+  double partial_blocks = 0;
+  double bf = 10.0;
+  bool bf_set = false;
+  std::string key;
+  for (std::size_t b = 0; b < ShardedDatabase::kBuckets; ++b) {
+    if (!partials[b].has_value()) continue;
+    Partial& p = *partials[b];
+    if (!bf_set) {
+      bf = p.bf;
+      bf_set = true;
+    }
+    partial_rows += static_cast<double>(p.keys.size());
+    partial_blocks += std::ceil(static_cast<double>(p.keys.size()) / p.bf);
+    for (std::size_t g = 0; g < p.keys.size(); ++g) {
+      key.clear();
+      for (const Value& v : p.keys[g]) append_packed_key(key, v);
+      auto [it, inserted] = index.try_emplace(key, keys.size());
+      if (inserted) {
+        keys.push_back(std::move(p.keys[g]));
+        accs.emplace_back(agg.aggregates().size());
+      }
+      std::vector<Accumulator>& into = accs[it->second];
+      for (std::size_t j = 0; j < into.size(); ++j) {
+        into[j].merge(p.accs[g][j]);
+      }
+    }
+  }
+  // SQL semantics: a global aggregate over an empty input yields one row.
+  if (keys.empty() && agg.group_by().empty()) {
+    keys.emplace_back();
+    accs.emplace_back(agg.aggregates().size());
+  }
+
+  const Schema& os = agg.output_schema();
+  Table merged(os, bf);
+  for (std::size_t g = 0; g < keys.size(); ++g) {
+    Tuple row = std::move(keys[g]);
+    for (std::size_t j = 0; j < accs[g].size(); ++j) {
+      row.push_back(accs[g][j].result(agg.aggregates()[j].fn,
+                                      os.at(group_idx.size() + j).type));
+    }
+    merged.append(std::move(row));
+  }
+
+  record_gather(db_->exchange_log(), partial_rows, partial_blocks);
+  if (stats != nullptr) {
+    stats->rows_exchanged += partial_rows;
+    stats->blocks_exchanged += partial_blocks;
+    stats->rows_out[agg.label()] += static_cast<double>(merged.row_count());
+  }
+  merge_shard_stats(stats, std::move(shard_stats));
+
+  if (a.spine_aggregate == plan.get()) return merged;
+
+  // The aggregate was interior: run the plan's remainder over the merged
+  // partials at the coordinator (a fresh executor — the temp table's
+  // lifetime must not outlive this call in any column cache).
+  const std::string tmp = "__shard_partial";
+  db_->coordinator().put_table(tmp, std::move(merged));
+  std::optional<Table> out;
+  try {
+    const PlanPtr remainder = replace_subtree(
+        plan, a.spine_aggregate, make_named_scan(tmp, agg.output_schema()));
+    const Executor exec(db_->coordinator(), mode_, threads_);
+    out.emplace(exec.run(remainder, stats));
+  } catch (...) {
+    db_->coordinator().drop_table(tmp);
+    throw;
+  }
+  db_->coordinator().drop_table(tmp);
+  return std::move(*out);
+}
+
+}  // namespace mvd

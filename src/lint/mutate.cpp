@@ -364,6 +364,26 @@ MutationOutcome drift_deployed_rows(const MvppGraph& clean,
   unsuitable("drift-deployed-rows", "an annotated materialized node");
 }
 
+/// Per-shard counters that no longer partition the recorded total: the
+/// stats claim three rows were deployed for a materialized view but the
+/// two shard slices account for only two. The database stays unset so
+/// selection/exec-rows-consistent skips and only the shard-sum
+/// reconciliation can object.
+MutationOutcome drift_shard_rows(const MvppGraph& clean, const CostModel& cm) {
+  MutationOutcome out = with_selection(clean, cm);
+  for (NodeId v : out.selection->materialized) {
+    const MvppNode& n = out.graph->node(v);
+    if (n.expr == nullptr) continue;
+    out.exec_stats = std::make_unique<ExecStats>();
+    out.exec_stats->rows_out[n.name] = 3.0;
+    out.exec_stats->per_shard.resize(2);
+    out.exec_stats->per_shard[0].rows_out[n.name] = 1.0;
+    out.exec_stats->per_shard[1].rows_out[n.name] = 1.0;
+    return out;
+  }
+  unsuitable("drift-shard-rows", "an annotated materialized node");
+}
+
 Value default_value(ValueType type) {
   switch (type) {
     case ValueType::kInt64:
@@ -459,6 +479,8 @@ const std::vector<GraphMutation>& builtin_mutations() {
       {"impossible-budget", "selection/within-budget", impossible_budget},
       {"drift-deployed-rows", "selection/exec-rows-consistent",
        drift_deployed_rows},
+      {"drift-shard-rows", "distributed/shard-stats-consistent",
+       drift_shard_rows},
       {"tamper-refreshed-view", "maintenance/refresh-consistent",
        tamper_refreshed_view},
       {"tamper-metrics-ledger", "obs/metrics-consistent",

@@ -57,7 +57,7 @@ struct GraphMutation {
       apply;
 };
 
-/// One mutation per built-in rule (21 total). Requires `clean` to be
+/// One mutation per built-in rule (22 total). Requires `clean` to be
 /// annotated, acyclic, with at least one query, one shared child, and
 /// one select / project node — the Figure 3 MVPP qualifies.
 const std::vector<GraphMutation>& builtin_mutations();

@@ -81,6 +81,7 @@ const LintRegistry& LintRegistry::builtin() {
     register_selection_rules(r);
     register_maintenance_rules(r);
     register_obs_rules(r);
+    register_distributed_rules(r);
     return r;
   }();
   return registry;

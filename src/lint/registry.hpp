@@ -134,5 +134,6 @@ void register_plan_rules(LintRegistry& registry);
 void register_selection_rules(LintRegistry& registry);
 void register_maintenance_rules(LintRegistry& registry);
 void register_obs_rules(LintRegistry& registry);
+void register_distributed_rules(LintRegistry& registry);
 
 }  // namespace mvd

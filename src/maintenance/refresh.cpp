@@ -90,22 +90,12 @@ struct GroupDelta {
   Tuple group_values;
 };
 
-struct GroupApplyResult {
-  Table next;
-  DeltaTable view_delta;  // over the stored schema, compacted
-};
+}  // namespace
 
-/// Apply `child_delta` (compacted, over the aggregate's input schema) to
-/// the stored aggregate view by grouped +/- maintenance. Returns nullopt
-/// when this batch is not self-maintainable — AVG without a COUNT and a
-/// same-column SUM to recover exact state from, deletes without a COUNT
-/// to detect emptied groups, or a delete reaching a stored MIN/MAX —
-/// in which case the caller recomputes. Throws ExecError when the delta
-/// disagrees with the stored view (negative counts, deletes into absent
-/// groups).
-std::optional<GroupApplyResult> try_group_apply(const AggregateOp& op,
-                                                const Table& stored,
-                                                const DeltaTable& child_delta) {
+// See refresh.hpp — shared with the sharded refresh driver.
+std::optional<GroupApplyResult> maintain_aggregate_view(
+    const AggregateOp& op, const Table& stored,
+    const DeltaTable& child_delta) {
   const Schema& is = child_delta.schema();
   const std::size_t n_groups = op.group_by().size();
   const std::vector<AggSpec>& specs = op.aggregates();
@@ -332,6 +322,8 @@ std::optional<GroupApplyResult> try_group_apply(const AggregateOp& op,
   return result;
 }
 
+namespace {
+
 void fold_stats(ExecStats* into, const ExecStats& from) {
   if (into == nullptr) return;
   into->blocks_read += from.blocks_read;
@@ -400,7 +392,7 @@ RefreshReport incremental_refresh(const MvppGraph& graph,
         if (compact.empty()) {
           view_delta.emplace(stored.schema(), stored.blocking_factor());
           entry.path = RefreshPath::kGroupApplied;
-        } else if (auto applied = try_group_apply(agg, stored, compact)) {
+        } else if (auto applied = maintain_aggregate_view(agg, stored, compact)) {
           // Applying reads the stored groups once plus the delta.
           local.blocks_read += stored.blocks() + compact.blocks();
           local.rows_scanned +=

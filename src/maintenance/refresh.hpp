@@ -26,9 +26,11 @@
 // vectorized engines.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/algebra/aggregate.hpp"
 #include "src/exec/delta.hpp"
 #include "src/mvpp/evaluation.hpp"
 
@@ -77,6 +79,24 @@ struct RefreshReport {
   double total_delta_rows() const;
   double total_blocks_read() const;
 };
+
+/// Result of a grouped +/- apply: the view's next stored state plus the
+/// view's own (compacted) delta for ancestors to consume.
+struct GroupApplyResult {
+  Table next;
+  DeltaTable view_delta;  // over the stored schema, compacted
+};
+
+/// Apply `child_delta` (compacted, over the aggregate's input schema) to
+/// the stored aggregate view by grouped +/- maintenance. Returns nullopt
+/// when this batch is not self-maintainable — AVG without a COUNT and a
+/// same-column SUM to recover exact state from, deletes without a COUNT
+/// to detect emptied groups, or a delete reaching a stored MIN/MAX —
+/// in which case the caller recomputes. Throws ExecError when the delta
+/// disagrees with the stored view (negative counts, deletes into absent
+/// groups). Shared by the single-site and sharded refresh drivers.
+std::optional<GroupApplyResult> maintain_aggregate_view(
+    const AggregateOp& op, const Table& stored, const DeltaTable& child_delta);
 
 /// Incrementally maintain every view of `m` (stored in `db` under its
 /// MVPP node name) after the base-table changes described by

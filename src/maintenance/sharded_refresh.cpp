@@ -1,0 +1,373 @@
+#include "src/maintenance/sharded_refresh.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "src/check/check.hpp"
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/exec/delta.hpp"
+#include "src/exec/sharded.hpp"
+#include "src/mvpp/rewrite.hpp"
+#include "src/obs/publish.hpp"
+#include "src/obs/trace.hpp"
+
+namespace mvd {
+
+namespace {
+
+void add_stats(ExecStats& into, const ExecStats& from) {
+  into.blocks_read += from.blocks_read;
+  into.rows_scanned += from.rows_scanned;
+  into.batches += from.batches;
+  for (const auto& [k, v] : from.rows_out) into.rows_out[k] += v;
+  for (const auto& [k, v] : from.delta_rows) into.delta_rows[k] += v;
+  into.rows_exchanged += from.rows_exchanged;
+  into.blocks_exchanged += from.blocks_exchanged;
+}
+
+void merge_shard_stats(ExecStats* stats, std::vector<ExecStats> shard_stats) {
+  if (stats == nullptr) return;
+  for (const ExecStats& s : shard_stats) add_stats(*stats, s);
+  if (stats->per_shard.size() != shard_stats.size()) {
+    stats->per_shard = std::move(shard_stats);
+  } else {
+    for (std::size_t s = 0; s < shard_stats.size(); ++s) {
+      add_stats(stats->per_shard[s], shard_stats[s]);
+    }
+  }
+}
+
+RefreshPath max_path(RefreshPath a, RefreshPath b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+struct BucketRefresh {
+  RefreshPath path = RefreshPath::kSkipped;
+  double delta_rows = 0;
+  double blocks_read = 0;
+  std::optional<DeltaTable> view_delta;
+};
+
+// The single-site per-view refresh body, applied to one bucket's slice
+// against that bucket's frontier. Mirrors incremental_refresh exactly:
+// touch-check skip, grouped +/- apply for aggregate roots, row-wise
+// apply otherwise, recompute fallback with diff recovery when an
+// ancestor needs this view's delta.
+BucketRefresh refresh_bucket_view(const PlanPtr& plan, const std::string& name,
+                                  Database& bdb, DeltaSet& frontier,
+                                  ExecMode mode, std::size_t threads,
+                                  bool need_delta, ExecStats* stats) {
+  BucketRefresh out;
+  DeltaPropagator prop(bdb, frontier, mode, threads);
+  if (!prop.touches(plan)) return out;
+
+  ExecStats local;
+  std::optional<DeltaTable> view_delta;
+  if (plan->kind() == OpKind::kAggregate) {
+    const auto& agg = static_cast<const AggregateOp&>(*plan);
+    auto child_delta = prop.propagate(plan->children()[0], &local);
+    if (child_delta.has_value()) {
+      const DeltaTable compact = child_delta->compacted();
+      const Table& stored = bdb.table(name);
+      if (compact.empty()) {
+        view_delta.emplace(stored.schema(), stored.blocking_factor());
+        out.path = RefreshPath::kGroupApplied;
+      } else if (auto applied = maintain_aggregate_view(agg, stored, compact)) {
+        local.blocks_read += stored.blocks() + compact.blocks();
+        local.rows_scanned +=
+            static_cast<double>(stored.row_count() + compact.row_count());
+        view_delta = std::move(applied->view_delta);
+        bdb.put_table(name, std::move(applied->next));
+        out.path = RefreshPath::kGroupApplied;
+        out.delta_rows = static_cast<double>(compact.row_count());
+      }
+    }
+  } else {
+    auto delta = prop.propagate(plan, &local);
+    if (delta.has_value()) {
+      const DeltaTable compact = delta->compacted();
+      Table& stored = bdb.mutable_table(name);
+      local.blocks_read += compact.blocks();
+      if (compact.deletes().row_count() > 0) {
+        local.blocks_read += stored.blocks();
+        local.rows_scanned += static_cast<double>(stored.row_count());
+      }
+      apply_delta(stored, compact);
+      view_delta = compact;
+      out.path = RefreshPath::kApplied;
+      out.delta_rows = static_cast<double>(compact.row_count());
+    }
+  }
+
+  if (!view_delta.has_value()) {
+    const Table& fresh = prop.full(plan, &local);
+    if (need_delta) {
+      DeltaTable diffed = DeltaTable::diff(bdb.table(name), fresh);
+      out.delta_rows = static_cast<double>(diffed.row_count());
+      view_delta = std::move(diffed);
+    }
+    bdb.put_table(name, Table(fresh));
+    out.path = RefreshPath::kRecomputed;
+  }
+
+  out.blocks_read = local.blocks_read;
+  if (view_delta.has_value()) {
+    out.view_delta = *view_delta;  // one copy gathers, one feeds ancestors
+    frontier.insert_or_assign(name, std::move(*view_delta));
+  }
+  if (stats != nullptr) add_stats(*stats, local);
+  return out;
+}
+
+}  // namespace
+
+RefreshReport sharded_incremental_refresh(const MvppGraph& graph,
+                                          const MaterializedSet& m,
+                                          ShardedDatabase& db,
+                                          const DeltaSet& base_deltas,
+                                          ExecStats* stats, ExecMode mode,
+                                          std::size_t threads) {
+  MVD_TRACE_SPAN("maintenance", "sharded-incremental-refresh");
+  constexpr std::size_t kBuckets = ShardedDatabase::kBuckets;
+  RefreshReport report;
+  const auto annotate = [](TraceSpan& span, const ViewRefresh& e) {
+    if (!span.active()) return;
+    span.arg("view", e.view);
+    span.arg("path", to_string(e.path));
+    span.arg("delta_rows", e.delta_rows);
+    span.arg("blocks_read", e.blocks_read);
+    span.arg("stored_rows", e.stored_rows);
+  };
+
+  // Per-bucket frontiers: partitioned-table deltas shuffled to their
+  // owning buckets (the shuffle itself was counted by apply_base_deltas),
+  // replicated-table deltas visible to every bucket.
+  std::vector<DeltaSet> bucket_frontier = db.route_deltas(base_deltas);
+  for (const auto& [name, delta] : base_deltas) {
+    if (db.is_partitioned(name) || delta.empty()) continue;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      bucket_frontier[b].emplace(name, delta);
+    }
+  }
+  DeltaSet coord_frontier = base_deltas;
+  ShardedExecutor sharded(db, mode, threads);
+
+  for (NodeId v : m) {
+    const std::string& name = graph.node(v).name;
+    TraceSpan view_span("maintenance", "refresh-view");
+    MaterializedSet deps = m;
+    deps.erase(v);
+    const PlanPtr plan = refresh_plan(graph, v, deps);
+
+    bool ancestor_in_m = false;
+    bool ancestor_global = false;
+    bool ancestor_partitioned = false;
+    for (NodeId a : graph.ancestors(v)) {
+      if (!m.contains(a)) continue;
+      ancestor_in_m = true;
+      if (db.is_partitioned(graph.node(a).name)) {
+        ancestor_partitioned = true;
+      } else {
+        ancestor_global = true;
+      }
+    }
+
+    ViewRefresh entry;
+    entry.id = v;
+    entry.view = name;
+
+    if (db.is_partitioned(name)) {
+      // Bucket schemas are identical, so one pre-flight check suffices.
+      check_stage_hook("refresh", plan, &db.bucket(0));
+      std::vector<ExecStats> shard_stats(db.shards());
+      std::vector<BucketRefresh> outs(kBuckets);
+      parallel_shards(
+          db.shards(), threads,
+          [&](std::size_t, std::size_t sb, std::size_t se) {
+            for (std::size_t s = sb; s < se; ++s) {
+              const auto [b0, b1] = db.bucket_range(s);
+              for (std::size_t b = b0; b < b1; ++b) {
+                outs[b] = refresh_bucket_view(plan, name, db.bucket(b),
+                                              bucket_frontier[b], mode,
+                                              threads, ancestor_in_m,
+                                              &shard_stats[s]);
+              }
+            }
+          });
+      db.bump_generation();  // bucket slices changed in place
+
+      for (const BucketRefresh& o : outs) {
+        entry.path = max_path(entry.path, o.path);
+        entry.delta_rows += o.delta_rows;
+        entry.blocks_read += o.blocks_read;
+      }
+      entry.stored_rows = static_cast<double>(db.partitioned_rows(name));
+      // Per-shard stored rows, for the shard-stats consistency lint rule.
+      for (std::size_t s = 0; s < db.shards(); ++s) {
+        const auto [b0, b1] = db.bucket_range(s);
+        double rows = 0;
+        for (std::size_t b = b0; b < b1; ++b) {
+          rows += static_cast<double>(db.bucket(b).table(name).row_count());
+        }
+        shard_stats[s].rows_out[name] = rows;
+      }
+      merge_shard_stats(stats, std::move(shard_stats));
+
+      if (ancestor_global) {
+        // A coordinator view consumes this view's delta: gather the
+        // bucket deltas in bucket order.
+        MVD_TRACE_SPAN("exec.exchange", "gather");
+        std::optional<DeltaTable> gathered;
+        double gather_blocks = 0;
+        for (const BucketRefresh& o : outs) {
+          if (!o.view_delta.has_value()) continue;
+          if (!gathered.has_value()) {
+            gathered.emplace(o.view_delta->schema(),
+                             o.view_delta->blocking_factor());
+          }
+          gather_blocks += o.view_delta->blocks();
+          for (const Tuple& t : o.view_delta->inserts().rows()) {
+            gathered->add_insert(t);
+          }
+          for (const Tuple& t : o.view_delta->deletes().rows()) {
+            gathered->add_delete(t);
+          }
+        }
+        if (gathered.has_value()) {
+          const double rows = static_cast<double>(gathered->row_count());
+          record_gather(db.exchange_log(), rows, gather_blocks);
+          if (stats != nullptr) {
+            stats->rows_exchanged += rows;
+            stats->blocks_exchanged += gather_blocks;
+          }
+          coord_frontier.insert_or_assign(name, std::move(*gathered));
+        }
+      }
+      if (stats != nullptr) {
+        stats->rows_out[name] = entry.stored_rows;
+        stats->delta_rows[name] = entry.delta_rows;
+      }
+    } else {
+      // Coordinator-resident view.
+      check_stage_hook("refresh", plan, &db.coordinator());
+      Database& cdb = db.coordinator();
+      const bool has_part_leaf = analyze_shard_plan(plan, db).refs > 0;
+      DeltaPropagator prop(cdb, coord_frontier, mode, threads);
+      if (!prop.touches(plan)) {
+        entry.stored_rows = static_cast<double>(cdb.table(name).row_count());
+        if (stats != nullptr) {
+          stats->rows_out[name] = entry.stored_rows;
+          stats->delta_rows[name] = 0;
+        }
+        annotate(view_span, entry);
+        report.views.push_back(std::move(entry));
+        continue;
+      }
+
+      ExecStats local;
+      std::optional<DeltaTable> view_delta;
+      bool mutated_in_place = false;
+      try {
+        if (plan->kind() == OpKind::kAggregate) {
+          const auto& agg = static_cast<const AggregateOp&>(*plan);
+          auto child_delta = prop.propagate(plan->children()[0], &local);
+          if (child_delta.has_value()) {
+            const DeltaTable compact = child_delta->compacted();
+            const Table& stored = cdb.table(name);
+            if (compact.empty()) {
+              view_delta.emplace(stored.schema(), stored.blocking_factor());
+              entry.path = RefreshPath::kGroupApplied;
+            } else if (auto applied =
+                           maintain_aggregate_view(agg, stored, compact)) {
+              local.blocks_read += stored.blocks() + compact.blocks();
+              local.rows_scanned += static_cast<double>(stored.row_count() +
+                                                        compact.row_count());
+              view_delta = std::move(applied->view_delta);
+              db.put_global(name, std::move(applied->next));
+              entry.path = RefreshPath::kGroupApplied;
+              entry.delta_rows = static_cast<double>(compact.row_count());
+            }
+          }
+        } else {
+          auto delta = prop.propagate(plan, &local);
+          if (delta.has_value()) {
+            const DeltaTable compact = delta->compacted();
+            Table& stored = cdb.mutable_table(name);
+            local.blocks_read += compact.blocks();
+            if (compact.deletes().row_count() > 0) {
+              local.blocks_read += stored.blocks();
+              local.rows_scanned += static_cast<double>(stored.row_count());
+            }
+            apply_delta(stored, compact);
+            view_delta = compact;
+            mutated_in_place = true;
+            entry.path = RefreshPath::kApplied;
+            entry.delta_rows = static_cast<double>(compact.row_count());
+          }
+        }
+      } catch (const ExecError&) {
+        // The coordinator cannot produce a partitioned leaf's full side;
+        // fall through to the sharded recompute. Plans without a
+        // partitioned leaf hit real errors — rethrow those.
+        if (!has_part_leaf) throw;
+        view_delta.reset();
+        entry.path = RefreshPath::kSkipped;
+        entry.delta_rows = 0;
+      }
+
+      if (!view_delta.has_value()) {
+        Table fresh = has_part_leaf ? sharded.run(plan, &local)
+                                    : Table(prop.full(plan, &local));
+        if (ancestor_in_m) {
+          DeltaTable diffed = DeltaTable::diff(cdb.table(name), fresh);
+          entry.delta_rows = static_cast<double>(diffed.row_count());
+          view_delta = std::move(diffed);
+        }
+        db.put_global(name, std::move(fresh));
+        entry.path = RefreshPath::kRecomputed;
+      }
+      if (mutated_in_place) db.bump_generation();
+
+      if (view_delta.has_value()) {
+        if (ancestor_partitioned && !view_delta->empty()) {
+          // Partitioned descendants-of-ancestors read this view inside
+          // their bucket plans: broadcast its delta to every frontier.
+          MVD_TRACE_SPAN("exec.exchange", "broadcast");
+          record_broadcast(db.exchange_log(),
+                           static_cast<double>(view_delta->row_count()),
+                           view_delta->blocks(),
+                           approx_delta_bytes(*view_delta), db.shards());
+          if (stats != nullptr) {
+            const double n = static_cast<double>(db.shards());
+            stats->rows_exchanged +=
+                static_cast<double>(view_delta->row_count()) * n;
+            stats->blocks_exchanged += view_delta->blocks() * n;
+          }
+          for (std::size_t b = 0; b < kBuckets; ++b) {
+            bucket_frontier[b].insert_or_assign(name, *view_delta);
+          }
+        }
+        coord_frontier.insert_or_assign(name, std::move(*view_delta));
+      }
+      entry.stored_rows = static_cast<double>(cdb.table(name).row_count());
+      entry.blocks_read = local.blocks_read;
+      local.rows_out[name] = entry.stored_rows;
+      local.delta_rows[name] = entry.delta_rows;
+      if (stats != nullptr) {
+        add_stats(*stats, local);
+        stats->rows_out[name] = entry.stored_rows;
+        stats->delta_rows[name] = entry.delta_rows;
+      }
+    }
+
+    annotate(view_span, entry);
+    report.views.push_back(std::move(entry));
+  }
+  db.bump_generation();
+  publish_refresh_report(report);
+  return report;
+}
+
+}  // namespace mvd

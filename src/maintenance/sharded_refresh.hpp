@@ -1,0 +1,49 @@
+// Shard-aware incremental view maintenance.
+//
+// The single-site driver (src/maintenance/refresh.hpp) walks the
+// materialized set in NodeId order with one delta frontier. The sharded
+// driver keeps one frontier per bucket plus one at the coordinator, and
+// routes deltas the way the storage layout demands:
+//
+//   base deltas      partitioned-table deltas hash-shuffle to their
+//                    owning buckets (ShardedDatabase::route_deltas);
+//                    replicated-dimension deltas broadcast whole into
+//                    every bucket frontier
+//   partitioned view refreshed bucket-by-bucket (shards in parallel,
+//                    buckets sequential within a shard) with the exact
+//                    single-site per-view discipline — touch-check skip,
+//                    row-wise apply, grouped +/- apply, recompute
+//                    fallback; each bucket's own delta feeds that
+//                    bucket's frontier, and when a global ancestor needs
+//                    it the bucket deltas gather to the coordinator
+//                    frontier in bucket order
+//   global view      refreshed at the coordinator; when its plan reads a
+//                    partitioned leaf whose full side the coordinator
+//                    cannot produce, the fallback recompute runs through
+//                    ShardedExecutor (per-bucket partials, final merge);
+//                    its delta broadcasts into the bucket frontiers when
+//                    a partitioned ancestor consumes it
+//
+// Every cross-bucket merge walks buckets in ascending order, so refresh
+// outcomes are bit-identical at any (shards x threads) configuration,
+// and versus single-site refresh the stored views agree as bags.
+#pragma once
+
+#include "src/maintenance/refresh.hpp"
+#include "src/storage/sharded_table.hpp"
+
+namespace mvd {
+
+/// Sharded counterpart of incremental_refresh. `db` must already hold the
+/// post-update base state (apply_base_deltas with the same `base_deltas`).
+/// Stats totals cover every shard plus coordinator work; per-shard
+/// counters land in stats->per_shard (per-shard stored rows of each
+/// partitioned view in per_shard[s].rows_out[view]), exchange traffic in
+/// rows/blocks_exchanged and the database's exchange log.
+RefreshReport sharded_incremental_refresh(
+    const MvppGraph& graph, const MaterializedSet& m, ShardedDatabase& db,
+    const DeltaSet& base_deltas, ExecStats* stats = nullptr,
+    ExecMode mode = default_exec_mode(),
+    std::size_t threads = default_exec_threads());
+
+}  // namespace mvd

@@ -1,6 +1,7 @@
 #include "src/maintenance/update_stream.hpp"
 
 #include <cmath>
+#include <map>
 
 #include "src/common/error.hpp"
 
@@ -50,15 +51,23 @@ std::size_t apply_update_batch(Database& db, const std::string& relation,
   }
   std::size_t touched = deletes;
   if (numeric_col < old.schema().size() && next.row_count() > 0) {
+    // A row drawn twice must record delete(original) + insert(final), not a
+    // chain through intermediate values — the chained form deletes a tuple
+    // the pre-batch table never held, so the recorded delta could not be
+    // replayed against a replica of the old state.
+    std::map<std::size_t, Tuple> originals;
     for (std::size_t i = 0; i < modifies; ++i) {
       const std::size_t r = rng.index(next.row_count());
       Tuple t = next.row(r);
-      if (delta != nullptr) delta->add_delete(t);
+      if (delta != nullptr) originals.try_emplace(r, t);
       t[numeric_col] =
           Value::int64(t[numeric_col].as_int64() + rng.uniform_int(-5, 5));
-      if (delta != nullptr) delta->add_insert(t);
       next.update_row(r, std::move(t));
       ++touched;
+    }
+    for (const auto& [r, original] : originals) {
+      delta->add_delete(original);
+      delta->add_insert(next.row(r));
     }
   }
 

@@ -4,14 +4,33 @@
 
 namespace mvd {
 
+Database::Database(const Database& other) {
+  for (const auto& [name, table] : other.tables_) {
+    tables_.emplace(name, std::make_shared<Table>(*table));
+  }
+}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  Database copy(other);
+  tables_ = std::move(copy.tables_);
+  return *this;
+}
+
 void Database::add_table(const std::string& name, Table table) {
   if (tables_.contains(name)) {
     throw ExecError("duplicate table '" + name + "'");
   }
-  tables_.emplace(name, std::move(table));
+  tables_.emplace(name, std::make_shared<Table>(std::move(table)));
 }
 
 void Database::put_table(const std::string& name, Table table) {
+  tables_.insert_or_assign(name, std::make_shared<Table>(std::move(table)));
+}
+
+void Database::put_shared(const std::string& name,
+                          std::shared_ptr<Table> table) {
+  if (table == nullptr) throw ExecError("put_shared: null table");
   tables_.insert_or_assign(name, std::move(table));
 }
 
@@ -22,10 +41,16 @@ bool Database::has_table(const std::string& name) const {
 const Table& Database::table(const std::string& name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) throw ExecError("unknown table '" + name + "'");
-  return it->second;
+  return *it->second;
 }
 
 Table& Database::mutable_table(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw ExecError("unknown table '" + name + "'");
+  return *it->second;
+}
+
+std::shared_ptr<Table> Database::shared_table(const std::string& name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) throw ExecError("unknown table '" + name + "'");
   return it->second;

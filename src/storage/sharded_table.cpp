@@ -1,0 +1,289 @@
+#include "src/storage/sharded_table.hpp"
+
+#include <cstring>
+
+#include "src/common/error.hpp"
+#include "src/obs/trace.hpp"
+
+namespace mvd {
+
+namespace {
+
+// FNV-1a over the value's packed bytes. Numeric kinds pack as the double
+// bit pattern (mirroring the executor's packed group keys, so values that
+// compare equal hash equal), strings pack raw, bools as one byte.
+std::uint64_t fnv1a(const unsigned char* data, std::size_t n,
+                    std::uint64_t h = 14695981039346656037ull) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t hash_value_stable(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+    case ValueType::kDate:
+    case ValueType::kDouble: {
+      double d = v.as_double();
+      if (d == 0.0) d = 0.0;  // fold -0.0 onto +0.0 (they compare equal)
+      unsigned char bytes[sizeof(double)];
+      std::memcpy(bytes, &d, sizeof(double));
+      return fnv1a(bytes, sizeof(double));
+    }
+    case ValueType::kString: {
+      const std::string& s = v.as_string();
+      return fnv1a(reinterpret_cast<const unsigned char*>(s.data()), s.size());
+    }
+    case ValueType::kBool: {
+      unsigned char b = v.as_bool() ? 1 : 0;
+      return fnv1a(&b, 1);
+    }
+  }
+  throw ExecError("unhashable value type");
+}
+
+}  // namespace
+
+std::size_t ShardedTable::bucket_of(const Value& key) {
+  return static_cast<std::size_t>(hash_value_stable(key) % kBuckets);
+}
+
+ShardedTable ShardedTable::partition(const Table& src,
+                                     const std::string& key_column) {
+  ShardedTable out;
+  out.key_column_ = key_column;
+  out.key_index_ = src.schema().index_of(key_column);
+  out.slices_.reserve(kBuckets);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out.slices_.emplace_back(src.schema(), src.blocking_factor());
+  }
+  for (const Tuple& row : src.rows()) {
+    out.slices_[bucket_of(row[out.key_index_])].append(row);
+  }
+  return out;
+}
+
+std::size_t ShardedTable::total_rows() const {
+  std::size_t rows = 0;
+  for (const Table& s : slices_) rows += s.row_count();
+  return rows;
+}
+
+double ShardedTable::total_blocks() const {
+  double blocks = 0;
+  for (const Table& s : slices_) blocks += s.blocks();
+  return blocks;
+}
+
+Table ShardedTable::gathered() const {
+  Table out(slices_.front().schema(), slices_.front().blocking_factor());
+  for (const Table& s : slices_) {
+    for (const Tuple& row : s.rows()) out.append(row);
+  }
+  return out;
+}
+
+// ---- ShardedDatabase ---------------------------------------------------
+
+ShardedDatabase::ShardedDatabase(std::size_t shards) : shards_(shards) {
+  if (shards_ < 1 || shards_ > kBuckets) {
+    throw ExecError("shard count must be in [1, " + std::to_string(kBuckets) +
+                    "]");
+  }
+  buckets_.resize(kBuckets);
+}
+
+std::size_t ShardedDatabase::shard_of_bucket(std::size_t bucket) const {
+  return bucket * shards_ / kBuckets;
+}
+
+std::pair<std::size_t, std::size_t> ShardedDatabase::bucket_range(
+    std::size_t shard) const {
+  auto begin = (shard * kBuckets + shards_ - 1) / shards_;
+  auto end = ((shard + 1) * kBuckets + shards_ - 1) / shards_;
+  return {begin, end};
+}
+
+void ShardedDatabase::add_replicated(const std::string& name, Table table) {
+  MVD_TRACE_SPAN("exec.exchange", "broadcast");
+  const double rows = static_cast<double>(table.row_count());
+  const double blocks = table.blocks();
+  const double bytes = approx_table_bytes(table);
+  coordinator_.add_table(name, std::move(table));
+  replicated_.insert(name);
+  auto shared = coordinator_.shared_table(name);
+  for (Database& bucket : buckets_) bucket.put_shared(name, shared);
+  record_broadcast(log_, rows, blocks, bytes, shards_);
+  bump_generation();
+}
+
+void ShardedDatabase::add_partitioned(const std::string& name,
+                                      const Table& src,
+                                      const std::string& key_column) {
+  MVD_TRACE_SPAN("exec.exchange", "shuffle");
+  if (replicated_.contains(name)) {
+    throw ExecError("'" + name + "' is already replicated");
+  }
+  ShardedTable parts = ShardedTable::partition(src, key_column);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    buckets_[b].add_table(name, std::move(parts.mutable_slice(b)));
+  }
+  partition_key_[name] = key_column;
+  record_shuffle(log_, static_cast<double>(src.row_count()), src.blocks());
+  bump_generation();
+}
+
+void ShardedDatabase::put_partitioned_slices(const std::string& name,
+                                             std::vector<Table> slices,
+                                             const std::string& key_column) {
+  if (slices.size() != kBuckets) {
+    throw ExecError("put_partitioned_slices: expected one slice per bucket");
+  }
+  if (replicated_.contains(name)) {
+    throw ExecError("'" + name + "' is already replicated");
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    buckets_[b].put_table(name, std::move(slices[b]));
+  }
+  partition_key_[name] = key_column;
+  bump_generation();
+}
+
+void ShardedDatabase::put_global(const std::string& name, Table table) {
+  if (is_partitioned(name)) {
+    throw ExecError("'" + name + "' is already partitioned");
+  }
+  coordinator_.put_table(name, std::move(table));
+  replicated_.insert(name);
+  auto shared = coordinator_.shared_table(name);
+  for (Database& bucket : buckets_) bucket.put_shared(name, shared);
+  bump_generation();
+}
+
+bool ShardedDatabase::is_partitioned(const std::string& name) const {
+  return partition_key_.contains(name);
+}
+
+const std::string* ShardedDatabase::partition_key(
+    const std::string& name) const {
+  auto it = partition_key_.find(name);
+  if (it == partition_key_.end() || it->second.empty()) return nullptr;
+  return &it->second;
+}
+
+std::vector<std::string> ShardedDatabase::partitioned_names() const {
+  std::vector<std::string> names;
+  names.reserve(partition_key_.size());
+  for (const auto& [n, _] : partition_key_) names.push_back(n);
+  return names;
+}
+
+Table ShardedDatabase::gathered(const std::string& name) {
+  MVD_TRACE_SPAN("exec.exchange", "gather");
+  if (!is_partitioned(name)) {
+    throw ExecError("'" + name + "' is not partitioned");
+  }
+  const Table& first = buckets_.front().table(name);
+  Table out(first.schema(), first.blocking_factor());
+  double blocks = 0;
+  for (const Database& bucket : buckets_) {
+    const Table& slice = bucket.table(name);
+    blocks += slice.blocks();
+    for (const Tuple& row : slice.rows()) out.append(row);
+  }
+  record_gather(log_, static_cast<double>(out.row_count()), blocks);
+  return out;
+}
+
+std::size_t ShardedDatabase::partitioned_rows(const std::string& name) const {
+  if (!is_partitioned(name)) {
+    throw ExecError("'" + name + "' is not partitioned");
+  }
+  std::size_t rows = 0;
+  for (const Database& bucket : buckets_) {
+    rows += bucket.table(name).row_count();
+  }
+  return rows;
+}
+
+std::vector<DeltaSet> ShardedDatabase::route_deltas(
+    const DeltaSet& deltas) const {
+  std::vector<DeltaSet> routed(kBuckets);
+  for (const auto& [name, delta] : deltas) {
+    auto it = partition_key_.find(name);
+    if (it == partition_key_.end()) continue;
+    if (it->second.empty()) {
+      throw ExecError("cannot route deltas for keyless partitioned view '" +
+                      name + "'");
+    }
+    const std::size_t ki = delta.schema().index_of(it->second);
+    std::vector<DeltaTable> parts;
+    parts.reserve(kBuckets);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      parts.emplace_back(delta.schema(), delta.blocking_factor());
+    }
+    for (const Tuple& row : delta.inserts().rows()) {
+      parts[ShardedTable::bucket_of(row[ki])].add_insert(row);
+    }
+    for (const Tuple& row : delta.deletes().rows()) {
+      parts[ShardedTable::bucket_of(row[ki])].add_delete(row);
+    }
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (!parts[b].empty()) routed[b].emplace(name, std::move(parts[b]));
+    }
+  }
+  return routed;
+}
+
+void ShardedDatabase::apply_base_deltas(const DeltaSet& deltas) {
+  std::vector<DeltaSet> routed = route_deltas(deltas);
+  for (const auto& [name, delta] : deltas) {
+    if (delta.empty()) continue;
+    if (is_partitioned(name)) {
+      MVD_TRACE_SPAN("exec.exchange", "shuffle");
+      double blocks = 0;
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        auto it = routed[b].find(name);
+        if (it == routed[b].end()) continue;
+        blocks += it->second.blocks();
+        apply_delta(buckets_[b].mutable_table(name), it->second);
+      }
+      record_shuffle(log_, static_cast<double>(delta.row_count()), blocks);
+    } else if (replicated_.contains(name)) {
+      MVD_TRACE_SPAN("exec.exchange", "broadcast");
+      // One application to the shared master updates every alias.
+      apply_delta(coordinator_.mutable_table(name), delta);
+      record_broadcast(log_, static_cast<double>(delta.row_count()),
+                       delta.blocks(), approx_delta_bytes(delta), shards_);
+    } else {
+      throw ExecError("delta for unknown sharded relation '" + name + "'");
+    }
+  }
+  bump_generation();
+}
+
+void ShardedDatabase::sync_replicas() {
+  for (const std::string& name : replicated_) {
+    auto shared = coordinator_.shared_table(name);
+    for (Database& bucket : buckets_) bucket.put_shared(name, shared);
+  }
+}
+
+ShardedDatabase shard_database(
+    const Database& db, std::size_t shards,
+    const std::map<std::string, std::string>& partition_keys) {
+  ShardedDatabase out(shards);
+  for (const std::string& name : db.table_names()) {
+    auto it = partition_keys.find(name);
+    if (it != partition_keys.end()) {
+      out.add_partitioned(name, db.table(name), it->second);
+    } else {
+      out.add_replicated(name, db.table(name));
+    }
+  }
+  return out;
+}
+
+}  // namespace mvd

@@ -1,0 +1,190 @@
+// Hash-partitioned storage for the sharded execution layer.
+//
+// A relation is split into a fixed number of *virtual buckets* (64) by a
+// platform-stable hash of one key column; a shard owns a contiguous range
+// of buckets. Keeping the bucket count independent of the shard count is
+// what makes sharded execution deterministic: the bucket is the unit of
+// partitioning, per-bucket execution, and partial-aggregate merging, so
+// per-bucket results — and their bucket-order concatenation — are
+// bit-identical at any (shards x threads) configuration. Changing the
+// shard count only changes which worker runs which buckets.
+//
+// ShardedDatabase models the paper's §4.1 site layout in-process:
+//
+//   coordinator   the warehouse site — master copies of replicated
+//                 dimensions, globally-stored (aggregate) views, final
+//                 merge targets
+//   buckets       64 bucket-local Databases holding this bucket's fact
+//                 slice and partitioned-view slices, plus shared aliases
+//                 of every replicated table (a shard's buckets all read
+//                 the same physical dimension replica)
+//
+// Dimension tables are replicated (broadcast), fact tables and views
+// rooted over them are hash-partitioned (shuffle), per-bucket results are
+// collected in bucket order (gather); the exchange traffic is tallied in
+// an ExchangeCounters log (src/exec/exchange.hpp) that the §4.1
+// validation test compares against DistributedMvppEvaluator predictions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/exec/exchange.hpp"
+#include "src/storage/database.hpp"
+#include "src/storage/delta_table.hpp"
+#include "src/storage/table.hpp"
+
+namespace mvd {
+
+/// One relation hash-split into kBuckets slices on one key column.
+/// A value helper: ShardedDatabase stores slices inside bucket databases;
+/// this class owns the partitioning math and is used stand-alone in tests.
+class ShardedTable {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Owning bucket of a key value: FNV-1a over the value's packed bytes
+  /// (same packing as the executor's group keys), stable across platforms
+  /// and shard counts. Int64/date/double hash by double bit pattern, so
+  /// int64 5 and double 5.0 land in the same bucket — matching Value
+  /// equality semantics used by join and aggregate keys.
+  static std::size_t bucket_of(const Value& key);
+
+  /// Split `src` on `key_column` (bare or qualified; resolved against the
+  /// schema) into kBuckets slices, preserving source row order within
+  /// each bucket. Throws BindError when the column is absent.
+  static ShardedTable partition(const Table& src, const std::string& key_column);
+
+  const std::string& key_column() const { return key_column_; }
+  std::size_t key_index() const { return key_index_; }
+
+  const Table& slice(std::size_t bucket) const { return slices_.at(bucket); }
+  Table& mutable_slice(std::size_t bucket) { return slices_.at(bucket); }
+
+  std::size_t total_rows() const;
+  double total_blocks() const;
+
+  /// Bucket-order concatenation (the gather merge order).
+  Table gathered() const;
+
+ private:
+  ShardedTable() = default;
+
+  std::string key_column_;
+  std::size_t key_index_ = 0;
+  std::vector<Table> slices_;
+};
+
+/// The in-process site layout: one coordinator database plus kBuckets
+/// bucket-local databases, with shards owning contiguous bucket ranges.
+class ShardedDatabase {
+ public:
+  static constexpr std::size_t kBuckets = ShardedTable::kBuckets;
+
+  /// `shards` in [1, kBuckets]. One shard is the degenerate layout where
+  /// a single site owns every bucket — still bucket-partitioned, so its
+  /// results are bit-identical to any other shard count.
+  explicit ShardedDatabase(std::size_t shards);
+
+  std::size_t shards() const { return shards_; }
+
+  /// Owning shard of a bucket: contiguous ranges, floor(b * shards / 64).
+  std::size_t shard_of_bucket(std::size_t bucket) const;
+  /// Half-open bucket range [begin, end) owned by `shard`.
+  std::pair<std::size_t, std::size_t> bucket_range(std::size_t shard) const;
+
+  // ---- Loading ---------------------------------------------------------
+
+  /// Replicate `table` to every shard (and the coordinator): one physical
+  /// master copy at the coordinator, aliased into each bucket database.
+  /// Counts a broadcast of rows x shards.
+  void add_replicated(const std::string& name, Table table);
+
+  /// Hash-partition `src` on `key_column` into the bucket databases.
+  /// Counts the partitioning shuffle (every row routed once).
+  void add_partitioned(const std::string& name, const Table& src,
+                       const std::string& key_column);
+
+  /// Install per-bucket slices of a derived relation (a partitioned view
+  /// produced by per-bucket deploy runs). `key_column` may be empty when
+  /// the partition key does not survive the view's projection — the view
+  /// is still stored and refreshed per bucket, it just cannot route
+  /// point queries. Replaces any previous slices.
+  void put_partitioned_slices(const std::string& name,
+                              std::vector<Table> slices,
+                              const std::string& key_column);
+
+  /// Store-or-replace a coordinator-resident (global) relation and alias
+  /// it into every bucket database so per-bucket plans can read it.
+  void put_global(const std::string& name, Table table);
+
+  // ---- Introspection ---------------------------------------------------
+
+  bool is_partitioned(const std::string& name) const;
+  /// Partition key of a partitioned relation; nullptr when the relation
+  /// is not partitioned or its key did not survive (see above).
+  const std::string* partition_key(const std::string& name) const;
+  std::vector<std::string> partitioned_names() const;
+
+  Database& coordinator() { return coordinator_; }
+  const Database& coordinator() const { return coordinator_; }
+  Database& bucket(std::size_t b) { return buckets_.at(b); }
+  const Database& bucket(std::size_t b) const { return buckets_.at(b); }
+
+  /// Bucket-order concatenation of a partitioned relation's slices.
+  /// Counts a gather.
+  Table gathered(const std::string& name);
+
+  std::size_t partitioned_rows(const std::string& name) const;
+
+  // ---- Maintenance -----------------------------------------------------
+
+  /// Split a base-update round's partitioned-table deltas by owning
+  /// bucket (replicated-table deltas are not routed — they broadcast
+  /// whole). Pure routing; the shuffle is counted by apply_base_deltas.
+  std::vector<DeltaSet> route_deltas(const DeltaSet& deltas) const;
+
+  /// Apply one base-update round: replicated-table deltas apply once to
+  /// the shared master (visible through every alias; counted as a
+  /// broadcast of rows x shards), partitioned-table deltas shuffle to
+  /// their owning bucket slices.
+  void apply_base_deltas(const DeltaSet& deltas);
+
+  /// Re-alias every replicated / global relation into the bucket
+  /// databases (needed after put_table replaced a coordinator entry).
+  void sync_replicas();
+
+  /// Monotonic mutation stamp: bumped by every load/maintenance call so
+  /// cached per-bucket executors (ShardedExecutor) know to rebuild their
+  /// column caches. Mutating bucket databases directly requires a manual
+  /// bump_generation().
+  std::uint64_t generation() const { return generation_; }
+  void bump_generation() { ++generation_; }
+
+  ExchangeCounters& exchange_log() { return log_; }
+  const ExchangeCounters& exchange_log() const { return log_; }
+
+ private:
+  std::size_t shards_;
+  Database coordinator_;
+  std::vector<Database> buckets_;
+  // Partitioned relation -> key column ("" = key lost in projection).
+  std::map<std::string, std::string> partition_key_;
+  // Replicated tables and global views aliased into bucket databases.
+  std::set<std::string> replicated_;
+  std::uint64_t generation_ = 0;
+  ExchangeCounters log_;
+};
+
+/// Build the sharded layout of `db`: relations named in `partition_keys`
+/// (relation -> hash column) are hash-partitioned, everything else is
+/// replicated.
+ShardedDatabase shard_database(const Database& db, std::size_t shards,
+                               const std::map<std::string, std::string>&
+                                   partition_keys);
+
+}  // namespace mvd

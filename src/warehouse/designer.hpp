@@ -23,6 +23,8 @@
 
 namespace mvd {
 
+class ShardedDatabase;
+
 struct DesignerOptions {
   CostModelConfig cost;
   MaintenancePolicy maintenance;
@@ -98,6 +100,39 @@ class WarehouseDesigner {
   /// Answer a registered query from the deployed warehouse.
   Table answer(const DesignResult& design, const std::string& query_name,
                const Database& db, ExecStats* stats = nullptr) const;
+
+  // ---- Sharded runtime (requires a ShardedDatabase built over the same
+  // base tables, e.g. by shard_database) ----
+
+  /// Deploy onto a sharded layout. Views whose refresh plan has a
+  /// partitioned leaf and no aggregate on its spine are stored as
+  /// per-bucket slices (co-partitioned with the fact table; the partition
+  /// key survives when it appears in the view's output schema, enabling
+  /// point-query routing); aggregate and coordinator-only views are
+  /// stored globally. Per-shard stored rows of partitioned views land in
+  /// stats->per_shard[s].rows_out.
+  void deploy(const DesignResult& design, ShardedDatabase& db,
+              ExecStats* stats = nullptr) const;
+
+  /// Recompute all stored views on the sharded layout.
+  void refresh(const DesignResult& design, ShardedDatabase& db,
+               ExecStats* stats = nullptr) const;
+
+  /// Maintain the sharded warehouse after base-table changes. `db` must
+  /// already hold the post-update base state (apply_base_deltas with the
+  /// same deltas). kIncremental routes the deltas to their owning shards
+  /// and refreshes bucket-by-bucket (src/maintenance/sharded_refresh.hpp);
+  /// kRecompute redeploys.
+  RefreshReport refresh(const DesignResult& design, ShardedDatabase& db,
+                        const DeltaSet& base_deltas,
+                        RefreshMode mode = default_refresh_mode(),
+                        ExecStats* stats = nullptr) const;
+
+  /// Answer a registered query on the sharded warehouse (per-shard
+  /// partials, deterministic bucket-order merge; point queries on the
+  /// partition key run only on the owning shard).
+  Table answer(const DesignResult& design, const std::string& query_name,
+               ShardedDatabase& db, ExecStats* stats = nullptr) const;
 
  private:
   SelectionAlgorithm selection_algorithm() const;

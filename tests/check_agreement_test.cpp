@@ -15,6 +15,8 @@
 #include "src/check/check.hpp"
 #include "src/exec/executor.hpp"
 #include "src/exec/fused.hpp"
+#include "src/exec/sharded.hpp"
+#include "src/storage/sharded_table.hpp"
 
 namespace mvd {
 namespace {
@@ -229,6 +231,80 @@ TEST_F(CheckAgreementTest, CardinalityBoundsHoldAcrossEngines) {
             << bounds->hi << "]";
       }
     }
+  }
+}
+
+TEST_F(CheckAgreementTest, CardinalityBoundsHoldUnderShardedExecution) {
+  // mvcheck's CardIntervals are derived for single-site plans; sharded
+  // execution must not escape them. Two levels are checked per plan:
+  //
+  //   final merge    the coordinator result row count sits inside the
+  //                  root's static bounds, and for aggregate spines the
+  //                  merged group count sits inside the aggregate's;
+  //   partials       a bucket sees a subset of the input, so its partial
+  //                  group count cannot exceed the whole input's upper
+  //                  bound — a shard owning k buckets ships at most
+  //                  k x hi partial rows, and all shards together at
+  //                  least the merged row count.
+  const PlanPtr grouped = make_aggregate(
+      scan_t(), {"T.s"},
+      {AggSpec{AggFn::kCount, "", "n"}, AggSpec{AggFn::kSum, "T.b", "sb"}});
+  struct Case {
+    PlanPtr plan;
+    bool expect_partials;
+  };
+  const std::vector<Case> cases = {
+      {grouped, true},                                             // root agg
+      {make_select(grouped, gt(col("n"), lit_i64(0))), true},      // interior
+      {make_aggregate(scan_t(), {}, {AggSpec{AggFn::kCount, "", "n"}}), true},
+      {make_join(make_select(scan_t(), lt(col("T.a"), lit_i64(30))),
+                 make_scan(catalog_, "D"), eq(col("T.a"), col("D.key"))),
+       false},
+  };
+  CheckOptions opts;
+  opts.database = &db_;
+  for (const Case& c : cases) {
+    SCOPED_TRACE(plan_tree_string(c.plan));
+    const CheckReport report = check_plan(c.plan, opts);
+    EXPECT_TRUE(report.ok()) << report.render_text();
+
+    ShardedDatabase sdb = shard_database(db_, 4, {{"T", "a"}});
+    ExecStats stats;
+    const Table out = ShardedExecutor(sdb).run(c.plan, &stats);
+
+    const auto root = report.card_of(c.plan->label());
+    ASSERT_TRUE(root.has_value());
+    EXPECT_TRUE(root->contains(static_cast<double>(out.row_count())))
+        << out.row_count() << " outside [" << root->lo << ", " << root->hi
+        << "]";
+
+    bool saw_partials = false;
+    for (const auto& [label, total] : stats.rows_out) {
+      if (label.rfind("partial(", 0) != 0) continue;
+      saw_partials = true;
+      const std::string inner = label.substr(8, label.size() - 9);
+      const auto bounds = report.card_of(inner);
+      ASSERT_TRUE(bounds.has_value()) << inner;
+      const auto merged = stats.rows_out.find(inner);
+      ASSERT_NE(merged, stats.rows_out.end()) << inner;
+      EXPECT_TRUE(bounds->contains(merged->second))
+          << inner << ": merged " << merged->second << " outside ["
+          << bounds->lo << ", " << bounds->hi << "]";
+
+      ASSERT_EQ(stats.per_shard.size(), sdb.shards());
+      double partial_total = 0;
+      for (std::size_t s = 0; s < stats.per_shard.size(); ++s) {
+        const auto it = stats.per_shard[s].rows_out.find(label);
+        if (it == stats.per_shard[s].rows_out.end()) continue;
+        const auto [b0, b1] = sdb.bucket_range(s);
+        EXPECT_LE(it->second, bounds->hi * static_cast<double>(b1 - b0))
+            << label << " on shard " << s;
+        partial_total += it->second;
+      }
+      EXPECT_DOUBLE_EQ(partial_total, total) << label;
+      EXPECT_GE(partial_total, merged->second) << label;
+    }
+    EXPECT_EQ(saw_partials, c.expect_partials);
   }
 }
 

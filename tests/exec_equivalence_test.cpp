@@ -15,6 +15,7 @@
 #include "src/check/check.hpp"
 #include "src/exec/executor.hpp"
 #include "src/exec/fused.hpp"
+#include "src/exec/sharded.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/optimizer/optimizer.hpp"
 #include "src/workload/generator.hpp"
@@ -88,6 +89,8 @@ void expect_stats_identical(const ExecStats& a, const ExecStats& b,
   EXPECT_DOUBLE_EQ(a.rows_scanned, b.rows_scanned) << what;
   EXPECT_DOUBLE_EQ(a.batches, b.batches) << what;
   EXPECT_EQ(a.rows_out, b.rows_out) << what;
+  EXPECT_DOUBLE_EQ(a.rows_exchanged, b.rows_exchanged) << what;
+  EXPECT_DOUBLE_EQ(a.blocks_exchanged, b.blocks_exchanged) << what;
 }
 
 /// Runs `plan` under the row engine and both batch engines (interpreted
@@ -134,6 +137,58 @@ void expect_engines_agree(const Database& db, const PlanPtr& plan) {
   // land inside mvcheck's cardinality intervals.
   expect_fusability_agreement(plan);
   expect_cardinality_bounds(db, plan, row_stats);
+}
+
+/// Runs `plan` through the sharded layer at shards {1, 4} x threads
+/// {1, 4} x all three engines, asserting: same bag as unsharded row
+/// execution, bit-identical output across every sharded configuration
+/// (the bucket-order merge contract), vec == fused bit-identical, and
+/// stats parity — row vs vec accounting agrees per configuration, and
+/// for non-routed plans every (shards x threads) cell records identical
+/// totals (routed point queries legitimately skip shards, changing the
+/// block counts).
+void expect_sharded_agree(const Database& db, const PlanPtr& plan,
+                          const std::map<std::string, std::string>& keys) {
+  SCOPED_TRACE(plan_tree_string(plan));
+  const Executor row(db, ExecMode::kRow);
+  const Table reference = row.run(plan);
+
+  std::optional<Table> first;
+  std::optional<ExecStats> first_stats;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    ShardedDatabase sdb = shard_database(db, shards, keys);
+    const bool routed = analyze_shard_plan(plan, sdb).route_bucket.has_value();
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      const ShardedExecutor srow(sdb, ExecMode::kRow, threads);
+      const ShardedExecutor svec(sdb, ExecMode::kVectorized, threads);
+      const ShardedExecutor sfused(sdb, ExecMode::kFused, threads);
+      ExecStats row_stats, vec_stats, fused_stats;
+      const Table r = srow.run(plan, &row_stats);
+      const Table v = svec.run(plan, &vec_stats);
+      const Table f = sfused.run(plan, &fused_stats);
+
+      EXPECT_TRUE(same_bag(reference, r));
+      EXPECT_TRUE(same_bag(reference, v));
+      expect_rows_identical(v, f, "sharded vec vs fused");
+      EXPECT_DOUBLE_EQ(row_stats.blocks_read, vec_stats.blocks_read);
+      EXPECT_EQ(row_stats.rows_out, vec_stats.rows_out);
+      EXPECT_DOUBLE_EQ(row_stats.rows_scanned, vec_stats.rows_scanned);
+
+      if (!first.has_value()) {
+        first = v;
+        if (!routed) first_stats = vec_stats;
+      } else {
+        expect_rows_identical(*first, v,
+                              "sharded vec across (shards x threads)");
+        if (!routed && first_stats.has_value()) {
+          expect_stats_identical(*first_stats, vec_stats,
+                                 "sharded vec across (shards x threads)");
+        }
+      }
+    }
+  }
 }
 
 TEST(ExecEquivalenceTest, StarWorkloadCanonicalAndOptimizedPlans) {
@@ -461,6 +516,61 @@ TEST(ExecEquivalenceTest, RandomizedChainFuzz) {
   }
 }
 
+// The sharded layer joins the differential matrix: the same star
+// workload, run at shards {1, 4} x threads {1, 4} x all three engines
+// through ShardedExecutor over a Fact-partitioned layout.
+TEST(ShardedExecEquivalenceTest, StarWorkloadShardsTimesThreads) {
+  StarSchemaOptions schema;
+  schema.dimensions = 3;
+  schema.fact_rows = 2'000;
+  schema.dimension_rows = 200;
+  const Database db = populate_star_database(schema, 21);
+  const Catalog catalog = catalog_from_database(db, 10.0);
+
+  StarQueryOptions queries;
+  queries.count = 6;
+  queries.max_dimensions = 3;
+  queries.aggregation_probability = 0.5;
+  queries.seed = 33;
+  const CostModel cost_model(catalog, {});
+  const Optimizer optimizer(cost_model);
+  const std::map<std::string, std::string> keys{{"Fact", "d0"}};
+  for (const QuerySpec& q : generate_star_queries(catalog, schema, queries)) {
+    expect_sharded_agree(db, canonical_plan(catalog, q), keys);
+    expect_sharded_agree(db, optimizer.optimize(q), keys);
+  }
+}
+
+// A routed point query — equality on the partition key directly above
+// the fact scan — must return the same rows at every shard count while
+// touching fewer blocks as the shard count grows (the skipped shards are
+// where the single-core speedup comes from).
+TEST(ShardedExecEquivalenceTest, RoutedPointQueryScansFewerBlocks) {
+  StarSchemaOptions schema;
+  schema.dimensions = 2;
+  schema.fact_rows = 4'000;
+  schema.dimension_rows = 100;
+  const Database db = populate_star_database(schema, 13);
+  const Catalog catalog = catalog_from_database(db, 10.0);
+  const std::map<std::string, std::string> keys{{"Fact", "d0"}};
+
+  const PlanPtr plan =
+      make_select(make_scan(catalog, "Fact"), eq(col("Fact.d0"), lit_i64(7)));
+
+  ShardedDatabase one = shard_database(db, 1, keys);
+  ShardedDatabase eight = shard_database(db, 8, keys);
+  ASSERT_TRUE(analyze_shard_plan(plan, eight).route_bucket.has_value());
+
+  ExecStats stats1, stats8;
+  const Table a = ShardedExecutor(one, ExecMode::kVectorized, 1)
+                      .run(plan, &stats1);
+  const Table b = ShardedExecutor(eight, ExecMode::kVectorized, 4)
+                      .run(plan, &stats8);
+  expect_rows_identical(a, b, "routed point query across shard counts");
+  ASSERT_GT(a.row_count(), 0u);
+  EXPECT_LT(stats8.blocks_read, stats1.blocks_read);
+}
+
 // Small fixture exercised under ThreadSanitizer in CI: a join + aggregate
 // pipeline over enough rows for several morsels, run at four threads.
 TEST(ExecEngineTsanTest, ParallelPipelineIsRaceFreeAndDeterministic) {
@@ -515,6 +625,38 @@ TEST(ExecKernelTsanTest, FusedPipelineIsRaceFreeAndDeterministic) {
   const Executor fused4(db, ExecMode::kFused, 4);
   const Table a = fused1.run(plan);
   const Table b = fused4.run(plan);
+  ASSERT_EQ(a.row_count(), b.row_count());
+  for (std::size_t i = 0; i < a.row_count(); ++i) {
+    EXPECT_TRUE(a.row(i) == b.row(i));
+  }
+}
+
+// Sharded counterpart for the CI TSan filter: shards execute on worker
+// threads with morsel parallelism inside each bucket, partials merge on
+// the calling thread — 4 shards x 4 threads must match the 1 x 1 layout
+// bit for bit.
+TEST(DistributedExecTsanTest, ShardedPipelineIsRaceFreeAndDeterministic) {
+  StarSchemaOptions schema;
+  schema.dimensions = 2;
+  schema.fact_rows = 6'000;  // three morsels of fact rows per bucket run
+  schema.dimension_rows = 100;
+  const Database db = populate_star_database(schema, 9);
+  const Catalog catalog = catalog_from_database(db, 10.0);
+  const std::map<std::string, std::string> keys{{"Fact", "d0"}};
+
+  const PlanPtr plan = make_aggregate(
+      make_select(make_join(make_scan(catalog, "Fact"),
+                            make_scan(catalog, "Dim0"),
+                            eq(col("Fact.d0"), col("Dim0.id"))),
+                  gt(col("Fact.measure"), lit_i64(200))),
+      {"Dim0.category"},
+      {AggSpec{AggFn::kSum, "Fact.measure", ""},
+       AggSpec{AggFn::kCount, "", ""}});
+
+  ShardedDatabase serial = shard_database(db, 1, keys);
+  ShardedDatabase wide = shard_database(db, 4, keys);
+  const Table a = ShardedExecutor(serial, ExecMode::kVectorized, 1).run(plan);
+  const Table b = ShardedExecutor(wide, ExecMode::kVectorized, 4).run(plan);
   ASSERT_EQ(a.row_count(), b.row_count());
   for (std::size_t i = 0; i < a.row_count(); ++i) {
     EXPECT_TRUE(a.row(i) == b.row(i));

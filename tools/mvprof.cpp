@@ -6,6 +6,11 @@
 //   mvprof --input FILE         profile selection over a serialized MVPP
 //                               (to_json output; paper catalog relations)
 //   mvprof --scale X            database scale for --paper (default 0.01)
+//   mvprof --shards N           run the --paper pipeline on a sharded
+//                               layout (Order hash-partitioned on Cid,
+//                               dimensions replicated) and report the
+//                               exec/exchange/* traffic counters;
+//                               defaults to MVD_EXEC_SHARDS when set
 //   mvprof --out DIR            where trace.json / metrics.json go
 //                               (default ".")
 //   mvprof --json               machine-readable phase summary on stdout
@@ -21,14 +26,17 @@
 // design's reported selection costs (the obs/metrics-consistent
 // contract). Exit status: 0 ok, 1 reconciliation failure, 2 usage/load
 // problems.
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/exec/executor.hpp"
 #include "src/common/random.hpp"
 #include "src/common/text_table.hpp"
 #include "src/common/units.hpp"
@@ -36,6 +44,7 @@
 #include "src/mvpp/serialize.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
+#include "src/storage/sharded_table.hpp"
 #include "src/warehouse/designer.hpp"
 #include "src/workload/paper_example.hpp"
 
@@ -46,7 +55,8 @@ using namespace mvd;
 int usage(const std::string& problem) {
   std::cerr << "mvprof: " << problem << "\n"
             << "usage: mvprof [--paper | --input FILE] [--scale X]\n"
-            << "              [--out DIR] [--json] [--exec row|vec|fused]\n";
+            << "              [--shards N] [--out DIR] [--json]\n"
+            << "              [--exec row|vec|fused]\n";
   return 2;
 }
 
@@ -146,8 +156,12 @@ void write_file(const std::string& path, const std::string& text) {
   out << text;
 }
 
-/// Full pipeline over the paper workload.
-int profile_paper(double scale, const std::string& out_dir, bool as_json) {
+/// Full pipeline over the paper workload. With `shards` > 0 the runtime
+/// phases (deploy, answer, update, refresh) run against the sharded
+/// layout — Order hash-partitioned on Cid, dimensions replicated — and
+/// the exchange traffic is reported alongside the ledger gate.
+int profile_paper(double scale, std::size_t shards,
+                  const std::string& out_dir, bool as_json) {
   const PaperExample example = make_paper_example();
   DesignerOptions options;
   options.cost = paper_cost_config();
@@ -163,13 +177,29 @@ int profile_paper(double scale, const std::string& out_dir, bool as_json) {
   run_phase(rows, "populate",
             [&] { db = populate_paper_database(scale, 17); });
 
+  std::optional<ShardedDatabase> sdb;
+  if (shards > 0) {
+    run_phase(rows, "shard", [&] {
+      sdb.emplace(shard_database(db, shards, {{"Order", "Cid"}}));
+    });
+  }
+
   ExecStats deploy_stats;
-  run_phase(rows, "deploy",
-            [&] { designer.deploy(design, db, &deploy_stats); });
+  run_phase(rows, "deploy", [&] {
+    if (sdb) {
+      designer.deploy(design, *sdb, &deploy_stats);
+    } else {
+      designer.deploy(design, db, &deploy_stats);
+    }
+  });
 
   run_phase(rows, "answer", [&] {
     for (const QuerySpec& q : example.queries) {
-      (void)designer.answer(design, q.name(), db);
+      if (sdb) {
+        (void)designer.answer(design, q.name(), *sdb);
+      } else {
+        (void)designer.answer(design, q.name(), db);
+      }
     }
   });
 
@@ -180,11 +210,19 @@ int profile_paper(double scale, const std::string& out_dir, bool as_json) {
       (void)apply_update_batch(db, relation, UpdateStreamOptions{}, rng,
                                &deltas);
     }
+    // The sharded layout receives the same base changes: partitioned
+    // deltas shuffle to their owning buckets, dimension deltas broadcast.
+    if (sdb) sdb->apply_base_deltas(deltas);
   });
 
   RefreshReport refresh;
   run_phase(rows, "refresh", [&] {
-    refresh = designer.refresh(design, db, deltas, RefreshMode::kIncremental);
+    if (sdb) {
+      refresh =
+          designer.refresh(design, *sdb, deltas, RefreshMode::kIncremental);
+    } else {
+      refresh = designer.refresh(design, db, deltas, RefreshMode::kIncremental);
+    }
   });
 
   const MetricsSnapshot final_snap = MetricsRegistry::global().snapshot();
@@ -204,11 +242,35 @@ int profile_paper(double scale, const std::string& out_dir, bool as_json) {
     doc.set("phases", phases_to_json(rows));
     doc.set("ledger", std::move(reconciliation));
     doc.set("refreshed_views", Json::number(refresh.views.size()));
+    if (sdb) {
+      const ExchangeCounters& x = sdb->exchange_log();
+      Json exchange = Json::object();
+      exchange.set("shards", Json::number(shards));
+      exchange.set("shuffle_rows", Json::number(x.shuffle_rows));
+      exchange.set("shuffle_blocks", Json::number(x.shuffle_blocks));
+      exchange.set("broadcast_rows", Json::number(x.broadcast_rows));
+      exchange.set("broadcast_blocks", Json::number(x.broadcast_blocks));
+      exchange.set("broadcast_bytes", Json::number(x.broadcast_bytes));
+      exchange.set("gather_rows", Json::number(x.gather_rows));
+      exchange.set("gather_blocks", Json::number(x.gather_blocks));
+      doc.set("exchange", std::move(exchange));
+    }
     doc.set("trace_file", Json::string(trace_path));
     doc.set("metrics_file", Json::string(metrics_path));
     std::cout << doc.dump(2) << "\n";
   } else {
     print_phase_table(rows);
+    if (sdb) {
+      const ExchangeCounters& x = sdb->exchange_log();
+      std::cout << "\nexchange (" << shards << " shards): shuffle "
+                << format_blocks(x.shuffle_rows) << " rows / "
+                << format_blocks(x.shuffle_blocks) << " blocks, broadcast "
+                << format_blocks(x.broadcast_rows) << " rows / "
+                << format_blocks(x.broadcast_blocks) << " blocks ("
+                << format_blocks(x.broadcast_bytes) << " bytes), gather "
+                << format_blocks(x.gather_rows) << " rows / "
+                << format_blocks(x.gather_blocks) << " blocks\n";
+    }
     std::cout << "\nledger reconciliation: "
               << (consistent ? "ok" : "MISMATCH") << " (query "
               << format_blocks(counter_of(after_design,
@@ -280,6 +342,10 @@ int main(int argc, char** argv) {
   std::string input_path;
   std::string out_dir = ".";
   double scale = 0.01;
+  // MVD_EXEC_SHARDS selects the sharded layer without touching the
+  // command line; --shards overrides it.
+  std::size_t shards =
+      std::min(default_exec_shards(), ShardedDatabase::kBuckets);
   bool as_json = false;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -299,6 +365,17 @@ int main(int argc, char** argv) {
         return usage("bad --scale value '" + args[i] + "'");
       }
       if (!(scale > 0)) return usage("--scale must be positive");
+    } else if (arg == "--shards") {
+      if (i + 1 >= args.size()) return usage("--shards needs a count");
+      try {
+        const long n = std::stol(args[++i]);
+        if (n < 1 || static_cast<std::size_t>(n) > ShardedDatabase::kBuckets) {
+          return usage("--shards must be between 1 and 64");
+        }
+        shards = static_cast<std::size_t>(n);
+      } catch (const std::exception&) {
+        return usage("bad --shards value '" + args[i] + "'");
+      }
     } else if (arg == "--out") {
       if (i + 1 >= args.size()) return usage("--out needs a directory");
       out_dir = args[++i];
@@ -327,7 +404,7 @@ int main(int argc, char** argv) {
   try {
     switch (mode) {
       case Mode::kPaper:
-        return profile_paper(scale, out_dir, as_json);
+        return profile_paper(scale, shards, out_dir, as_json);
       case Mode::kInput:
         return profile_file(input_path, out_dir, as_json);
     }
