@@ -1,0 +1,272 @@
+// Ext-O: mvserve throughput — transparent rewriting under concurrency.
+//
+// Deploys the paper warehouse with every workload query's result node
+// materialized, then drives a fixed ad-hoc query mix (the four workload
+// queries, residual variants answerable from their views, and uncovered
+// queries that must fall back) from 1 / 4 / 16 / 64 client threads.
+// Each thread count is measured twice — rewriting enabled and forced
+// base-only — so the table reports the rewrite win directly. A final
+// section keeps 4 readers serving while a writer loops
+// update_and_refresh, measuring read throughput under snapshot churn.
+//
+// Gates (nonzero exit):
+//   * every covered query in the mix must actually rewrite — the hit
+//     rate must reach the mix's coverable fraction, which itself covers
+//     the full registered paper workload;
+//   * per mix entry, the rewritten answer must be bag-equal to the
+//     base-table answer.
+//
+// Everything is written to BENCH_serve.json. `--smoke` shrinks the data
+// and per-thread query counts for CI.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/json.hpp"
+#include "src/common/random.hpp"
+#include "src/common/strings.hpp"
+#include "src/common/text_table.hpp"
+#include "src/exec/executor.hpp"
+#include "src/serve/server.hpp"
+#include "src/warehouse/designer.hpp"
+#include "src/workload/paper_example.hpp"
+
+using namespace mvd;
+
+namespace {
+
+struct MixEntry {
+  QuerySpec query;
+  bool coverable;
+};
+
+MvServer make_server(double scale) {
+  DesignerOptions options;
+  options.cost = paper_cost_config();
+  WarehouseDesigner designer(make_paper_catalog(), options);
+  const PaperExample example = make_paper_example();
+  for (const QuerySpec& q : example.queries) designer.add_query(q);
+  DesignResult design = designer.design();
+  const MvppGraph& g = design.graph();
+  for (const NodeId q : g.query_ids()) {
+    design.selection.materialized.insert(g.node(q).children[0]);
+  }
+  return MvServer(example.catalog, design, populate_paper_database(scale));
+}
+
+std::vector<MixEntry> make_mix(const Catalog& catalog) {
+  std::vector<MixEntry> mix;
+  for (const QuerySpec& q : make_paper_example().queries) {
+    mix.push_back({q, true});
+  }
+  // Residual compensation on the Q4 and Q1 views.
+  mix.push_back({parse_adhoc(catalog,
+                             "SELECT Customer.city, date "
+                             "FROM Order, Customer "
+                             "WHERE quantity > 100 "
+                             "AND date > DATE '1996-07-01' "
+                             "AND Order.Cid = Customer.Cid"),
+                 true});
+  mix.push_back({parse_adhoc(catalog,
+                             "SELECT Product.name FROM Product, Division "
+                             "WHERE Product.Did = Division.Did "
+                             "AND city = 'LA' AND Product.Did > 0"),
+                 true});
+  // Uncovered: no deployed view has these relation sets.
+  mix.push_back(
+      {parse_adhoc(catalog, "SELECT name FROM Division WHERE city = 'LA'"),
+       false});
+  mix.push_back(
+      {parse_adhoc(catalog,
+                   "SELECT Customer.name FROM Customer WHERE Cid < 100"),
+       false});
+  return mix;
+}
+
+struct Throughput {
+  int threads = 0;
+  std::size_t queries = 0;
+  double secs = 0;
+  double qps = 0;
+  double hit_rate = 0;
+};
+
+Throughput drive(const MvServer& server, const std::vector<MixEntry>& mix,
+                 int threads, std::size_t per_thread, ServePath path) {
+  std::atomic<std::size_t> hits{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      std::size_t local_hits = 0;
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        const MixEntry& entry =
+            mix[(static_cast<std::size_t>(t) + i) % mix.size()];
+        const ServeResult r =
+            server.serve_on(server.snapshot(), entry.query, path);
+        if (r.rewritten) ++local_hits;
+      }
+      hits.fetch_add(local_hits, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Throughput out;
+  out.threads = threads;
+  out.queries = static_cast<std::size_t>(threads) * per_thread;
+  out.secs = std::chrono::duration<double>(t1 - t0).count();
+  out.qps = static_cast<double>(out.queries) / out.secs;
+  out.hit_rate =
+      static_cast<double>(hits.load()) / static_cast<double>(out.queries);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const double scale = smoke ? 0.02 : 0.1;
+  const std::size_t per_thread = smoke ? 50 : 300;
+
+  MvServer server = make_server(scale);
+  const std::vector<MixEntry> mix = make_mix(server.catalog());
+  const double coverable_fraction =
+      static_cast<double>(std::count_if(mix.begin(), mix.end(),
+                                        [](const MixEntry& e) {
+                                          return e.coverable;
+                                        })) /
+      static_cast<double>(mix.size());
+
+  // Correctness gate first: per mix entry, rewrite-vs-base agreement and
+  // the expected route.
+  bool agree = true;
+  double expected_hits = 0;
+  {
+    const auto snap = server.snapshot();
+    for (const MixEntry& entry : mix) {
+      const ServeResult hit = server.serve_on(snap, entry.query);
+      const ServeResult base =
+          server.serve_on(snap, entry.query, ServePath::kBaseOnly);
+      if (!same_bag(hit.table, base.table)) {
+        std::cerr << "MISMATCH: " << entry.query.name()
+                  << " rewritten != base\n";
+        agree = false;
+      }
+      if (hit.rewritten != entry.coverable) {
+        std::cerr << "ROUTE: " << entry.query.name() << " expected "
+                  << (entry.coverable ? "rewrite" : "fallback") << ", got "
+                  << (hit.rewritten ? "view " + hit.view : "fallback")
+                  << "\n";
+        agree = false;
+      }
+      if (hit.rewritten) ++expected_hits;
+    }
+  }
+
+  Json report = Json::object();
+  report.set("bench", Json::string("serve"));
+  report.set("smoke", Json::boolean(smoke));
+  report.set("hardware_threads",
+             Json::number(static_cast<std::size_t>(
+                 std::thread::hardware_concurrency())));
+  report.set("scale", Json::number(scale));
+  report.set("mix_size", Json::number(mix.size()));
+  report.set("mix_coverable_fraction", Json::number(coverable_fraction));
+
+  TextTable table({"threads", "queries", "rewrite q/s", "base q/s",
+                   "speedup", "hit rate"});
+  Json scaling = Json::array();
+  bool hit_rate_ok = true;
+  for (const int threads : {1, 4, 16, 64}) {
+    const Throughput rewrite =
+        drive(server, mix, threads, per_thread, ServePath::kAuto);
+    const Throughput base =
+        drive(server, mix, threads, per_thread, ServePath::kBaseOnly);
+    // Every coverable query must hit: the stream hit rate equals the
+    // coverable fraction, which covers the whole registered workload.
+    hit_rate_ok = hit_rate_ok && rewrite.hit_rate >= coverable_fraction - 1e-9;
+
+    table.add_row({std::to_string(threads), std::to_string(rewrite.queries),
+                   format_fixed(rewrite.qps, 0), format_fixed(base.qps, 0),
+                   format_fixed(rewrite.qps / base.qps, 2),
+                   format_fixed(rewrite.hit_rate, 3)});
+    Json row = Json::object();
+    row.set("threads", Json::number(threads));
+    row.set("queries", Json::number(rewrite.queries));
+    row.set("rewrite_secs", Json::number(rewrite.secs));
+    row.set("rewrite_qps", Json::number(rewrite.qps));
+    row.set("base_secs", Json::number(base.secs));
+    row.set("base_qps", Json::number(base.qps));
+    row.set("speedup", Json::number(rewrite.qps / base.qps));
+    row.set("hit_rate", Json::number(rewrite.hit_rate));
+    scaling.push_back(std::move(row));
+  }
+  report.set("scaling", std::move(scaling));
+  std::cout << "mvserve throughput (paper warehouse, scale "
+            << format_fixed(scale, 2) << ", mix of " << mix.size()
+            << " queries):\n"
+            << table.render() << "\n";
+
+  // Snapshot churn: 4 readers serve while a writer loops ingest+refresh
+  // with a single publish per round.
+  {
+    std::atomic<bool> done{false};
+    std::atomic<std::size_t> served{0};
+    std::vector<std::thread> readers;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int t = 0; t < 4; ++t) {
+      readers.emplace_back([&, t] {
+        std::size_t i = 0;
+        while (!done.load(std::memory_order_acquire)) {
+          const MixEntry& entry =
+              mix[(static_cast<std::size_t>(t) + i++) % mix.size()];
+          server.serve_on(server.snapshot(), entry.query);
+          served.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    Rng rng(2026);
+    UpdateStreamOptions updates;
+    const int rounds = smoke ? 3 : 10;
+    for (int r = 0; r < rounds; ++r) {
+      server.update_and_refresh(r % 2 == 0 ? "Order" : "Customer", updates,
+                                rng);
+    }
+    done.store(true, std::memory_order_release);
+    for (std::thread& rd : readers) rd.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+    Json churn = Json::object();
+    churn.set("readers", Json::number(4));
+    churn.set("writer_rounds", Json::number(rounds));
+    churn.set("queries", Json::number(served.load()));
+    churn.set("secs", Json::number(secs));
+    churn.set("qps", Json::number(static_cast<double>(served.load()) / secs));
+    churn.set("final_epoch", Json::number(server.epoch()));
+    report.set("snapshot_churn", std::move(churn));
+    std::cout << "snapshot churn: " << served.load() << " queries in "
+              << format_fixed(secs, 2) << " s ("
+              << format_fixed(static_cast<double>(served.load()) / secs, 0)
+              << " q/s) across " << rounds << " update_and_refresh rounds\n";
+  }
+
+  report.set("agreement", Json::boolean(agree));
+  report.set("hit_rate_ok", Json::boolean(hit_rate_ok));
+
+  std::ofstream out("BENCH_serve.json");
+  out << report.dump(2) << '\n';
+  std::cout << "wrote BENCH_serve.json\n";
+  if (!agree) std::cerr << "FAILED: rewrite/base disagreement\n";
+  if (!hit_rate_ok) {
+    std::cerr << "FAILED: hit rate below the mix's coverable fraction\n";
+  }
+  return (agree && hit_rate_ok) ? 0 : 1;
+}

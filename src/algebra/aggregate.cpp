@@ -15,6 +15,7 @@ std::string to_string(AggFn fn) {
     case AggFn::kMin: return "min";
     case AggFn::kMax: return "max";
     case AggFn::kAvg: return "avg";
+    case AggFn::kSumInt: return "sum_int";
   }
   MVD_ASSERT(false);
   return {};
@@ -23,6 +24,7 @@ std::string to_string(AggFn fn) {
 ValueType AggSpec::output_type(const Schema& input) const {
   switch (fn) {
     case AggFn::kCount:
+    case AggFn::kSumInt:
       return ValueType::kInt64;
     case AggFn::kSum:
     case AggFn::kAvg:
@@ -75,9 +77,16 @@ PlanPtr make_aggregate(PlanPtr child, const std::vector<std::string>& group_by,
       const Attribute& a = in.at(in.index_of(agg.column));
       agg.column = a.qualified();
       if (agg.fn != AggFn::kCount && !is_numeric(a.type) &&
-          (agg.fn == AggFn::kSum || agg.fn == AggFn::kAvg)) {
+          (agg.fn == AggFn::kSum || agg.fn == AggFn::kAvg ||
+           agg.fn == AggFn::kSumInt)) {
         throw PlanError("cannot " + to_string(agg.fn) + " non-numeric column '" +
                         a.qualified() + "'");
+      }
+      if (agg.fn == AggFn::kSumInt && a.type != ValueType::kInt64) {
+        // The whole point of kSumInt is an exact integer total; summing a
+        // double column into an int64 would silently round.
+        throw PlanError("sum_int requires an int64 column, got " +
+                        to_string(a.type) + " '" + a.qualified() + "'");
       }
     }
     if (agg.alias.empty()) {

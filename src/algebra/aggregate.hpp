@@ -16,7 +16,18 @@
 
 namespace mvd {
 
-enum class AggFn { kCount, kSum, kMin, kMax, kAvg };
+enum class AggFn {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  /// Integer-preserving sum: SUM over an int64 column that yields int64
+  /// instead of double. Used by serve-side compensation plans to roll a
+  /// stored COUNT column up to a coarser grouping without changing its
+  /// type (SUM of counts must still *be* a count).
+  kSumInt,
+};
 
 std::string to_string(AggFn fn);
 

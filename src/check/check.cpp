@@ -365,7 +365,8 @@ struct Analyzer {
       const auto idx = resolve(spec.column, in, "check/agg-resolve", agg);
       if (!idx.has_value()) continue;
       const ValueType t = in.at(*idx).type;
-      if ((spec.fn == AggFn::kSum || spec.fn == AggFn::kAvg) &&
+      if ((spec.fn == AggFn::kSum || spec.fn == AggFn::kAvg ||
+           spec.fn == AggFn::kSumInt) &&
           !is_numeric(t)) {
         finding("check/agg-input", Severity::kWarn, agg,
                 "aggregate '" + spec.alias + "' sums " + to_string(t) +

@@ -207,6 +207,32 @@ PredicateFacts::ClassState& PredicateFacts::state_of(std::size_t col) {
   return classes_[find_rep(col)];
 }
 
+ValueInterval PredicateFacts::effective_interval(std::size_t col) const {
+  const ClassState* s = state_ptr(col);
+  const bool integral = class_integral(find_rep(col));
+  ValueInterval iv = s != nullptr ? s->interval : ValueInterval();
+  if (integral) iv = iv.integral_tightened();
+  if (s == nullptr || s->num_ne.empty()) return iv;
+  // A closed endpoint the ne-set excludes opens: [5, H] with x != 5 is
+  // (5, H]. On an integral class the opened endpoint re-tightens to the
+  // next integer, which may itself be excluded — iterate. Each round
+  // consumes at least one ne entry, so |ne| rounds suffice.
+  for (std::size_t round = 0; round <= s->num_ne.size(); ++round) {
+    bool changed = false;
+    if (!std::isinf(iv.lo) && !iv.lo_open && s->num_ne.count(iv.lo) > 0) {
+      iv.lo_open = true;
+      changed = true;
+    }
+    if (!std::isinf(iv.hi) && !iv.hi_open && s->num_ne.count(iv.hi) > 0) {
+      iv.hi_open = true;
+      changed = true;
+    }
+    if (!changed) break;
+    if (integral) iv = iv.integral_tightened();
+  }
+  return iv;
+}
+
 const PredicateFacts::ClassState* PredicateFacts::state_ptr(
     std::size_t col) const {
   const auto it = classes_.find(find_rep(col));
@@ -278,8 +304,7 @@ void PredicateFacts::rebuild_index() const {
 
   // Pass 4: joint satisfiability.
   for (const auto& [rep, s] : classes_) {
-    ValueInterval iv = s.interval;
-    if (class_integral(rep)) iv = iv.integral_tightened();
+    const ValueInterval iv = effective_interval(rep);
     if (iv.empty()) self->mark_contradiction();
     if (const auto v = iv.singleton(); v.has_value() && s.num_ne.count(*v)) {
       self->mark_contradiction();
@@ -307,8 +332,16 @@ void PredicateFacts::ingest(const ExprPtr& conjunct) {
       return;
     }
     case ExprKind::kNot: {
-      const ColumnExpr* c =
-          as_col(static_cast<const NotExpr&>(*conjunct).operand().get());
+      const ExprPtr& inner = static_cast<const NotExpr&>(*conjunct).operand();
+      if (inner->kind() == ExprKind::kOr) {
+        // De Morgan as a fact source: NOT (A OR B) asserts both NOT A and
+        // NOT B, which land in the index as real constraints.
+        for (const ExprPtr& o : static_cast<const BoolExpr&>(*inner).operands()) {
+          ingest(normalize(neg(o)));
+        }
+        return;
+      }
+      const ColumnExpr* c = as_col(inner.get());
       if (c == nullptr) return;
       const auto i = safe_find(schema_, c->name());
       if (!i.has_value() || schema_.at(*i).type != ValueType::kBool) return;
@@ -458,13 +491,26 @@ bool PredicateFacts::entails_indexed(const ExprPtr& c) const {
       return s != nullptr && s->bool_eq == true;
     }
     case ExprKind::kNot: {
-      const ColumnExpr* col =
-          as_col(static_cast<const NotExpr&>(*c).operand().get());
-      if (col == nullptr) return false;
-      const auto i = safe_find(schema_, col->name());
-      if (!i.has_value()) return false;
-      const ClassState* s = state_ptr(*i);
-      return s != nullptr && s->bool_eq == false;
+      const ExprPtr& inner = static_cast<const NotExpr&>(*c).operand();
+      if (const ColumnExpr* col = as_col(inner.get()); col != nullptr) {
+        const auto i = safe_find(schema_, col->name());
+        if (!i.has_value()) return false;
+        const ClassState* s = state_ptr(*i);
+        return s != nullptr && s->bool_eq == false;
+      }
+      // De Morgan: NOT (A AND B) holds wherever some NOT A_i holds;
+      // NOT (A OR B) needs every NOT A_i. normalize() already pushed NOT
+      // through comparisons and double negations, so only AND/OR remain.
+      if (inner->kind() == ExprKind::kAnd || inner->kind() == ExprKind::kOr) {
+        const bool need_all = inner->kind() == ExprKind::kOr;
+        for (const ExprPtr& o : static_cast<const BoolExpr&>(*inner).operands()) {
+          const bool holds = entails_indexed(normalize(neg(o)));
+          if (holds && !need_all) return true;
+          if (!holds && need_all) return false;
+        }
+        return need_all;
+      }
+      return false;
     }
     case ExprKind::kOr: {
       for (const ExprPtr& o : static_cast<const BoolExpr&>(*c).operands()) {
@@ -506,8 +552,7 @@ bool PredicateFacts::entails_comparison(const ComparisonExpr& c) const {
       if (is_nan(d)) return false;
       const ClassState* s = state_ptr(*li);
       const bool integral = class_integral(find_rep(*li));
-      ValueInterval have = s != nullptr ? s->interval : ValueInterval();
-      if (integral) have = have.integral_tightened();
+      const ValueInterval have = effective_interval(*li);
       if (c.op() == CompareOp::kNe) {
         if (integral && d != std::floor(d)) return true;
         if (!have.contains_point(d)) return true;
@@ -554,10 +599,8 @@ bool PredicateFacts::entails_comparison(const ComparisonExpr& c) const {
     }
   }
   if (is_numeric(lt) && is_numeric(rt)) {
-    const ClassState* ls = state_ptr(*li);
-    const ClassState* rs = state_ptr(*ri);
-    const ValueInterval a = ls != nullptr ? ls->interval : ValueInterval();
-    const ValueInterval b = rs != nullptr ? rs->interval : ValueInterval();
+    const ValueInterval a = effective_interval(*li);
+    const ValueInterval b = effective_interval(*ri);
     switch (c.op()) {
       case CompareOp::kLt:
         return a.strictly_below(b);

@@ -113,6 +113,9 @@ class PredicateFacts {
   ClassState& state_of(std::size_t col);
   const ClassState* state_ptr(std::size_t col) const;
   bool class_integral(std::size_t rep) const;
+  /// The class interval with integral tightening and ne-set endpoint
+  /// sharpening applied (x >= 5 plus x != 5 is x > 5).
+  ValueInterval effective_interval(std::size_t col) const;
 
   void rebuild_index() const;
   void ingest(const ExprPtr& conjunct);

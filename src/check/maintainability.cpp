@@ -31,6 +31,7 @@ AggStatics agg_statics(const AggregateOp& op) {
     switch (spec.fn) {
       case AggFn::kCount:
       case AggFn::kSum:
+      case AggFn::kSumInt:
         break;
       case AggFn::kMin:
       case AggFn::kMax:

@@ -9,6 +9,7 @@
 // keys this is lossless for doubles and allocation-light.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <optional>
@@ -173,6 +174,10 @@ struct Accumulator {
         return Value::int64(static_cast<std::int64_t>(count));
       case AggFn::kSum:
         return Value::real(sum);
+      case AggFn::kSumInt:
+        // Inputs are int64 (enforced at plan build); the double running
+        // sum is exact below 2^53, so the round-trip is lossless.
+        return Value::int64(std::llround(sum));
       case AggFn::kAvg:
         return Value::real(count > 0 ? sum / count : 0.0);
       case AggFn::kMin:

@@ -90,6 +90,12 @@ Executor::Executor(const Database& db, ExecMode mode, std::size_t threads)
                         ? std::make_shared<ColumnTableCache>()
                         : nullptr) {}
 
+Executor::Executor(std::shared_ptr<const Database> db, ExecMode mode,
+                   std::size_t threads)
+    : Executor(*db, mode, threads) {
+  pinned_ = std::move(db);
+}
+
 Table Executor::run(const PlanPtr& plan, ExecStats* stats) const {
   MVD_ASSERT(plan != nullptr);
   // Static pre-flight (MVD_CHECK=off|warn|error): reject plans that would

@@ -85,6 +85,14 @@ class Executor {
   explicit Executor(const Database& db, ExecMode mode = default_exec_mode(),
                     std::size_t threads = default_exec_threads());
 
+  /// Snapshot-pinning overload: the executor co-owns `db`, so a serving
+  /// layer can atomically swap in a newer snapshot while in-flight
+  /// queries finish against the one they started on (mvserve's reader
+  /// protocol). The pinned database must not be mutated while pinned.
+  explicit Executor(std::shared_ptr<const Database> db,
+                    ExecMode mode = default_exec_mode(),
+                    std::size_t threads = default_exec_threads());
+
   ExecMode mode() const { return mode_; }
 
   /// Execute `plan`. Scan nodes resolve by relation name in the database
@@ -112,6 +120,9 @@ class Executor {
                           ExecStats* stats) const;
 
   const Database* db_;
+  /// Set by the pinning constructor; keeps the snapshot alive for the
+  /// executor's lifetime (db_ points into it).
+  std::shared_ptr<const Database> pinned_;
   ExecMode mode_;
   std::size_t threads_;
   /// Columnar conversions, shared across runs of this Executor (filled

@@ -642,7 +642,7 @@ bool fused_aggregate_ok(const AggregateOp& op, const ColumnTable& data,
   for (std::size_t a = 0; a < aggs.size(); ++a) {
     const AggFn fn = aggs[a].fn;
     if (fn != AggFn::kCount && fn != AggFn::kSum && fn != AggFn::kAvg) {
-      return false;  // MIN/MAX carry Values: interpreted path
+      return false;  // MIN/MAX carry Values, SUM_INT is rare: interpreted path
     }
     if (fn != AggFn::kCount && agg_cols[a] != SIZE_MAX &&
         !numeric_kind(data.kind(agg_cols[a]))) {
@@ -825,6 +825,7 @@ VecRel run_fused_aggregate(const AggregateOp& op, const VecRel& in,
           break;
         case AggFn::kMin:
         case AggFn::kMax:
+        case AggFn::kSumInt:
           MVD_ASSERT(false);  // excluded by fused_aggregate_ok
           break;
       }

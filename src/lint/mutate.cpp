@@ -24,6 +24,7 @@ LintContext MutationOutcome::context() const {
   ctx.exec_stats = exec_stats.get();
   ctx.database = database.get();
   ctx.metrics = metrics.get();
+  ctx.rewrites = rewrites;
   return ctx;
 }
 
@@ -450,6 +451,24 @@ MutationOutcome tamper_metrics_ledger(const MvppGraph& clean,
   return out;
 }
 
+/// A rewrite record whose containment proof does not hold: as if the
+/// serving matcher answered `quantity > 50` from a view that only
+/// stored `quantity > 100` (or the log was edited after the fact). The
+/// graph itself stays clean, so only the evidence re-check can object.
+MutationOutcome tamper_rewrite_evidence(const MvppGraph& clean,
+                                        const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  with_closures(out);
+  ServeRewriteCheck r;
+  r.query = "Qtampered";
+  r.view = "tmp7";
+  r.joint = Schema({Attribute{"quantity", ValueType::kInt64, "Order"}});
+  r.query_pred = gt(col("Order.quantity"), lit_i64(50));
+  r.view_pred = gt(col("Order.quantity"), lit_i64(100));
+  out.rewrites.push_back(std::move(r));
+  return out;
+}
+
 }  // namespace
 
 const std::vector<GraphMutation>& builtin_mutations() {
@@ -485,6 +504,8 @@ const std::vector<GraphMutation>& builtin_mutations() {
        tamper_refreshed_view},
       {"tamper-metrics-ledger", "obs/metrics-consistent",
        tamper_metrics_ledger},
+      {"tamper-rewrite-evidence", "serve/rewrite-consistent",
+       tamper_rewrite_evidence},
   };
   return mutations;
 }

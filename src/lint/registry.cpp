@@ -82,6 +82,7 @@ const LintRegistry& LintRegistry::builtin() {
     register_maintenance_rules(r);
     register_obs_rules(r);
     register_distributed_rules(r);
+    register_serve_rules(r);
     return r;
   }();
   return registry;

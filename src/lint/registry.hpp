@@ -39,6 +39,18 @@ struct ExecStats;
 class Database;
 struct MetricsSnapshot;
 
+/// One rewrite's evidence as recorded by mvserve's RewriteRecord log:
+/// the query was answered from the view, which is only sound when the
+/// query predicate implies the view predicate over their joint base
+/// schema. Mirrored structurally so lint does not depend on src/serve.
+struct ServeRewriteCheck {
+  std::string query;
+  std::string view;
+  ExprPtr query_pred;
+  ExprPtr view_pred;
+  Schema joint;
+};
+
 /// Everything a lint pass may inspect. Only `graph` is mandatory; rules
 /// needing an absent optional input skip silently.
 struct LintContext {
@@ -72,6 +84,10 @@ struct LintContext {
     std::optional<double> budget_blocks;
   };
   std::vector<SelectionCheck> selections;
+
+  /// Optional mvserve rewrite evidence; serve/rewrite-consistent
+  /// re-derives each containment proof.
+  std::vector<ServeRewriteCheck> rewrites;
 };
 
 enum class LintPhase { kStructure, kAnnotation, kSchema, kSelection };
@@ -135,5 +151,6 @@ void register_selection_rules(LintRegistry& registry);
 void register_maintenance_rules(LintRegistry& registry);
 void register_obs_rules(LintRegistry& registry);
 void register_distributed_rules(LintRegistry& registry);
+void register_serve_rules(LintRegistry& registry);
 
 }  // namespace mvd

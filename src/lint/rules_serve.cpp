@@ -1,0 +1,39 @@
+// Serving-discipline rule: every rewrite mvserve performed must be
+// provably sound after the fact. The server logs one RewriteRecord per
+// view-answered query (the query predicate, the view predicate, and
+// their joint base schema); re-deriving the containment proof catches a
+// matcher regression, a tampered log, or evidence replayed against the
+// wrong view definition.
+#include "src/check/implication.hpp"
+#include "src/common/strings.hpp"
+#include "src/lint/registry.hpp"
+
+namespace mvd {
+
+namespace {
+
+void check_rewrite_consistent(const LintContext& ctx, RuleEmitter& out) {
+  for (const ServeRewriteCheck& r : ctx.rewrites) {
+    if (implies(r.query_pred, r.view_pred, r.joint)) continue;
+    out.emit_graph(
+        str_cat("query '", r.query, "' was answered from view '", r.view,
+                "' but its predicate does not imply the view's (",
+                r.query_pred == nullptr ? "TRUE" : r.query_pred->to_string(),
+                " vs ",
+                r.view_pred == nullptr ? "TRUE" : r.view_pred->to_string(),
+                ")"),
+        "the stored view may lack rows the query needs; refuse the match "
+        "or rebuild the view definition the record was checked against");
+  }
+}
+
+}  // namespace
+
+void register_serve_rules(LintRegistry& registry) {
+  registry.add({"serve/rewrite-consistent", LintPhase::kSelection,
+                Severity::kError,
+                "every logged mvserve rewrite's containment proof re-derives",
+                check_rewrite_consistent});
+}
+
+}  // namespace mvd

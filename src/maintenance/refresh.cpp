@@ -123,6 +123,7 @@ std::optional<GroupApplyResult> maintain_aggregate_view(
     switch (specs[j].fn) {
       case AggFn::kCount:
       case AggFn::kSum:
+      case AggFn::kSumInt:
         break;
       case AggFn::kMin:
       case AggFn::kMax:
@@ -176,7 +177,9 @@ std::optional<GroupApplyResult> maintain_aggregate_view(
     for (std::size_t j = 0; j < specs.size(); ++j) {
       const Value v =
           agg_idx[j] == SIZE_MAX ? Value::int64(1) : t[agg_idx[j]];
-      if (specs[j].fn == AggFn::kSum) g.dsum[j] += v.as_double();
+      if (specs[j].fn == AggFn::kSum || specs[j].fn == AggFn::kSumInt) {
+        g.dsum[j] += v.as_double();
+      }
       g.ins[j].feed(v);
     }
   }
@@ -187,7 +190,9 @@ std::optional<GroupApplyResult> maintain_aggregate_view(
     for (std::size_t j = 0; j < specs.size(); ++j) {
       const Value v =
           agg_idx[j] == SIZE_MAX ? Value::int64(1) : t[agg_idx[j]];
-      if (specs[j].fn == AggFn::kSum) g.dsum[j] -= v.as_double();
+      if (specs[j].fn == AggFn::kSum || specs[j].fn == AggFn::kSumInt) {
+        g.dsum[j] -= v.as_double();
+      }
       if (specs[j].fn == AggFn::kMin || specs[j].fn == AggFn::kMax) {
         if (!g.del_lo[j].has_value() || v.compare(*g.del_lo[j]) < 0) {
           g.del_lo[j] = v;
@@ -275,6 +280,11 @@ std::optional<GroupApplyResult> maintain_aggregate_view(
           break;
         case AggFn::kSum:
           row[c] = Value::real(old[c].as_double() + g.dsum[j]);
+          break;
+        case AggFn::kSumInt:
+          row[c] = Value::int64(old[c].as_int64() +
+                                static_cast<std::int64_t>(
+                                    std::llround(g.dsum[j])));
           break;
         case AggFn::kAvg: {
           const double sum =

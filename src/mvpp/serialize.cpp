@@ -222,7 +222,7 @@ MvppNodeKind kind_from_string(const std::string& text) {
 
 AggFn agg_fn_from_string(const std::string& text) {
   for (AggFn fn : {AggFn::kCount, AggFn::kSum, AggFn::kMin, AggFn::kMax,
-                   AggFn::kAvg}) {
+                   AggFn::kAvg, AggFn::kSumInt}) {
     if (to_string(fn) == text) return fn;
   }
   throw ParseError("unknown aggregate function '" + text + "'");

@@ -62,4 +62,20 @@ void publish_selection_ledger(const MvppEvaluator& eval,
   }
 }
 
+void publish_serve_result(bool rewritten, const std::string& view,
+                          double latency_ms) {
+  if (!counters_enabled()) return;
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("serve/queries").increment();
+  if (rewritten) {
+    reg.counter("serve/rewritten").increment();
+    reg.counter(str_cat("serve/view/", view, "/hits")).increment();
+  } else {
+    reg.counter("serve/fallback").increment();
+  }
+  reg.histogram("serve/latency_ms",
+                {0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 500})
+      .observe(latency_ms);
+}
+
 }  // namespace mvd

@@ -41,4 +41,11 @@ void publish_refresh_report(const RefreshReport& report);
 void publish_selection_ledger(const MvppEvaluator& eval,
                               const MaterializedSet& m);
 
+/// Publish one mvserve answer under "serve/...": total query count,
+/// rewritten vs fallback split, per-view hit counters
+/// ("serve/view/<name>/hits"), and an answer-latency histogram
+/// ("serve/latency_ms").
+void publish_serve_result(bool rewritten, const std::string& view,
+                          double latency_ms);
+
 }  // namespace mvd

@@ -1,5 +1,7 @@
 #include "src/sql/parser.hpp"
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 
 #include "src/common/assert.hpp"
@@ -282,6 +284,12 @@ QuerySpec parse_and_bind(const Catalog& catalog, const std::string& name,
   return QuerySpec::bind(catalog, name, frequency, parsed.relations,
                          parsed.where, std::move(select_list),
                          parsed.group_by, std::move(parsed.aggregates));
+}
+
+QuerySpec parse_adhoc(const Catalog& catalog, const std::string& sql) {
+  static std::atomic<std::uint64_t> next{0};
+  const std::uint64_t n = next.fetch_add(1, std::memory_order_relaxed);
+  return parse_and_bind(catalog, "adhoc-" + std::to_string(n), 1.0, sql);
 }
 
 }  // namespace mvd

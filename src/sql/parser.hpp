@@ -41,4 +41,10 @@ ExprPtr parse_predicate(const std::string& text);
 QuerySpec parse_and_bind(const Catalog& catalog, const std::string& name,
                          double frequency, const std::string& sql);
 
+/// Ad-hoc binding for serving front doors (mvserve): like parse_and_bind
+/// but with a generated name ("adhoc-<n>", process-unique) and unit
+/// frequency — ad-hoc queries are not part of a designed workload, so
+/// their names never collide with registered query roots.
+QuerySpec parse_adhoc(const Catalog& catalog, const std::string& sql);
+
 }  // namespace mvd

@@ -123,6 +123,94 @@ TEST(ImplicationTest, SyntacticFallbackOutsideTheFragment) {
   EXPECT_FALSE(implies(gt(col("id"), lit_i64(-1)), disjunction, s));
 }
 
+TEST(ImplicationTest, NeSharpensClosedEndpoints) {
+  const Schema s = t_schema();
+  // id >= 5 AND id <> 5 is exactly id > 5 — the excluded closed endpoint
+  // opens the interval.
+  EXPECT_TRUE(implies(conj({cmp(CompareOp::kGe, col("id"), lit_i64(5)),
+                            cmp(CompareOp::kNe, col("id"), lit_i64(5))}),
+                      gt(col("id"), lit_i64(5)), s));
+  // Same sharpening on the upper bound: x <= 5 AND x <> 5 entails x < 5
+  // (double column — no integral tightening involved).
+  EXPECT_TRUE(implies(conj({cmp(CompareOp::kLe, col("x"), lit_real(5.0)),
+                            cmp(CompareOp::kNe, col("x"), lit_real(5.0))}),
+                      lt(col("x"), lit_real(5.0)), s));
+  // An interior exclusion must NOT sharpen: id >= 5 AND id <> 7 does not
+  // entail id > 5.
+  EXPECT_FALSE(implies(conj({cmp(CompareOp::kGe, col("id"), lit_i64(5)),
+                             cmp(CompareOp::kNe, col("id"), lit_i64(7))}),
+                       gt(col("id"), lit_i64(5)), s));
+}
+
+TEST(ImplicationTest, NeSharpeningIteratesOverIntegralChains) {
+  const Schema s = t_schema();
+  // id >= 5, id <> 5, id <> 6: opening 5 re-tightens to [6, inf), whose
+  // new closed endpoint is itself excluded — the oracle must iterate to
+  // conclude id >= 7.
+  const ExprPtr premise =
+      conj({cmp(CompareOp::kGe, col("id"), lit_i64(5)),
+            cmp(CompareOp::kNe, col("id"), lit_i64(5)),
+            cmp(CompareOp::kNe, col("id"), lit_i64(6))});
+  EXPECT_TRUE(implies(premise, cmp(CompareOp::kGe, col("id"), lit_i64(7)), s));
+  // ... but not one step further.
+  EXPECT_FALSE(implies(premise, cmp(CompareOp::kGe, col("id"), lit_i64(8)), s));
+  // Sharpened bounds flow through equality classes like plain ones.
+  EXPECT_TRUE(implies(conj({eq(col("id"), col("qty")),
+                            cmp(CompareOp::kGe, col("id"), lit_i64(5)),
+                            cmp(CompareOp::kNe, col("id"), lit_i64(5))}),
+                      gt(col("qty"), lit_i64(5)), s));
+}
+
+TEST(ImplicationTest, NeSharpeningDetectsEmptiedIntervals) {
+  const Schema s = t_schema();
+  // 5 <= id <= 6 with both integers excluded is a contradiction, so it
+  // entails anything (ex falso).
+  const ExprPtr premise =
+      conj({cmp(CompareOp::kGe, col("id"), lit_i64(5)),
+            cmp(CompareOp::kLe, col("id"), lit_i64(6)),
+            cmp(CompareOp::kNe, col("id"), lit_i64(5)),
+            cmp(CompareOp::kNe, col("id"), lit_i64(6))});
+  EXPECT_TRUE(implies(premise, eq(col("name"), lit_str("never")), s));
+}
+
+TEST(ImplicationTest, NotOverConjunctionEntailment) {
+  const Schema s = t_schema();
+  // De Morgan on the conclusion side: id > 10 refutes id <= 5, so it
+  // entails NOT (id <= 5 AND name = 'red')...
+  EXPECT_TRUE(implies(gt(col("id"), lit_i64(10)),
+                      neg(conj({cmp(CompareOp::kLe, col("id"), lit_i64(5)),
+                                eq(col("name"), lit_str("red"))})),
+                      s));
+  // ... but proves nothing about NOT (id <= 20 AND name = 'red'): rows
+  // with id = 15, name = 'red' satisfy the premise and violate it.
+  EXPECT_FALSE(implies(gt(col("id"), lit_i64(10)),
+                       neg(conj({cmp(CompareOp::kLe, col("id"), lit_i64(20)),
+                                 eq(col("name"), lit_str("red"))})),
+                       s));
+  // NOT over a disjunction needs every branch refuted.
+  EXPECT_TRUE(implies(conj({gt(col("id"), lit_i64(10)),
+                            eq(col("name"), lit_str("blue"))}),
+                      neg(disj({cmp(CompareOp::kLe, col("id"), lit_i64(5)),
+                                eq(col("name"), lit_str("red"))})),
+                      s));
+  EXPECT_FALSE(implies(gt(col("id"), lit_i64(10)),
+                       neg(disj({cmp(CompareOp::kLe, col("id"), lit_i64(5)),
+                                 eq(col("name"), lit_str("red"))})),
+                       s));
+}
+
+TEST(ImplicationTest, NotOverDisjunctionIngestsAsFacts) {
+  const Schema s = t_schema();
+  // A premise of NOT (id <= 5 OR id > 20) asserts id > 5 AND id <= 20 —
+  // both conjuncts must land in the fact index as real constraints.
+  const ExprPtr premise =
+      neg(disj({cmp(CompareOp::kLe, col("id"), lit_i64(5)),
+                gt(col("id"), lit_i64(20))}));
+  EXPECT_TRUE(implies(premise, gt(col("id"), lit_i64(5)), s));
+  EXPECT_TRUE(implies(premise, cmp(CompareOp::kLe, col("id"), lit_i64(20)), s));
+  EXPECT_FALSE(implies(premise, gt(col("id"), lit_i64(10)), s));
+}
+
 TEST(FoldConstantsTest, FoldsLiteralAndSameColumnComparisons) {
   const ExprPtr lt_lit = lt(lit_i64(2), lit_i64(3));
   const ExprPtr folded = fold_constants(lt_lit);
