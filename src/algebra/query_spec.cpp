@@ -17,6 +17,43 @@ std::string relation_of_column(const std::string& qualified) {
   return qualified.substr(0, dot);
 }
 
+/// The canonical identity string behind QuerySpec::fingerprint().
+/// Sorted pieces make it stable under FROM/WHERE reordering; the output
+/// shape stays in declaration order because a permuted projection is a
+/// different result.
+std::string compute_fingerprint(const QuerySpec& query) {
+  std::vector<std::string> relations = query.relations();
+  std::sort(relations.begin(), relations.end());
+  std::vector<std::string> joins;
+  for (const JoinPredicate& j : query.joins()) joins.push_back(j.canonical());
+  std::sort(joins.begin(), joins.end());
+  std::vector<std::string> selections;
+  for (const ExprPtr& s : query.selections()) {
+    selections.push_back(s->to_string());
+  }
+  std::sort(selections.begin(), selections.end());
+
+  std::string fp = "R[";
+  fp += join(relations, ",");
+  fp += "] J[";
+  fp += join(joins, ",");
+  fp += "] S[";
+  fp += join(selections, ",");
+  fp += "] P[";
+  fp += join(query.projection(), ",");
+  fp += "]";
+  if (query.has_aggregation()) {
+    fp += " G[";
+    fp += join(query.group_by(), ",");
+    fp += "] A[";
+    std::vector<std::string> aggs;
+    for (const AggSpec& a : query.aggregates()) aggs.push_back(a.to_string());
+    fp += join(aggs, ",");
+    fp += "]";
+  }
+  return fp;
+}
+
 }  // namespace
 
 std::string JoinPredicate::left_relation() const {
@@ -248,6 +285,7 @@ QuerySpec QuerySpec::bind(const Catalog& catalog, std::string name,
       }
       spec.projection_.push_back(q);
     }
+    spec.fingerprint_ = compute_fingerprint(spec);
     return spec;
   }
 
@@ -299,6 +337,7 @@ QuerySpec QuerySpec::bind(const Catalog& catalog, std::string name,
     // intermediate plans have a non-empty schema.
     spec.projection_.push_back(joint.at(0).qualified());
   }
+  spec.fingerprint_ = compute_fingerprint(spec);
   return spec;
 }
 

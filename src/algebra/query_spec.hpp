@@ -90,6 +90,14 @@ class QuerySpec {
   /// products needed).
   bool join_graph_connected() const;
 
+  /// Canonical identity for frequency accounting: relations, join edges
+  /// and selection conjuncts in sorted order plus the output shape —
+  /// stable under FROM/WHERE reordering, insensitive to name() and
+  /// frequency(). Computed once at bind time (empty only on a
+  /// default-constructed spec) so per-serve telemetry does not pay for
+  /// re-canonicalization.
+  const std::string& fingerprint() const { return fingerprint_; }
+
   std::string to_string() const;
 
   /// Emit the query back as parseable SQL text (the parser's own
@@ -120,6 +128,7 @@ class QuerySpec {
   std::vector<std::string> projection_;
   std::vector<std::string> group_by_;
   std::vector<AggSpec> aggregates_;
+  std::string fingerprint_;
 };
 
 /// The final operator of a query: the aggregate for aggregation queries,

@@ -42,6 +42,18 @@ void publish_op_tallies(const char* engine, const double* blocks,
   }
 }
 
+const char* exec_mode_name(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kFused:
+      return "fused";
+    case ExecMode::kVectorized:
+      return "vec";
+    case ExecMode::kRow:
+      break;
+  }
+  return "row";
+}
+
 ExecMode default_exec_mode() {
   ExecMode mode = ExecMode::kRow;
   if (const char* env = std::getenv("MVD_EXEC_MODE")) {
@@ -114,9 +126,7 @@ Table Executor::run(const PlanPtr& plan, ExecStats* stats) const {
   const double rows0 = s != nullptr ? s->rows_scanned : 0;
   const double batches0 = s != nullptr ? s->batches : 0;
 
-  const char* engine = mode_ == ExecMode::kFused        ? "fused"
-                       : mode_ == ExecMode::kVectorized ? "vec"
-                                                        : "row";
+  const char* engine = exec_mode_name(mode_);
   TraceSpan span("exec", mode_ == ExecMode::kFused        ? "fused-run"
                          : mode_ == ExecMode::kVectorized ? "vec-run"
                                                           : "row-run");

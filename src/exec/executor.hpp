@@ -67,6 +67,10 @@ enum class ExecMode { kRow, kVectorized, kFused };
 /// ("0"/"false"/"off") demotes kFused back to plain kVectorized.
 ExecMode default_exec_mode();
 
+/// Short engine label for metrics and journal events: "row", "vec" or
+/// "fused".
+const char* exec_mode_name(ExecMode mode);
+
 /// Vectorized-engine worker count from MVD_EXEC_THREADS (0 = hardware
 /// auto); 1 (serial) when unset or unparsable.
 std::size_t default_exec_threads();

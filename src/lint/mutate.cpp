@@ -6,6 +6,7 @@
 #include "src/algebra/expr.hpp"
 #include "src/common/error.hpp"
 #include "src/mvpp/rewrite.hpp"
+#include "src/obs/workload.hpp"
 
 namespace mvd {
 
@@ -25,6 +26,7 @@ LintContext MutationOutcome::context() const {
   ctx.database = database.get();
   ctx.metrics = metrics.get();
   ctx.rewrites = rewrites;
+  ctx.workload = workload;
   return ctx;
 }
 
@@ -469,6 +471,45 @@ MutationOutcome tamper_rewrite_evidence(const MvppGraph& clean,
   return out;
 }
 
+/// A live observatory's gauges next to a journal in which one serve
+/// event's latency was nudged after the fact — the replay's latency sums
+/// and histogram no longer agree with the live side. The graph stays
+/// clean; only the replay certificate can object.
+MutationOutcome tamper_journal_event(const MvppGraph& clean,
+                                     const CostModel& cm) {
+  MutationOutcome out = copy_of(clean, cm);
+  with_closures(out);
+
+  WorkloadObservatory live(64);
+  live.attach_journal(std::make_shared<EventJournal>(64, std::string()));
+  live.declare_query("Q1", 10);
+  live.declare_update("Order", 2);
+  for (int i = 0; i < 3; ++i) {
+    JournalEvent serve;
+    serve.kind = EventKind::kServe;
+    serve.query = "Q1";
+    serve.fingerprint = "R[Order] J[] S[] P[Order.quantity]";
+    serve.rewritten = i % 2 == 0;
+    serve.view = serve.rewritten ? "tmp7" : "";
+    serve.engine = "row";
+    serve.latency_ms = 0.25 * (i + 1);
+    live.record(std::move(serve));
+  }
+
+  LintContext::WorkloadJournalCheck check;
+  check.live_gauges = live.stats().to_gauges();
+  check.events = live.journal()->events();
+  check.window = live.window();
+  for (JournalEvent& e : check.events) {
+    if (e.kind == EventKind::kServe) {
+      e.latency_ms += 1.0;
+      break;
+    }
+  }
+  out.workload = std::move(check);
+  return out;
+}
+
 }  // namespace
 
 const std::vector<GraphMutation>& builtin_mutations() {
@@ -506,6 +547,8 @@ const std::vector<GraphMutation>& builtin_mutations() {
        tamper_metrics_ledger},
       {"tamper-rewrite-evidence", "serve/rewrite-consistent",
        tamper_rewrite_evidence},
+      {"tamper-journal-event", "obs/journal-consistent",
+       tamper_journal_event},
   };
   return mutations;
 }

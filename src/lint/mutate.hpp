@@ -40,6 +40,7 @@ struct MutationOutcome {
   std::unique_ptr<Database> database;
   std::unique_ptr<MetricsSnapshot> metrics;
   std::vector<ServeRewriteCheck> rewrites;
+  std::optional<LintContext::WorkloadJournalCheck> workload;
   std::optional<double> budget_blocks;
   const CostModel* cost_model = nullptr;
 
@@ -58,7 +59,7 @@ struct GraphMutation {
       apply;
 };
 
-/// One mutation per built-in rule (23 total). Requires `clean` to be
+/// One mutation per built-in rule (24 total). Requires `clean` to be
 /// annotated, acyclic, with at least one query, one shared child, and
 /// one select / project node — the Figure 3 MVPP qualifies.
 const std::vector<GraphMutation>& builtin_mutations();

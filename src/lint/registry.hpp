@@ -24,6 +24,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "src/mvpp/closures.hpp"
 #include "src/mvpp/evaluation.hpp"
 #include "src/mvpp/selection.hpp"
+#include "src/obs/journal.hpp"
 
 namespace mvd {
 
@@ -88,6 +90,20 @@ struct LintContext {
   /// Optional mvserve rewrite evidence; serve/rewrite-consistent
   /// re-derives each containment proof.
   std::vector<ServeRewriteCheck> rewrites;
+
+  /// Optional workload-observatory evidence: the live observatory's
+  /// flattened gauges (WorkloadStats::to_gauges) next to the complete
+  /// journal that claims to have produced them. obs/journal-consistent
+  /// replays the journal and demands bit-for-bit equality — a dropped,
+  /// reordered or edited event cannot survive the diff.
+  struct WorkloadJournalCheck {
+    std::map<std::string, double> live_gauges;
+    std::vector<JournalEvent> events;
+    /// Decay window of the live observatory (0 = take the journal's
+    /// kOpen event).
+    std::size_t window = 0;
+  };
+  std::optional<WorkloadJournalCheck> workload;
 };
 
 enum class LintPhase { kStructure, kAnnotation, kSchema, kSelection };

@@ -7,11 +7,13 @@
 // mismatch means the registry and the design drifted apart — stale
 // metrics from an earlier design, a tampered export, or a publisher bug.
 #include <cmath>
+#include <memory>
 
 #include "src/common/strings.hpp"
 #include "src/common/units.hpp"
 #include "src/lint/registry.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/workload.hpp"
 
 namespace mvd {
 
@@ -61,6 +63,51 @@ void check_metrics_consistent(const LintContext& ctx, RuleEmitter& out) {
       "the same evaluator and materialized set");
 }
 
+// Certify the observatory's replay contract: re-recording the attached
+// journal through a fresh observatory must reproduce the live gauges
+// *exactly* (double equality, not epsilon — both sides run the same
+// floating-point operations in the same order). The caller attaches a
+// complete journal (the ring must not have dropped events); a deleted,
+// reordered or edited line changes seq assignments or tallies and fails
+// the diff.
+void check_journal_consistent(const LintContext& ctx, RuleEmitter& out) {
+  if (!ctx.workload.has_value()) return;
+  const LintContext::WorkloadJournalCheck& check = *ctx.workload;
+  const std::unique_ptr<WorkloadObservatory> replayed =
+      replay_journal(check.events, check.window);
+  const std::map<std::string, double> gauges = replayed->stats().to_gauges();
+  if (gauges == check.live_gauges) return;
+
+  // Name the first divergence: a key on one side only, or the first
+  // value mismatch.
+  for (const auto& [name, live] : check.live_gauges) {
+    const auto it = gauges.find(name);
+    if (it == gauges.end()) {
+      out.emit_graph(
+          str_cat("journal replay lost gauge '", name, "' (live ", live, ")"),
+          "the attached journal is incomplete or events were deleted");
+      return;
+    }
+    if (it->second != live) {
+      out.emit_graph(
+          str_cat("journal replay disagrees on '", name, "': live ", live,
+                  ", replayed ", it->second),
+          "an event was edited, reordered or dropped — the journal no "
+          "longer reproduces the live observatory");
+      return;
+    }
+  }
+  for (const auto& [name, replay_value] : gauges) {
+    if (check.live_gauges.count(name) == 0) {
+      out.emit_graph(str_cat("journal replay invented gauge '", name,
+                             "' (replayed ", replay_value, ")"),
+                     "the journal contains events the live observatory "
+                     "never recorded");
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 void register_obs_rules(LintRegistry& registry) {
@@ -68,6 +115,10 @@ void register_obs_rules(LintRegistry& registry) {
                 Severity::kError,
                 "registry cost-ledger gauges reconcile with selection costs",
                 check_metrics_consistent});
+  registry.add({"obs/journal-consistent", LintPhase::kSelection,
+                Severity::kError,
+                "journal replay reproduces live observatory gauges exactly",
+                check_journal_consistent});
 }
 
 }  // namespace mvd

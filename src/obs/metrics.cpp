@@ -106,6 +106,35 @@ void Histogram::observe_bucketed(const std::vector<std::uint64_t>& counts,
 
 // ---- Snapshot ---------------------------------------------------------
 
+double histogram_percentile(const std::vector<double>& bounds,
+                            const std::vector<std::uint64_t>& counts,
+                            std::uint64_t count, double q) {
+  if (count == 0 || counts.empty()) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target observation, 1-based; q=0 means the first.
+  const double rank = q * static_cast<double>(count);
+  double seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= rank) {
+      if (i >= bounds.size()) return bounds.empty() ? 0 : bounds.back();
+      const double lo = i == 0 ? 0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac = (rank - seen) / in_bucket;
+      return lo + (hi - lo) * (frac < 0 ? 0 : frac);
+    }
+    seen += in_bucket;
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+double MetricValue::percentile(double q) const {
+  if (kind != MetricKind::kHistogram) return 0;
+  return histogram_percentile(bucket_bounds, bucket_counts, count, q);
+}
+
 std::optional<double> MetricsSnapshot::value_of(const std::string& name) const {
   const auto it = metrics.find(name);
   if (it == metrics.end()) return std::nullopt;

@@ -132,6 +132,15 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Percentile estimate from fixed-bucket tallies: find the bucket holding
+/// the q-th observation (q in [0,1]) and interpolate linearly inside it
+/// (bucket i spans (bounds[i-1], bounds[i]], the first starts at 0, the
+/// overflow bucket reports the last bound — the estimate saturates
+/// there). 0 when no observations.
+double histogram_percentile(const std::vector<double>& bounds,
+                            const std::vector<std::uint64_t>& counts,
+                            std::uint64_t count, double q);
+
 /// One metric's frozen state inside a snapshot.
 struct MetricValue {
   MetricKind kind = MetricKind::kCounter;
@@ -140,6 +149,10 @@ struct MetricValue {
   std::vector<double> bucket_bounds;
   std::vector<std::uint64_t> bucket_counts;  // bounds + overflow
   std::uint64_t count = 0;
+
+  /// Histogram percentile estimate (see histogram_percentile); 0 for
+  /// counters and gauges.
+  double percentile(double q) const;
 };
 
 struct MetricsSnapshot {

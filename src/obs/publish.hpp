@@ -9,10 +9,12 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "src/exec/executor.hpp"
 #include "src/maintenance/refresh.hpp"
 #include "src/mvpp/evaluation.hpp"
+#include "src/obs/journal.hpp"
 
 namespace mvd {
 
@@ -43,9 +45,14 @@ void publish_selection_ledger(const MvppEvaluator& eval,
 
 /// Publish one mvserve answer under "serve/...": total query count,
 /// rewritten vs fallback split, per-view hit counters
-/// ("serve/view/<name>/hits"), and an answer-latency histogram
-/// ("serve/latency_ms").
+/// ("serve/view/<name>/hits"), an answer-latency histogram
+/// ("serve/latency_ms"), a per-engine query count
+/// ("serve/engine/<engine>/queries"), and — on a fallback — one
+/// "serve/view/<name>/refusals" counter per refusing view plus
+/// "serve/refusal/<code>" reason tallies (view_rewrite's refusal_code),
+/// so a miss is explainable per-view instead of a bare rewritten=false.
 void publish_serve_result(bool rewritten, const std::string& view,
-                          double latency_ms);
+                          double latency_ms, const std::string& engine = "",
+                          const std::vector<ServeRefusal>& refusals = {});
 
 }  // namespace mvd

@@ -1,6 +1,7 @@
 #include "src/optimizer/view_rewrite.hpp"
 
 #include <algorithm>
+#include <string_view>
 
 #include "src/check/implication.hpp"
 #include "src/optimizer/optimizer.hpp"
@@ -298,6 +299,25 @@ std::optional<ViewMatch> match_query_to_view(const QuerySpec& query,
 
   match.plan = simplify_plan_predicates(plan);
   return match;
+}
+
+std::string refusal_code(const std::string& reason) {
+  const auto starts = [&](std::string_view prefix) {
+    return reason.rfind(prefix, 0) == 0;
+  };
+  if (starts("relation sets differ")) return "relations";
+  if (starts("containment not proved")) return "containment";
+  if (starts("residual column")) return "residual-column";
+  if (starts("residual finer")) return "residual-grouping";
+  if (starts("projection column not stored")) return "projection";
+  if (starts("grouping column not stored")) return "grouping";
+  if (starts("aggregate input")) return "aggregate-input";
+  if (starts("aggregate ")) return "aggregate";
+  if (starts("SPJ query over an aggregate view")) return "spj-over-aggregate";
+  if (starts("avg cannot roll up")) return "avg-rollup";
+  if (starts("query grouping coarser")) return "grouping-axis";
+  if (starts("view: ")) return "unmatchable";
+  return "other";
 }
 
 std::optional<ViewMatch> best_view_match(const QuerySpec& query,

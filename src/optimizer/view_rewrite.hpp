@@ -105,6 +105,12 @@ std::optional<ViewMatch> match_query_to_view(const QuerySpec& query,
                                              const Catalog& catalog,
                                              std::string* why = nullptr);
 
+/// Bucket a match_query_to_view refusal reason into a stable short code
+/// for tallying ("relations", "containment", "projection", ...;
+/// "other" for text no bucket claims). The free-text reasons embed
+/// column/aggregate names, so aggregation has to go through these codes.
+std::string refusal_code(const std::string& reason);
+
 /// Match against every view and keep the cheapest (fewest stored blocks,
 /// name as the tie-break). Views are pre-filtered by the caller (mvserve
 /// passes only VALID ones).

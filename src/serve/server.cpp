@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <set>
 #include <utility>
 
 #include "src/common/assert.hpp"
@@ -14,6 +15,14 @@ namespace mvd {
 
 bool default_serve_rewrite() {
   if (const char* env = std::getenv("MVD_SERVE_REWRITE")) {
+    const std::string f(env);
+    if (f == "0" || f == "false" || f == "off") return false;
+  }
+  return true;
+}
+
+bool default_serve_observe() {
+  if (const char* env = std::getenv("MVD_SERVE_OBSERVE")) {
     const std::string f(env);
     if (f == "0" || f == "false" || f == "off") return false;
   }
@@ -43,6 +52,20 @@ MvServer::MvServer(Catalog catalog, DesignResult design, const Database& db,
   first->db = std::make_shared<const Database>(std::move(deployed));
   first->registry = DeployedViewRegistry(graph, m, *first->db);
   snapshot_ = std::move(first);
+
+  if (options_.observe) {
+    observatory_ = std::make_unique<WorkloadObservatory>();
+    // The journal picks up MVD_JOURNAL as its file sink; the kOpen event
+    // plus the declarations below make it replay self-contained.
+    observatory_->attach_journal(std::make_shared<EventJournal>());
+    for (const NodeId q : graph.query_ids()) {
+      const MvppNode& node = graph.node(q);
+      observatory_->declare_query(node.name, node.frequency);
+    }
+    for (const std::string& rel : catalog_.relation_names()) {
+      observatory_->declare_update(rel, catalog_.update_frequency(rel));
+    }
+  }
 }
 
 std::shared_ptr<const ServeSnapshot> MvServer::snapshot() const {
@@ -91,6 +114,7 @@ ServeResult MvServer::serve_on(const std::shared_ptr<const ServeSnapshot>& snap,
       } else {
         if (!refusals.empty()) refusals += "; ";
         refusals += v.name + ": " + why;
+        out.refusals.push_back({v.name, why});
       }
     }
   } else if (path == ServePath::kBaseOnly) {
@@ -108,11 +132,13 @@ ServeResult MvServer::serve_on(const std::shared_ptr<const ServeSnapshot>& snap,
   if (best.has_value()) {
     out.rewritten = true;
     out.view = best->view;
+    out.refusals.clear();
     plan = best->plan;
   } else {
     out.refusal = refusals.empty() ? "no deployed views" : refusals;
     plan = canonical_plan(catalog_, query);
   }
+  out.engine = exec_mode_name(options_.mode);
 
   const Executor exec(snap->db, options_.mode, options_.threads);
   const auto t0 = std::chrono::steady_clock::now();
@@ -126,7 +152,34 @@ ServeResult MvServer::serve_on(const std::shared_ptr<const ServeSnapshot>& snap,
     rewrite_log_.push_back({query.name(), best->view, best->query_pred,
                             best->view_pred, best->joint});
   }
-  publish_serve_result(out.rewritten, out.view, out.latency_ms);
+  publish_serve_result(out.rewritten, out.view, out.latency_ms, out.engine,
+                       out.refusals);
+
+  if (observatory_ != nullptr) {
+    JournalEvent e;
+    e.kind = EventKind::kServe;
+    e.epoch = snap->epoch;
+    e.query = query.name();
+    e.fingerprint = query_fingerprint(query);
+    e.rewritten = out.rewritten;
+    e.view = out.view;
+    e.engine = out.engine;
+    e.latency_ms = out.latency_ms;
+    e.refusals = out.refusals;
+    if (!out.rewritten) {
+      // Stale coverage this fallback could have used: non-VALID matchable
+      // views over exactly the query's relation set.
+      const std::set<std::string> query_rels(query.relations().begin(),
+                                             query.relations().end());
+      for (const DeployedView& v : snap->registry.views()) {
+        if (v.status != ViewStatus::kValid && v.def.matchable &&
+            v.def.relations == query_rels) {
+          e.stale_views.push_back(v.def.name);
+        }
+      }
+    }
+    observatory_->record(std::move(e));
+  }
   return out;
 }
 
@@ -138,11 +191,25 @@ std::uint64_t MvServer::ingest(const std::string& relation,
   auto next = std::make_shared<ServeSnapshot>();
   next->epoch = cur->epoch + 1;
   Database staging = *cur->db;
+  const auto before = pending_deltas_.find(relation);
+  const std::size_t rows0 =
+      before != pending_deltas_.end() ? before->second.row_count() : 0;
   apply_update_batch(staging, relation, options, rng, &pending_deltas_);
+  const std::size_t rows1 = pending_deltas_.at(relation).row_count();
   next->registry = cur->registry;
-  next->registry.mark_stale(relation);
+  const std::vector<std::string> marked = next->registry.mark_stale(relation);
   next->db = std::make_shared<const Database>(std::move(staging));
   publish(next);
+  if (observatory_ != nullptr) {
+    JournalEvent e;
+    e.kind = EventKind::kIngest;
+    e.epoch = next->epoch;
+    e.relation = relation;
+    e.delta_rows = static_cast<double>(rows1 - rows0);
+    e.marked_stale = marked;
+    observatory_->record(std::move(e));
+    observatory_->publish_gauges();
+  }
   return next->epoch;
 }
 
@@ -169,11 +236,21 @@ std::uint64_t MvServer::finish_refresh(RefreshMode mode) {
   next->epoch = cur->epoch + 1;
   Database staging = *cur->db;
   DeployedViewRegistry registry = cur->registry;
+  const std::vector<std::string> pending = registry.pending();
   const DeltaSet deltas = std::exchange(pending_deltas_, DeltaSet{});
   rebuild_pending(staging, registry, mode, deltas);
   next->db = std::make_shared<const Database>(std::move(staging));
   next->registry = std::move(registry);
   publish(next);
+  if (observatory_ != nullptr && !pending.empty()) {
+    JournalEvent e;
+    e.kind = EventKind::kRefresh;
+    e.epoch = next->epoch;
+    e.refreshed = pending;
+    e.mode = to_string(mode);
+    observatory_->record(std::move(e));
+    observatory_->publish_gauges();
+  }
   return next->epoch;
 }
 
@@ -193,12 +270,35 @@ std::uint64_t MvServer::update_and_refresh(const std::string& relation,
   Database staging = *cur->db;
   DeployedViewRegistry registry = cur->registry;
   DeltaSet deltas = std::exchange(pending_deltas_, DeltaSet{});
+  const auto before = deltas.find(relation);
+  const std::size_t rows0 =
+      before != deltas.end() ? before->second.row_count() : 0;
   apply_update_batch(staging, relation, options, rng, &deltas);
-  registry.mark_stale(relation);
+  const std::size_t rows1 = deltas.at(relation).row_count();
+  const std::vector<std::string> marked = registry.mark_stale(relation);
+  const std::vector<std::string> pending = registry.pending();
   rebuild_pending(staging, registry, mode, deltas);
   next->db = std::make_shared<const Database>(std::move(staging));
   next->registry = std::move(registry);
   publish(next);
+  if (observatory_ != nullptr) {
+    JournalEvent ingest_event;
+    ingest_event.kind = EventKind::kIngest;
+    ingest_event.epoch = next->epoch;
+    ingest_event.relation = relation;
+    ingest_event.delta_rows = static_cast<double>(rows1 - rows0);
+    ingest_event.marked_stale = marked;
+    observatory_->record(std::move(ingest_event));
+    if (!pending.empty()) {
+      JournalEvent refresh_event;
+      refresh_event.kind = EventKind::kRefresh;
+      refresh_event.epoch = next->epoch;
+      refresh_event.refreshed = pending;
+      refresh_event.mode = to_string(mode);
+      observatory_->record(std::move(refresh_event));
+    }
+    observatory_->publish_gauges();
+  }
   return next->epoch;
 }
 

@@ -39,6 +39,7 @@
 #include "src/exec/executor.hpp"
 #include "src/maintenance/refresh.hpp"
 #include "src/maintenance/update_stream.hpp"
+#include "src/obs/workload.hpp"
 #include "src/sql/parser.hpp"
 #include "src/warehouse/deployed.hpp"
 #include "src/warehouse/designer.hpp"
@@ -49,10 +50,15 @@ namespace mvd {
 /// ("0"/"false"/"off") = every query takes the base-table path.
 bool default_serve_rewrite();
 
+/// Workload-observatory switch from MVD_SERVE_OBSERVE: truthy/unset =
+/// on, falsy = the server records nothing and journals nothing.
+bool default_serve_observe();
+
 struct ServeOptions {
   ExecMode mode = default_exec_mode();
   std::size_t threads = default_exec_threads();
   bool rewrite = default_serve_rewrite();
+  bool observe = default_serve_observe();
 };
 
 /// Which answer path serve() may take. kAuto tries the rewriter first;
@@ -72,8 +78,13 @@ struct ServeResult {
   /// True when a materialized view answered; view names it.
   bool rewritten = false;
   std::string view;
-  /// The matcher's refusal reason on the fallback path (best effort).
+  /// The matcher's refusal reason on the fallback path (best effort;
+  /// the flattened form of `refusals`).
   std::string refusal;
+  /// Structured per-view refusal reasons on the fallback path.
+  std::vector<ServeRefusal> refusals;
+  /// Engine that executed the answer plan ("row" | "vec" | "fused").
+  std::string engine;
   std::uint64_t epoch = 0;
   ExecStats stats;
   /// Wall-clock execution time of the answer plan (parse/match excluded).
@@ -152,6 +163,12 @@ class MvServer {
   /// All rewrite evidence accumulated so far (thread-safe copy).
   std::vector<RewriteRecord> rewrite_log() const;
 
+  /// The workload observatory recording this server's traffic (null when
+  /// options.observe is off). Seeded at construction with the declared
+  /// fq/fu catalog annotations; its journal has a file sink when
+  /// MVD_JOURNAL is set.
+  WorkloadObservatory* observatory() const { return observatory_.get(); }
+
  private:
   void publish(std::shared_ptr<const ServeSnapshot> next);
   /// Rebuild every pending view of `registry` inside `db` (incremental
@@ -175,6 +192,9 @@ class MvServer {
   /// Mutable: serve_on is logically const (it only reads the snapshot)
   /// but records its rewrite evidence.
   mutable std::vector<RewriteRecord> rewrite_log_;
+
+  /// Thread-safe itself; serve_on records through the pointer.
+  std::unique_ptr<WorkloadObservatory> observatory_;
 };
 
 }  // namespace mvd

@@ -147,24 +147,37 @@ RefreshReport WarehouseDesigner::refresh(const DesignResult& design,
                                          Database& db,
                                          const DeltaSet& base_deltas,
                                          RefreshMode mode,
-                                         ExecStats* stats) const {
+                                         ExecStats* stats,
+                                         WorkloadObservatory* obs) const {
   const MvppGraph& g = design.graph();
-  if (mode == RefreshMode::kIncremental) {
-    return incremental_refresh(g, design.selection.materialized, db,
-                               base_deltas, stats);
-  }
-  MVD_TRACE_SPAN("maintenance", "recompute-refresh");
-  deploy(design, db, stats);
   RefreshReport report;
-  for (NodeId v : design.selection.materialized) {
-    ViewRefresh entry;
-    entry.id = v;
-    entry.view = g.node(v).name;
-    entry.path = RefreshPath::kRecomputed;
-    entry.stored_rows = static_cast<double>(db.table(entry.view).row_count());
-    report.views.push_back(std::move(entry));
+  if (mode == RefreshMode::kIncremental) {
+    report = incremental_refresh(g, design.selection.materialized, db,
+                                 base_deltas, stats);
+  } else {
+    MVD_TRACE_SPAN("maintenance", "recompute-refresh");
+    deploy(design, db, stats);
+    for (NodeId v : design.selection.materialized) {
+      ViewRefresh entry;
+      entry.id = v;
+      entry.view = g.node(v).name;
+      entry.path = RefreshPath::kRecomputed;
+      entry.stored_rows =
+          static_cast<double>(db.table(entry.view).row_count());
+      report.views.push_back(std::move(entry));
+    }
+    publish_refresh_report(report);
   }
-  publish_refresh_report(report);
+  if (obs != nullptr) {
+    JournalEvent e;
+    e.kind = EventKind::kRefresh;
+    e.mode = to_string(mode);
+    for (const ViewRefresh& v : report.views) {
+      if (v.path != RefreshPath::kSkipped) e.refreshed.push_back(v.view);
+    }
+    obs->record(std::move(e));
+    obs->publish_gauges();
+  }
   return report;
 }
 

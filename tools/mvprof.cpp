@@ -38,12 +38,14 @@
 #include "src/common/error.hpp"
 #include "src/exec/executor.hpp"
 #include "src/common/random.hpp"
+#include "src/common/strings.hpp"
 #include "src/common/text_table.hpp"
 #include "src/common/units.hpp"
 #include "src/maintenance/update_stream.hpp"
 #include "src/mvpp/serialize.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
+#include "src/obs/workload.hpp"
 #include "src/storage/sharded_table.hpp"
 #include "src/warehouse/designer.hpp"
 #include "src/workload/paper_example.hpp"
@@ -194,12 +196,20 @@ int profile_paper(double scale, std::size_t shards,
   });
 
   run_phase(rows, "answer", [&] {
+    // Per-answer latencies land in a histogram so the summary can report
+    // percentile estimates alongside the phase wall time.
+    Histogram& latency = MetricsRegistry::global().histogram(
+        "designer/answer/latency_ms", serve_latency_bounds());
     for (const QuerySpec& q : example.queries) {
+      const auto a0 = std::chrono::steady_clock::now();
       if (sdb) {
         (void)designer.answer(design, q.name(), *sdb);
       } else {
         (void)designer.answer(design, q.name(), db);
       }
+      const auto a1 = std::chrono::steady_clock::now();
+      latency.observe(
+          std::chrono::duration<double, std::milli>(a1 - a0).count());
     }
   });
 
@@ -255,11 +265,28 @@ int profile_paper(double scale, std::size_t shards,
       exchange.set("gather_blocks", Json::number(x.gather_blocks));
       doc.set("exchange", std::move(exchange));
     }
+    const auto lat = final_snap.metrics.find("designer/answer/latency_ms");
+    if (lat != final_snap.metrics.end()) {
+      Json latency = Json::object();
+      latency.set("count", Json::number(lat->second.count));
+      latency.set("p50", Json::number(lat->second.percentile(0.50)));
+      latency.set("p95", Json::number(lat->second.percentile(0.95)));
+      latency.set("p99", Json::number(lat->second.percentile(0.99)));
+      doc.set("answer_latency_ms", std::move(latency));
+    }
     doc.set("trace_file", Json::string(trace_path));
     doc.set("metrics_file", Json::string(metrics_path));
     std::cout << doc.dump(2) << "\n";
   } else {
     print_phase_table(rows);
+    const auto lat = final_snap.metrics.find("designer/answer/latency_ms");
+    if (lat != final_snap.metrics.end() && lat->second.count > 0) {
+      std::cout << "\nanswer latency: p50 "
+                << format_fixed(lat->second.percentile(0.50), 3) << " ms, p95 "
+                << format_fixed(lat->second.percentile(0.95), 3) << " ms, p99 "
+                << format_fixed(lat->second.percentile(0.99), 3) << " ms over "
+                << lat->second.count << " answers\n";
+    }
     if (sdb) {
       const ExchangeCounters& x = sdb->exchange_log();
       std::cout << "\nexchange (" << shards << " shards): shuffle "
